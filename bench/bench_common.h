@@ -1,0 +1,88 @@
+// Shared plumbing for the paper-reproduction bench harnesses.
+//
+// Environment knobs (so `for b in build/bench/*; do $b; done` stays fast by
+// default but can reproduce the paper's full scale):
+//   IDXSEL_BENCH_FULL=1         run the full problem sizes of the paper
+//   IDXSEL_BENCH_TIME_LIMIT=s   CoPhy solver wall-clock limit per solve
+//                               (default 5 s quick / 60 s full; the paper
+//                               used an 8-hour cutoff -> "DNF")
+
+#ifndef IDXSEL_BENCH_BENCH_COMMON_H_
+#define IDXSEL_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "candidates/candidates.h"
+#include "cophy/cophy.h"
+#include "core/recursive_selector.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/what_if.h"
+#include "frontier/frontier.h"
+#include "selection/heuristics.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::bench {
+
+inline bool FullMode() {
+  const char* v = std::getenv("IDXSEL_BENCH_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+inline double CophyTimeLimit() {
+  if (const char* v = std::getenv("IDXSEL_BENCH_TIME_LIMIT")) {
+    return std::atof(v);
+  }
+  return FullMode() ? 60.0 : 5.0;
+}
+
+/// Workload + Appendix-B model + caching what-if engine, bundled.
+struct ModelSetup {
+  workload::Workload w;
+  std::unique_ptr<costmodel::CostModel> model;
+  std::unique_ptr<costmodel::ModelBackend> backend;
+  std::unique_ptr<costmodel::WhatIfEngine> engine;
+
+  explicit ModelSetup(workload::Workload workload_in)
+      : w(std::move(workload_in)) {
+    model = std::make_unique<costmodel::CostModel>(&w);
+    backend = std::make_unique<costmodel::ModelBackend>(model.get());
+    engine = std::make_unique<costmodel::WhatIfEngine>(&w, backend.get());
+  }
+};
+
+/// H6 as a frontier::Strategy.
+inline frontier::Strategy H6Strategy(costmodel::WhatIfEngine& engine) {
+  return [&engine](double budget) {
+    core::RecursiveOptions options;
+    options.budget = budget;
+    frontier::StrategyOutcome outcome;
+    outcome.selection = core::SelectRecursive(engine, options).selection;
+    return outcome;
+  };
+}
+
+/// CoPhy on a fixed candidate set as a frontier::Strategy (mipgap 5%,
+/// time-limited; timeouts surface as DNF points carrying the incumbent).
+/// The problem is built once and re-solved per budget (PreparedCophy).
+inline frontier::Strategy CophyStrategy(
+    costmodel::WhatIfEngine& engine,
+    const candidates::CandidateSet& candidate_set) {
+  auto prepared =
+      std::make_shared<cophy::PreparedCophy>(engine, candidate_set);
+  return [prepared](double budget) {
+    mip::SolveOptions options;
+    options.mip_gap = 0.05;
+    options.time_limit_seconds = CophyTimeLimit();
+    const cophy::CophyResult result = prepared->Solve(budget, options);
+    frontier::StrategyOutcome outcome;
+    outcome.selection = result.selection;
+    outcome.dnf = result.dnf;
+    return outcome;
+  };
+}
+
+}  // namespace idxsel::bench
+
+#endif  // IDXSEL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Ablation — workload compression before selection (related work, §VI):
+// DB2's "keep the top-k most expensive queries" pre-processing vs selecting
+// on the full workload. Selection runs on the compressed workload; quality
+// is always evaluated on the *full* workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/format.h"
+#include "common/stopwatch.h"
+#include "workload/compression.h"
+
+namespace idxsel::bench {
+namespace {
+
+void Run() {
+  workload::ScalableWorkloadParams params;  // T=10, N_t=50
+  params.queries_per_table = FullMode() ? 500 : 100;
+  ModelSetup full(workload::GenerateScalableWorkload(params));
+  const double budget = full.model->Budget(0.2);
+  const double base = full.engine->WorkloadCost(costmodel::IndexConfig{});
+
+  std::printf(
+      "Workload compression study (Example 1, Q=%zu, w=0.2): run H6 on a\n"
+      "top-k-compressed workload, evaluate on the full workload.\n\n",
+      full.w.num_queries());
+
+  // Rank queries by unindexed cost b_j * f_j(0).
+  std::vector<double> query_costs(full.w.num_queries());
+  for (workload::QueryId j = 0; j < full.w.num_queries(); ++j) {
+    query_costs[j] =
+        full.w.query(j).frequency * full.engine->BaseCost(j);
+  }
+
+  TablePrinter table({"kept queries", "rel. cost (full workload)", "indexes",
+                      "H6 runtime", "what-if calls"});
+  for (double share : {1.0, 0.5, 0.25, 0.1, 0.05}) {
+    const size_t keep =
+        std::max<size_t>(1, static_cast<size_t>(share * full.w.num_queries()));
+    const workload::Workload compressed =
+        workload::CompressTopK(full.w, query_costs, keep);
+    ModelSetup setup_c(compressed);
+
+    Stopwatch watch;
+    core::RecursiveOptions options;
+    options.budget = budget;
+    const core::RecursiveResult r =
+        core::SelectRecursive(*setup_c.engine, options);
+    const double seconds = watch.ElapsedSeconds();
+
+    // Evaluate the selection on the FULL workload.
+    const double cost = full.engine->WorkloadCost(r.selection);
+    table.AddRow({FormatCount(static_cast<int64_t>(keep)),
+                  FormatDouble(cost / base, 4),
+                  std::to_string(r.selection.size()), FormatSeconds(seconds),
+                  FormatCount(static_cast<int64_t>(r.whatif_calls))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: moderate compression saves what-if calls and runtime with\n"
+      "little quality loss; aggressive compression starts missing indexes\n"
+      "for the dropped queries (the risk Zilio et al. accept).\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

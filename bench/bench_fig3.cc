@@ -1,0 +1,63 @@
+// Figure 3 — effect of the candidate-set *size*: H6 vs CoPhy with H1-M
+// candidate sets of |I| = 100, 1000, and IC_max; N = 500, Q = 1000,
+// w in [0, 0.4].
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace idxsel::bench {
+namespace {
+
+void Run() {
+  workload::ScalableWorkloadParams params;
+  params.queries_per_table = 100;  // sum Q = 1000
+  ModelSetup setup(workload::GenerateScalableWorkload(params));
+  std::printf(
+      "Figure 3: relative workload cost vs budget w; CoPhy with H1-M sets "
+      "of\nincreasing size vs H6; N=%zu, Q=%zu.\n\n",
+      setup.w.num_attributes(), setup.w.num_queries());
+
+  const candidates::CandidateSet all =
+      candidates::EnumerateAllCandidates(setup.w, 4);
+  const candidates::CandidateSet small = candidates::GenerateCandidates(
+      setup.w, candidates::CandidateHeuristic::kH1M, 100, 4);
+  const candidates::CandidateSet medium = candidates::GenerateCandidates(
+      setup.w, candidates::CandidateHeuristic::kH1M, 1000, 4);
+  std::printf("|IC_max| = %zu\n\n", all.size());
+
+  const std::vector<double> grid =
+      frontier::BudgetGrid(0.0, 0.4, FullMode() ? 9 : 5);
+  const double total = setup.model->TotalSingleAttributeMemory();
+
+  std::vector<frontier::FrontierSeries> series;
+  series.push_back(frontier::SweepStrategy(*setup.engine, total, grid, "H6",
+                                           H6Strategy(*setup.engine)));
+  series.push_back(frontier::SweepStrategy(
+      *setup.engine, total, grid, "CoPhy+H1-M(100)",
+      CophyStrategy(*setup.engine, small)));
+  series.push_back(frontier::SweepStrategy(
+      *setup.engine, total, grid, "CoPhy+H1-M(1000)",
+      CophyStrategy(*setup.engine, medium)));
+  series.push_back(frontier::SweepStrategy(
+      *setup.engine, total, grid, "CoPhy+IC_max",
+      CophyStrategy(*setup.engine, all)));
+
+  for (frontier::FrontierSeries& s : series) {
+    frontier::NormalizeCosts(*setup.engine, &s);
+  }
+  std::printf("%s\n", frontier::RenderSeriesTable(series).c_str());
+  const Status csv = frontier::WriteSeriesCsv(series, "fig3.csv");
+  std::printf("series written to fig3.csv (%s)\n\n", csv.ToString().c_str());
+  std::printf(
+      "Expected shape (paper): the smaller CoPhy's candidate set, the worse\n"
+      "its frontier; H6 matches the exhaustive-set optimum closely.\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 5 — end-to-end evaluation with *measured* runtimes: all strategies
+// are fed wall-clock execution times from the bundled column-store engine
+// instead of the analytic cost model; N = 100, Q = 100, exhaustive
+// candidate set (paper: |IC_max| = 2937), w in [0, 1].
+//
+// Strategies, as in the paper's figure: H6, frequency-based H1,
+// H4 without skyline (all candidates), H4 with skyline, H5 (all
+// candidates), CoPhy with 10% of the candidates via H1-M, CoPhy with all
+// candidates (the optimality reference).
+//
+// Substitution note: the paper's commercial DBMS ran >= 100 repetitions on
+// a 64-core/512 GB box; we scale rows down (IDXSEL_BENCH_FULL=1 raises the
+// scale) and use best-of-N timing. Shapes, not absolute milliseconds.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engine/measured_cost.h"
+
+namespace idxsel::bench {
+namespace {
+
+void Run() {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;  // N = 100, Q = 100
+  params.attributes_per_table = 50;
+  params.queries_per_table = 50;
+  params.rows_per_table_step = FullMode() ? 500'000 : 60'000;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+
+  const engine::Database db(&w, params.rows_per_table_step * 2, /*seed=*/3);
+  engine::MeasuredCostSource measured(&db, /*repetitions=*/FullMode() ? 7 : 3,
+                                      /*seed=*/11);
+  costmodel::WhatIfEngine what_if(&w, &measured);
+
+  std::printf(
+      "Figure 5: end-to-end, measured wall-clock query runtimes from the\n"
+      "column-store engine; N=%zu, Q=%zu, rows/table up to %llu.\n\n",
+      w.num_attributes(), w.num_queries(),
+      static_cast<unsigned long long>(db.rows(1)));
+
+  const candidates::CandidateSet all = candidates::EnumerateAllCandidates(w, 4);
+  const candidates::CandidateSet ten_percent =
+      candidates::GenerateCandidates(w, candidates::CandidateHeuristic::kH1M,
+                                     all.size() / 10, 4);
+  std::printf("|IC_max| = %zu (paper: 2937)\n\n", all.size());
+
+  // Budget base: measured single-attribute index memory.
+  double total = 0.0;
+  for (workload::AttributeId i = 0; i < w.num_attributes(); ++i) {
+    total += what_if.IndexMemory(costmodel::Index(i));
+  }
+
+  const std::vector<double> grid =
+      frontier::BudgetGrid(0.0, 1.0, FullMode() ? 11 : 5);
+
+  std::vector<frontier::FrontierSeries> series;
+  series.push_back(frontier::SweepStrategy(what_if, total, grid, "H6",
+                                           H6Strategy(what_if)));
+  series.push_back(frontier::SweepStrategy(
+      what_if, total, grid, "H1", [&](double budget) {
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            selection::SelectRuleBased(what_if, all, budget,
+                                       selection::RuleHeuristic::kH1)
+                .selection;
+        return outcome;
+      }));
+  series.push_back(frontier::SweepStrategy(
+      what_if, total, grid, "H4", [&](double budget) {
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            selection::SelectByBenefit(what_if, all, budget, false).selection;
+        return outcome;
+      }));
+  series.push_back(frontier::SweepStrategy(
+      what_if, total, grid, "H4+skyline", [&](double budget) {
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            selection::SelectByBenefit(what_if, all, budget, true).selection;
+        return outcome;
+      }));
+  series.push_back(frontier::SweepStrategy(
+      what_if, total, grid, "H5", [&](double budget) {
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            selection::SelectByBenefitPerSize(what_if, all, budget).selection;
+        return outcome;
+      }));
+  series.push_back(frontier::SweepStrategy(what_if, total, grid,
+                                           "CoPhy+10%",
+                                           CophyStrategy(what_if, ten_percent)));
+  series.push_back(frontier::SweepStrategy(what_if, total, grid,
+                                           "CoPhy+all(opt)",
+                                           CophyStrategy(what_if, all)));
+
+  for (frontier::FrontierSeries& s : series) {
+    frontier::NormalizeCosts(what_if, &s);
+  }
+  std::printf("%s\n", frontier::RenderSeriesTable(series).c_str());
+  const Status csv = frontier::WriteSeriesCsv(series, "fig5.csv");
+  std::printf("series written to fig5.csv (%s)\n", csv.ToString().c_str());
+  std::printf("physical indexes built: %zu\n\n", measured.indexes_built());
+  std::printf(
+      "Expected shape (paper): H6 within a few %% of CoPhy+all for every\n"
+      "budget; H1 and H4 variants far from optimal; H5 decent with the full\n"
+      "candidate set; CoPhy+10%% clearly below CoPhy+all.\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation — robustness under workload drift (the paper's future-work
+// direction, Section VII): a selection tuned for scenario A degrades when
+// the workload drifts towards scenario B; tuning on a scenario *blend*
+// hedges against the drift at a small cost in the undrifted case.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/format.h"
+#include "workload/blend.h"
+
+namespace idxsel::bench {
+namespace {
+
+void Run() {
+  // Two scenarios over the same schema: scenario B keeps A's templates but
+  // reverses their popularity (yesterday's hot queries go cold and vice
+  // versa) — a drastic but schema-preserving drift model.
+  workload::ScalableWorkloadParams params;  // T=10, N_t=50
+  params.queries_per_table = 50;
+  params.seed = 7;
+  const workload::Workload scenario_a =
+      workload::GenerateScalableWorkload(params);
+  workload::Workload scenario_b;
+  for (workload::TableId t = 0; t < scenario_a.num_tables(); ++t) {
+    scenario_b.AddTable(scenario_a.table(t).name,
+                        scenario_a.table(t).row_count);
+    for (workload::AttributeId i : scenario_a.table(t).attributes) {
+      scenario_b.AddAttribute(t, scenario_a.attribute(i).distinct_values,
+                              scenario_a.attribute(i).value_size);
+    }
+  }
+  for (workload::QueryId j = 0; j < scenario_a.num_queries(); ++j) {
+    const workload::Query& q = scenario_a.query(j);
+    const workload::Query& mirror =
+        scenario_a.query(scenario_a.num_queries() - 1 - j);
+    auto added = scenario_b.AddQuery(q.table, q.attributes,
+                                     mirror.frequency, q.kind);
+    (void)added;
+  }
+  scenario_b.Finalize();
+
+  std::printf(
+      "Robustness under drift (Example 1 schema, two query-mix scenarios,\n"
+      "w=0.15): selections tuned on A, on B, and on the 50/50 blend,\n"
+      "evaluated across drift levels.\n\n");
+
+  auto select_on = [&](const workload::Workload& w) {
+    ModelSetup setup{workload::Workload(w)};
+    core::RecursiveOptions options;
+    options.budget = setup.model->Budget(0.15);
+    return core::SelectRecursive(*setup.engine, options).selection;
+  };
+  const costmodel::IndexConfig tuned_a = select_on(scenario_a);
+  const costmodel::IndexConfig tuned_b = select_on(scenario_b);
+  const costmodel::IndexConfig tuned_blend =
+      select_on(workload::BlendWorkloads(scenario_a, scenario_b, 0.5));
+
+  TablePrinter table({"drift (share of B)", "tuned on A", "tuned on B",
+                      "tuned on blend"});
+  for (double drift : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const workload::Workload drifted =
+        workload::BlendWorkloads(scenario_a, scenario_b, drift);
+    ModelSetup eval{workload::Workload(drifted)};
+    const double base =
+        eval.engine->WorkloadCost(costmodel::IndexConfig{});
+    table.AddRow(
+        {FormatDouble(drift, 2),
+         FormatDouble(eval.engine->WorkloadCost(tuned_a) / base, 4),
+         FormatDouble(eval.engine->WorkloadCost(tuned_b) / base, 4),
+         FormatDouble(eval.engine->WorkloadCost(tuned_blend) / base, 4)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: each specialist wins at its own endpoint; the blend-tuned\n"
+      "selection stays close to the better specialist across all drift\n"
+      "levels — frequencies are linear in eq. (1), so blending optimizes\n"
+      "the expected scenario cost exactly.\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Table I — solving-time comparison: our strategy (H6) vs CoPhy's
+// solver-based approach, for growing query counts and candidate-set sizes.
+//
+// Paper setting: T = 10 tables, sum N_t = 500 attributes, budget w = 0.2,
+// CoPhy with 5% optimality gap; runtimes exclude what-if calls (our model
+// backend's calls are microseconds, and CoPhy's time is pure solver time).
+// The paper's DNF cutoff was eight hours; ours defaults to a few seconds
+// per solve (IDXSEL_BENCH_TIME_LIMIT overrides).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/format.h"
+#include "common/stopwatch.h"
+
+namespace idxsel::bench {
+namespace {
+
+void Run() {
+  std::printf(
+      "Table I: runtime of CoPhy (mipgap 5%%, time limit %.0f s) vs (H6);\n"
+      "T=10 tables, 500 attributes, w=0.2, Example 1 workload.\n\n",
+      CophyTimeLimit());
+
+  const std::vector<uint32_t> query_sizes =
+      FullMode() ? std::vector<uint32_t>{500, 1000, 2000, 5000, 10000, 20000,
+                                         50000}
+                 : std::vector<uint32_t>{500, 1000, 2000, 5000};
+
+  TablePrinter table({"# Queries", "|IC_max|", "# Candidates",
+                      "Runtime CoPhy", "Runtime (H6)"});
+
+  for (uint32_t total_queries : query_sizes) {
+    workload::ScalableWorkloadParams params;  // T=10, N_t=50
+    params.queries_per_table = total_queries / 10;
+    ModelSetup setup(workload::GenerateScalableWorkload(params));
+    const double budget = setup.model->Budget(0.2);
+
+    const candidates::CandidateSet all =
+        candidates::EnumerateAllCandidates(setup.w, 4);
+
+    std::vector<size_t> candidate_sizes = {100, 1000};
+    candidate_sizes.push_back(std::min<size_t>(10000, all.size()));
+
+    std::string cophy_cell;
+    std::string sizes_cell;
+    for (size_t count : candidate_sizes) {
+      candidates::CandidateSet cands =
+          count >= all.size()
+              ? all
+              : candidates::GenerateCandidates(
+                    setup.w, candidates::CandidateHeuristic::kH1M, count, 4);
+      // Pre-warm the what-if cache so the CoPhy timing is pure solve +
+      // model build (the paper excludes what-if time).
+      cophy::BuildProblem(*setup.engine, cands, budget);
+
+      mip::SolveOptions options;
+      options.mip_gap = 0.05;
+      options.time_limit_seconds = CophyTimeLimit();
+      Stopwatch watch;
+      const cophy::CophyResult result =
+          cophy::SolveCophy(*setup.engine, cands, budget, options);
+      const double seconds = watch.ElapsedSeconds();
+      if (!sizes_cell.empty()) {
+        sizes_cell += ", ";
+        cophy_cell += ", ";
+      }
+      sizes_cell += FormatCount(static_cast<int64_t>(cands.size()));
+      cophy_cell += FormatSeconds(seconds, result.dnf);
+    }
+
+    // H6: time a fresh run with a pre-warmed cache as well.
+    core::RecursiveOptions options;
+    options.budget = budget;
+    core::SelectRecursive(*setup.engine, options);  // warm the cache
+    Stopwatch watch;
+    const core::RecursiveResult h6 = core::SelectRecursive(*setup.engine,
+                                                           options);
+    const double h6_seconds = watch.ElapsedSeconds();
+
+    table.AddRow({FormatCount(total_queries),
+                  FormatCount(static_cast<int64_t>(all.size())),
+                  "(" + sizes_cell + ")", "(" + cophy_cell + ")",
+                  FormatSeconds(h6_seconds)});
+    (void)h6;
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected shape (paper): CoPhy's time explodes with #queries and\n"
+      "#candidates (DNF at the cutoff); H6 stays at seconds throughout.\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation — update-aware selection: as the write share of the workload
+// grows, maintenance penalties shrink the worthwhile index set. Compares a
+// maintenance-aware H6 against a variant that ignores writes (selecting on
+// a read-only view of the workload), both evaluated on the true mixed
+// workload.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/format.h"
+
+namespace idxsel::bench {
+namespace {
+
+/// Read-only view: same templates, writes re-tagged as reads — what a
+/// write-oblivious advisor would optimize.
+workload::Workload ReadOnlyView(const workload::Workload& mixed) {
+  workload::Workload view;
+  for (workload::TableId t = 0; t < mixed.num_tables(); ++t) {
+    const auto& schema = mixed.table(t);
+    view.AddTable(schema.name, schema.row_count);
+    for (workload::AttributeId a : schema.attributes) {
+      view.AddAttribute(t, mixed.attribute(a).distinct_values,
+                        mixed.attribute(a).value_size);
+    }
+  }
+  for (const workload::Query& q : mixed.queries()) {
+    auto added = view.AddQuery(q.table, q.attributes, q.frequency,
+                               workload::QueryKind::kRead);
+    (void)added;
+  }
+  view.Finalize();
+  return view;
+}
+
+void Run() {
+  std::printf(
+      "Update-cost ablation (Example 1, w=0.2): maintenance-aware H6 vs a\n"
+      "write-oblivious H6, evaluated on the mixed workload.\n\n");
+  TablePrinter table({"write share", "rel. cost (aware)",
+                      "rel. cost (oblivious)", "indexes aware/oblivious"});
+
+  for (double share : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    workload::ScalableWorkloadParams params;  // T=10, N_t=50
+    params.queries_per_table = 50;
+    params.write_share = share;
+    ModelSetup mixed(workload::GenerateScalableWorkload(params));
+    const double budget = mixed.model->Budget(0.2);
+    const double base =
+        mixed.engine->WorkloadCost(costmodel::IndexConfig{});
+
+    core::RecursiveOptions options;
+    options.budget = budget;
+    const core::RecursiveResult aware =
+        core::SelectRecursive(*mixed.engine, options);
+
+    ModelSetup read_only(ReadOnlyView(mixed.w));
+    const core::RecursiveResult oblivious =
+        core::SelectRecursive(*read_only.engine, options);
+    const double oblivious_cost =
+        mixed.engine->WorkloadCost(oblivious.selection);
+
+    table.AddRow({FormatDouble(share, 2),
+                  FormatDouble(aware.objective / base, 4),
+                  FormatDouble(oblivious_cost / base, 4),
+                  std::to_string(aware.selection.size()) + " / " +
+                      std::to_string(oblivious.selection.size())});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: with more writes, the aware selector builds fewer indexes\n"
+      "and avoids write-hot attributes; the oblivious one keeps paying\n"
+      "maintenance it never modelled.\n");
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::Run();
+  return 0;
+}

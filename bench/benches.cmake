@@ -1,0 +1,34 @@
+# Benchmark harnesses — one binary per paper table/figure plus ablations.
+# Included from the top-level CMakeLists so binaries land in build/bench/
+# with nothing else next to them.
+
+function(idxsel_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE
+    idxsel_common idxsel_workload idxsel_costmodel idxsel_candidates
+    idxsel_lp idxsel_mip idxsel_cophy idxsel_selection idxsel_core
+    idxsel_engine idxsel_frontier idxsel_advisor idxsel_analysis)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
+endfunction()
+
+function(idxsel_gbench name)
+  idxsel_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+idxsel_bench(bench_table1)
+idxsel_bench(bench_fig2)
+idxsel_bench(bench_fig3)
+idxsel_bench(bench_fig4)
+idxsel_bench(bench_fig5)
+idxsel_bench(bench_fig6)
+idxsel_bench(bench_whatif_calls)
+idxsel_bench(bench_extensions)
+idxsel_bench(bench_reconfiguration)
+idxsel_bench(bench_compression)
+idxsel_bench(bench_updates)
+idxsel_bench(bench_shuffle)
+idxsel_bench(bench_robustness)
+idxsel_gbench(bench_engine_micro)
+idxsel_gbench(bench_solver_micro)

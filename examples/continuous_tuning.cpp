@@ -1,0 +1,105 @@
+// Continuous-tuning scenario (the paper's Section VII outlook): tune for
+// today's workload, let the workload drift, then re-tune *with
+// reconfiguration costs* so only worthwhile changes are made — and print
+// the migration DDL.
+//
+//   $ ./build/examples/continuous_tuning [create_factor]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/format.h"
+#include "core/recursive_selector.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/ddl.h"
+#include "costmodel/reconfiguration.h"
+#include "workload/blend.h"
+#include "workload/scalable_generator.h"
+
+using namespace idxsel;  // NOLINT: example brevity
+
+namespace {
+
+/// Scenario B: same schema, popularity reversed (hot templates go cold).
+workload::Workload ReversePopularity(const workload::Workload& a) {
+  workload::Workload b;
+  for (workload::TableId t = 0; t < a.num_tables(); ++t) {
+    b.AddTable(a.table(t).name, a.table(t).row_count);
+    for (workload::AttributeId i : a.table(t).attributes) {
+      b.AddAttribute(t, a.attribute(i).distinct_values,
+                     a.attribute(i).value_size);
+    }
+  }
+  for (workload::QueryId j = 0; j < a.num_queries(); ++j) {
+    const workload::Query& q = a.query(j);
+    const double freq = a.query(a.num_queries() - 1 - j).frequency;
+    (void)*b.AddQuery(q.table, q.attributes, freq, q.kind);
+  }
+  b.Finalize();
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double create_factor = argc > 1 ? std::atof(argv[1]) : 500.0;
+
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 4;
+  params.attributes_per_table = 12;
+  params.queries_per_table = 25;
+  const workload::Workload today = workload::GenerateScalableWorkload(params);
+  const workload::Workload tomorrow = ReversePopularity(today);
+  // The observed drift: half-way between the two mixes.
+  const workload::Workload drifted =
+      workload::BlendWorkloads(today, tomorrow, 0.5);
+
+  // Day 1: tune for today's workload.
+  const costmodel::CostModel model_today(&today);
+  costmodel::ModelBackend backend_today(&model_today);
+  costmodel::WhatIfEngine engine_today(&today, &backend_today);
+  core::RecursiveOptions day1;
+  day1.budget = model_today.Budget(0.15);
+  const core::RecursiveResult tuned =
+      core::SelectRecursive(engine_today, day1);
+  std::printf("day 1: %zu indexes, cost %.1f%% of unindexed\n",
+              tuned.selection.size(),
+              100.0 * tuned.objective /
+                  engine_today.WorkloadCost(costmodel::IndexConfig{}));
+
+  // Day 30: the workload drifted; re-tune with reconfiguration costs.
+  const costmodel::CostModel model_drift(&drifted);
+  costmodel::ModelBackend backend_drift(&model_drift);
+  costmodel::WhatIfEngine engine_drift(&drifted, &backend_drift);
+  const double base = engine_drift.WorkloadCost(costmodel::IndexConfig{});
+  std::printf("day 30 (drifted): existing selection now at %.1f%% of "
+              "unindexed\n",
+              100.0 * engine_drift.WorkloadCost(tuned.selection) / base);
+
+  costmodel::ReconfigurationParams rparams;
+  rparams.create_factor = create_factor;
+  const costmodel::ReconfigurationModel reconfig(&engine_drift, rparams);
+  core::RecursiveOptions day30;
+  day30.budget = model_drift.Budget(0.15);
+  day30.existing = &tuned.selection;
+  day30.reconfiguration = &reconfig;
+  const core::RecursiveResult retuned =
+      core::SelectRecursive(engine_drift, day30);
+
+  size_t kept = 0;
+  for (const costmodel::Index& k : retuned.selection.indexes()) {
+    kept += tuned.selection.Contains(k);
+  }
+  std::printf(
+      "re-tuned with create-factor %.0f: %zu indexes (%zu kept), cost "
+      "%.1f%% of unindexed, rebuild traffic %s\n\n",
+      create_factor, retuned.selection.size(), kept,
+      100.0 * engine_drift.WorkloadCost(retuned.selection) / base,
+      FormatBytes(reconfig.Cost(retuned.selection, tuned.selection)).c_str());
+
+  std::printf("migration script:\n%s",
+              costmodel::RenderMigration(drifted, tuned.selection,
+                                         retuned.selection)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+
+#include "candidates/candidates.h"
+#include "common/format.h"
+#include "common/stopwatch.h"
+#include "cophy/cophy.h"
+#include "costmodel/ddl.h"
+#include "selection/heuristics.h"
+
+namespace idxsel::advisor {
+namespace {
+
+bool NeedsCandidates(StrategyKind kind) {
+  return kind != StrategyKind::kRecursive;
+}
+
+}  // namespace
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRecursive:
+      return "H6 (Algorithm 1)";
+    case StrategyKind::kH1:
+      return "H1 (frequency)";
+    case StrategyKind::kH2:
+      return "H2 (selectivity)";
+    case StrategyKind::kH3:
+      return "H3 (selectivity/frequency)";
+    case StrategyKind::kH4:
+      return "H4 (benefit greedy)";
+    case StrategyKind::kH4Skyline:
+      return "H4 + skyline";
+    case StrategyKind::kH5:
+      return "H5 (benefit per byte)";
+    case StrategyKind::kCophy:
+      return "CoPhy (solver)";
+  }
+  return "unknown";
+}
+
+Result<Recommendation> Recommend(WhatIfEngine& engine,
+                                 const AdvisorOptions& options) {
+  if (options.budget_bytes < 0.0 || options.budget_fraction < 0.0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  Recommendation rec;
+  rec.strategy = options.strategy;
+
+  // Resolve the budget.
+  if (options.budget_bytes > 0.0) {
+    rec.budget = options.budget_bytes;
+  } else {
+    double total_single = 0.0;
+    for (workload::AttributeId i = 0;
+         i < engine.workload().num_attributes(); ++i) {
+      total_single += engine.IndexMemory(Index(i));
+    }
+    rec.budget = options.budget_fraction * total_single;
+  }
+
+  rec.cost_before = engine.WorkloadCost(IndexConfig{});
+  const uint64_t calls_before = engine.stats().calls;
+  Stopwatch watch;
+
+  candidates::CandidateSet candidate_set;
+  if (NeedsCandidates(options.strategy)) {
+    if (options.candidate_limit == 0) {
+      candidate_set = candidates::EnumerateAllCandidates(
+          engine.workload(), options.candidate_max_width);
+    } else {
+      candidate_set = candidates::GenerateCandidates(
+          engine.workload(), candidates::CandidateHeuristic::kH1M,
+          options.candidate_limit, options.candidate_max_width);
+    }
+  }
+
+  switch (options.strategy) {
+    case StrategyKind::kRecursive: {
+      core::RecursiveOptions recursive = options.recursive;
+      recursive.budget = rec.budget;
+      core::RecursiveResult result = core::SelectRecursive(engine, recursive);
+      rec.selection = std::move(result.selection);
+      rec.trace = std::move(result.trace);
+      break;
+    }
+    case StrategyKind::kH1:
+    case StrategyKind::kH2:
+    case StrategyKind::kH3: {
+      const selection::RuleHeuristic rule =
+          options.strategy == StrategyKind::kH1
+              ? selection::RuleHeuristic::kH1
+              : (options.strategy == StrategyKind::kH2
+                     ? selection::RuleHeuristic::kH2
+                     : selection::RuleHeuristic::kH3);
+      rec.selection =
+          selection::SelectRuleBased(engine, candidate_set, rec.budget, rule)
+              .selection;
+      break;
+    }
+    case StrategyKind::kH4:
+    case StrategyKind::kH4Skyline: {
+      rec.selection =
+          selection::SelectByBenefit(engine, candidate_set, rec.budget,
+                                     options.strategy ==
+                                         StrategyKind::kH4Skyline)
+              .selection;
+      break;
+    }
+    case StrategyKind::kH5: {
+      rec.selection = selection::SelectByBenefitPerSize(engine, candidate_set,
+                                                        rec.budget)
+                          .selection;
+      break;
+    }
+    case StrategyKind::kCophy: {
+      cophy::CophyResult result = cophy::SolveCophy(
+          engine, candidate_set, rec.budget, options.solver);
+      if (!result.status.ok() &&
+          result.status.code() != StatusCode::kTimeout) {
+        return result.status;
+      }
+      rec.selection = std::move(result.selection);
+      rec.dnf = result.dnf;
+      break;
+    }
+  }
+
+  rec.runtime_seconds = watch.ElapsedSeconds();
+  rec.whatif_calls = engine.stats().calls - calls_before;
+  rec.memory = engine.ConfigMemory(rec.selection);
+  rec.cost_after = engine.WorkloadCost(rec.selection);
+  return rec;
+}
+
+std::string RenderReport(WhatIfEngine& engine, const Recommendation& rec,
+                         const std::vector<std::string>* attribute_names) {
+  const workload::Workload& w = engine.workload();
+  auto index_label = [&](const Index& k) {
+    std::string out = "(";
+    for (size_t u = 0; u < k.width(); ++u) {
+      if (u != 0) out += ", ";
+      out += attribute_names != nullptr
+                 ? (*attribute_names)[k.attribute(u)]
+                 : std::to_string(k.attribute(u));
+    }
+    return out + ")";
+  };
+
+  std::string out;
+  out += "=== Index recommendation — " +
+         std::string(StrategyName(rec.strategy)) + " ===\n";
+  out += "budget:        " + FormatBytes(rec.budget) + "\n";
+  out += "memory used:   " + FormatBytes(rec.memory) + " (" +
+         FormatDouble(rec.budget > 0 ? 100.0 * rec.memory / rec.budget : 0.0,
+                      1) +
+         "% of budget)\n";
+  out += "workload cost: " + FormatDouble(rec.cost_before, 0) + " -> " +
+         FormatDouble(rec.cost_after, 0) + " (" +
+         FormatDouble(rec.cost_before > 0
+                          ? 100.0 * rec.cost_after / rec.cost_before
+                          : 0.0,
+                      2) +
+         "% of unindexed)\n";
+  out += "runtime:       " + FormatSeconds(rec.runtime_seconds) +
+         (rec.dnf ? " (DNF: time limit, incumbent reported)" : "") + "\n";
+  out += "what-if calls: " + FormatCount(static_cast<int64_t>(
+                                 rec.whatif_calls)) +
+         "\n\n";
+
+  // Count, per index, the queries it serves best.
+  std::vector<size_t> served(rec.selection.size(), 0);
+  const auto& indexes = rec.selection.indexes();
+  for (workload::QueryId j = 0; j < w.num_queries(); ++j) {
+    double best = engine.BaseCost(j);
+    size_t owner = indexes.size();
+    for (size_t p = 0; p < indexes.size(); ++p) {
+      if (!engine.Applicable(j, indexes[p])) continue;
+      const double cost = engine.CostWithIndex(j, indexes[p]);
+      if (cost < best) {
+        best = cost;
+        owner = p;
+      }
+    }
+    if (owner < indexes.size()) ++served[owner];
+  }
+
+  out += "recommended indexes (" + std::to_string(indexes.size()) + "):\n";
+  for (size_t p = 0; p < indexes.size(); ++p) {
+    out += "  " + index_label(indexes[p]) + "  " +
+           FormatBytes(engine.IndexMemory(indexes[p])) + ", best plan for " +
+           std::to_string(served[p]) + " queries\n";
+  }
+  if (!indexes.empty()) {
+    out += "\nDDL:\n";
+    out += costmodel::RenderCreateStatements(w, rec.selection,
+                                             attribute_names);
+  }
+  return out;
+}
+
+}  // namespace idxsel::advisor

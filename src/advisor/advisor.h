@@ -1,0 +1,85 @@
+// One-stop index-advisor facade.
+//
+// Wraps workload -> (candidates) -> strategy -> recommendation behind a
+// single call, for users who want "give me indexes for this budget" rather
+// than the individual research components. Every strategy of the paper is
+// selectable; H6 (Algorithm 1) is the default and needs no candidate set.
+
+#ifndef IDXSEL_ADVISOR_ADVISOR_H_
+#define IDXSEL_ADVISOR_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/recursive_selector.h"
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+#include "mip/branch_and_bound.h"
+
+namespace idxsel::advisor {
+
+using costmodel::Index;
+using costmodel::IndexConfig;
+using costmodel::WhatIfEngine;
+
+/// Selection strategy to run (Definition 1 + CoPhy).
+enum class StrategyKind {
+  kRecursive,   ///< H6, Algorithm 1 (default; no candidate set needed).
+  kH1,          ///< frequency rule
+  kH2,          ///< selectivity rule
+  kH3,          ///< selectivity/frequency rule
+  kH4,          ///< greedy by benefit
+  kH4Skyline,   ///< greedy by benefit on skyline-filtered candidates
+  kH5,          ///< greedy by benefit per byte
+  kCophy,       ///< solver-based optimum over the candidate set
+};
+
+/// Human-readable strategy name ("H6 (Algorithm 1)", "CoPhy", ...).
+const char* StrategyName(StrategyKind kind);
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  /// Budget as a share w of total single-attribute index memory (eq. 10);
+  /// ignored when budget_bytes > 0.
+  double budget_fraction = 0.2;
+  double budget_bytes = 0.0;  ///< Explicit budget in bytes (0 = use w).
+  StrategyKind strategy = StrategyKind::kRecursive;
+  /// Candidate-set cap for candidate-based strategies (H1-H5, CoPhy);
+  /// 0 = exhaustive enumeration (IC_max).
+  size_t candidate_limit = 0;
+  uint32_t candidate_max_width = 4;
+  mip::SolveOptions solver;             ///< CoPhy solver knobs.
+  core::RecursiveOptions recursive;     ///< H6 extensions (budget is set
+                                        ///< by the advisor).
+};
+
+/// What the advisor recommends, with enough context to act on it.
+struct Recommendation {
+  StrategyKind strategy = StrategyKind::kRecursive;
+  IndexConfig selection;
+  double budget = 0.0;
+  double memory = 0.0;
+  double cost_before = 0.0;  ///< F(empty).
+  double cost_after = 0.0;   ///< F(selection), incl. maintenance.
+  double runtime_seconds = 0.0;
+  uint64_t whatif_calls = 0;
+  bool dnf = false;  ///< CoPhy hit its time limit (incumbent returned).
+  /// H6 only: the committed construction steps.
+  std::vector<core::ConstructionStep> trace;
+};
+
+/// Runs the configured strategy against `engine`'s workload.
+Result<Recommendation> Recommend(WhatIfEngine& engine,
+                                 const AdvisorOptions& options);
+
+/// Renders a human-readable report: summary block plus one line per
+/// recommended index (attributes, memory, #queries it serves best).
+/// `attribute_names` is optional ("TABLE.ATTR" labels; ids otherwise).
+std::string RenderReport(WhatIfEngine& engine, const Recommendation& rec,
+                         const std::vector<std::string>* attribute_names =
+                             nullptr);
+
+}  // namespace idxsel::advisor
+
+#endif  // IDXSEL_ADVISOR_ADVISOR_H_

@@ -1,0 +1,79 @@
+#include "analysis/interaction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.h"
+
+namespace idxsel::analysis {
+namespace {
+
+double Benefit(WhatIfEngine& engine, const IndexConfig& config,
+               double base) {
+  return base - engine.WorkloadCost(config);
+}
+
+InteractionEntry Analyze(WhatIfEngine& engine, const Index& a, const Index& b,
+                         double base) {
+  InteractionEntry entry;
+  entry.a = a;
+  entry.b = b;
+  IndexConfig only_a;
+  only_a.Insert(a);
+  IndexConfig only_b;
+  only_b.Insert(b);
+  IndexConfig both;
+  both.Insert(a);
+  both.Insert(b);
+  entry.benefit_a = Benefit(engine, only_a, base);
+  entry.benefit_b = Benefit(engine, only_b, base);
+  entry.benefit_both = Benefit(engine, both, base);
+  const double deviation =
+      std::abs(entry.benefit_both - entry.benefit_a - entry.benefit_b);
+  entry.degree = deviation / std::max(std::abs(entry.benefit_both), 1e-12);
+  return entry;
+}
+
+}  // namespace
+
+double DegreeOfInteraction(WhatIfEngine& engine, const Index& a,
+                           const Index& b) {
+  const double base = engine.WorkloadCost(IndexConfig{});
+  return Analyze(engine, a, b, base).degree;
+}
+
+std::vector<InteractionEntry> AnalyzeInteractions(
+    WhatIfEngine& engine, const std::vector<Index>& indexes) {
+  const double base = engine.WorkloadCost(IndexConfig{});
+  std::vector<InteractionEntry> entries;
+  entries.reserve(indexes.size() * (indexes.size() - 1) / 2);
+  for (size_t x = 0; x < indexes.size(); ++x) {
+    for (size_t y = x + 1; y < indexes.size(); ++y) {
+      entries.push_back(Analyze(engine, indexes[x], indexes[y], base));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const InteractionEntry& p, const InteractionEntry& q) {
+              if (p.degree != q.degree) return p.degree > q.degree;
+              if (!(p.a == q.a)) return p.a < q.a;
+              return p.b < q.b;
+            });
+  return entries;
+}
+
+std::string RenderInteractions(const std::vector<InteractionEntry>& entries,
+                               size_t top) {
+  TablePrinter table(
+      {"index a", "index b", "benefit a", "benefit b", "both", "doi"});
+  for (size_t e = 0; e < std::min(top, entries.size()); ++e) {
+    const InteractionEntry& entry = entries[e];
+    table.AddRow({entry.a.ToString(), entry.b.ToString(),
+                  FormatDouble(entry.benefit_a, 0),
+                  FormatDouble(entry.benefit_b, 0),
+                  FormatDouble(entry.benefit_both, 0),
+                  FormatDouble(entry.degree, 3)});
+  }
+  return table.ToString();
+}
+
+}  // namespace idxsel::analysis

@@ -1,0 +1,54 @@
+// Index-interaction analysis, after Schnaitter et al. [12]: "an index a
+// interacts with an index b if the benefit of a is affected by the presence
+// of b and vice-versa".
+//
+// For a pair (a, b), with benefit(S) = F(empty) - F(S):
+//   doi(a, b) = |benefit({a,b}) - benefit({a}) - benefit({b})|
+//               / max(benefit({a,b}), epsilon)
+// i.e. the normalized deviation from benefit additivity — 0 for independent
+// indexes, towards 1 for strongly cannibalizing (or synergistic) pairs.
+// This is the quantity whose neglect the paper blames for the weakness of
+// the rule-based heuristics (Section IV-A).
+
+#ifndef IDXSEL_ANALYSIS_INTERACTION_H_
+#define IDXSEL_ANALYSIS_INTERACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+
+namespace idxsel::analysis {
+
+using costmodel::Index;
+using costmodel::IndexConfig;
+using costmodel::WhatIfEngine;
+
+/// One interacting pair.
+struct InteractionEntry {
+  Index a;
+  Index b;
+  double benefit_a = 0.0;      ///< benefit({a}).
+  double benefit_b = 0.0;      ///< benefit({b}).
+  double benefit_both = 0.0;   ///< benefit({a, b}).
+  double degree = 0.0;         ///< doi(a, b), see header comment.
+};
+
+/// Degree of interaction of one pair (one-index-per-query evaluation).
+double DegreeOfInteraction(WhatIfEngine& engine, const Index& a,
+                           const Index& b);
+
+/// Computes all pairwise interactions within `indexes` and returns them
+/// sorted by descending degree. O(|indexes|^2) workload evaluations —
+/// intended for selections (tens of indexes), not candidate sets.
+std::vector<InteractionEntry> AnalyzeInteractions(
+    WhatIfEngine& engine, const std::vector<Index>& indexes);
+
+/// Renders the strongest `top` interactions as an aligned table.
+std::string RenderInteractions(const std::vector<InteractionEntry>& entries,
+                               size_t top = 10);
+
+}  // namespace idxsel::analysis
+
+#endif  // IDXSEL_ANALYSIS_INTERACTION_H_

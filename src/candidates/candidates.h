@@ -1,0 +1,98 @@
+// Index-candidate generation (the "first step" of traditional two-step
+// selection approaches, Sections II-D and III).
+//
+// Provides:
+//   * IC_max — the exhaustive candidate set: for every query, every
+//     non-empty attribute subset up to `max_width` attributes, one
+//     representative permutation per subset (attributes ordered by
+//     ascending selectivity, the "presumably best representative" the paper
+//     uses when substituting permutations), deduplicated workload-wide.
+//   * H1-M / H2-M / H3-M — the scalable candidate heuristics of Example 1
+//     (iv): for each width m = 1..4 pick the h = M/4 co-occurring attribute
+//     combinations with (H1-M) the highest frequency-weighted occurrence,
+//     (H2-M) the smallest combined selectivity, (H3-M) the best ratio of
+//     combined selectivity to occurrence.
+//   * Skyline filtering — Kimura-style removal of candidates that are
+//     dominated (in per-query cost and size) for every query, cf. (H4).
+//   * Per-query applicability sets I_j and their average size I-bar_q.
+
+#ifndef IDXSEL_CANDIDATES_CANDIDATES_H_
+#define IDXSEL_CANDIDATES_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+#include "workload/workload.h"
+
+namespace idxsel::candidates {
+
+using costmodel::Index;
+using costmodel::WhatIfEngine;
+using workload::AttributeId;
+using workload::QueryId;
+using workload::Workload;
+
+/// A deduplicated, deterministic-order list of candidate indexes.
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+  explicit CandidateSet(std::vector<Index> indexes);
+
+  /// Adds a candidate; returns false if it was already present.
+  bool Add(const Index& k);
+
+  bool Contains(const Index& k) const;
+
+  /// Union with another set (used to *complement* candidate sets with
+  /// H6-discovered indexes, Section III-B).
+  void Merge(const CandidateSet& other);
+
+  size_t size() const { return indexes_.size(); }
+  bool empty() const { return indexes_.empty(); }
+  const std::vector<Index>& indexes() const { return indexes_; }
+  const Index& operator[](size_t i) const { return indexes_[i]; }
+
+ private:
+  std::vector<Index> indexes_;
+  std::unordered_map<Index, size_t, costmodel::IndexHash> position_;
+};
+
+/// Which candidate heuristic defines a scalable set (Example 1 (iv)).
+enum class CandidateHeuristic {
+  kH1M,  ///< most frequent attribute combinations
+  kH2M,  ///< smallest combined selectivity
+  kH3M,  ///< best selectivity / occurrence ratio
+};
+
+/// IC_max: the exhaustive candidate set (see file comment). `max_width`
+/// defaults to 4, matching the m = 1..4 cap of the paper's candidate
+/// heuristics.
+CandidateSet EnumerateAllCandidates(const Workload& workload,
+                                    uint32_t max_width = 4);
+
+/// Scalable candidate set of (at most) `total` candidates using the given
+/// heuristic: h = total/4 combinations for each width m = 1..max_width.
+/// Combinations are drawn from those actually co-occurring in queries.
+CandidateSet GenerateCandidates(const Workload& workload,
+                                CandidateHeuristic heuristic, size_t total,
+                                uint32_t max_width = 4);
+
+/// Skyline filter (cf. H4 / Kimura et al.): keeps a candidate iff it lies on
+/// the (cost, memory) skyline of at least one query it is applicable to.
+CandidateSet SkylineFilter(const CandidateSet& candidates,
+                           WhatIfEngine& engine);
+
+/// Per-query applicability sets I_j (candidate positions into
+/// `candidates.indexes()`): k is applicable to q_j iff l(k) is in q_j.
+std::vector<std::vector<uint32_t>> ComputeApplicability(
+    const Workload& workload, const CandidateSet& candidates);
+
+/// I-bar_q: average |I_j| over all queries.
+double MeanApplicableCandidates(
+    const std::vector<std::vector<uint32_t>>& applicability);
+
+}  // namespace idxsel::candidates
+
+#endif  // IDXSEL_CANDIDATES_CANDIDATES_H_

@@ -1,0 +1,48 @@
+// Invariant-checking macros.
+//
+// CHECK-style macros are used for programmer errors (broken invariants,
+// out-of-contract calls). Recoverable conditions use Status/Result instead
+// (see status.h). Following the RocksDB/Arrow convention, CHECK failures
+// abort with a diagnostic; they are enabled in all build types because the
+// checked conditions are never on data-plane hot paths.
+
+#ifndef IDXSEL_COMMON_CHECK_H_
+#define IDXSEL_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace idxsel::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace idxsel::internal
+
+#define IDXSEL_CHECK(expr)                                         \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      ::idxsel::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                              \
+  } while (0)
+
+#define IDXSEL_CHECK_OP(a, op, b) IDXSEL_CHECK((a)op(b))
+#define IDXSEL_CHECK_EQ(a, b) IDXSEL_CHECK_OP(a, ==, b)
+#define IDXSEL_CHECK_NE(a, b) IDXSEL_CHECK_OP(a, !=, b)
+#define IDXSEL_CHECK_LT(a, b) IDXSEL_CHECK_OP(a, <, b)
+#define IDXSEL_CHECK_LE(a, b) IDXSEL_CHECK_OP(a, <=, b)
+#define IDXSEL_CHECK_GT(a, b) IDXSEL_CHECK_OP(a, >, b)
+#define IDXSEL_CHECK_GE(a, b) IDXSEL_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define IDXSEL_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define IDXSEL_DCHECK(expr) IDXSEL_CHECK(expr)
+#endif
+
+#endif  // IDXSEL_COMMON_CHECK_H_

@@ -1,0 +1,55 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace idxsel {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string RenderRow(const std::vector<std::string>& row) {
+  std::string line;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) line += ',';
+    line += EscapeField(row[i]);
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  IDXSEL_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out = RenderRow(header_);
+  for (const auto& row : rows_) out += RenderRow(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::Internal("cannot open " + path);
+  file << ToString();
+  if (!file.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace idxsel

@@ -1,0 +1,35 @@
+// Minimal CSV writer so every bench can dump machine-readable series next to
+// the human-readable tables (for replotting the paper's figures).
+
+#ifndef IDXSEL_COMMON_CSV_H_
+#define IDXSEL_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idxsel {
+
+/// Buffers rows and writes an RFC-4180-ish CSV file.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; arity must match the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full CSV document (header + rows).
+  std::string ToString() const;
+
+  /// Writes the document to `path`. Fails with kInternal on I/O error.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_CSV_H_

@@ -1,0 +1,53 @@
+// Console table formatting used by the benchmark harnesses to print
+// paper-style result tables and series.
+
+#ifndef IDXSEL_COMMON_FORMAT_H_
+#define IDXSEL_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idxsel {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+///
+/// Example:
+///   TablePrinter t({"# Queries", "Runtime CoPhy", "Runtime (H6)"});
+///   t.AddRow({"500", "0.35 s", "0.276 s"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator and column alignment.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros
+/// ("1.25", "0.3", "12").
+std::string FormatDouble(double v, int digits = 3);
+
+/// Formats seconds compactly: "312 ms", "4.12 s", "2.3 min", or "DNF" when
+/// `dnf` is set (mirrors Table I's did-not-finish marker).
+std::string FormatSeconds(double seconds, bool dnf = false);
+
+/// Formats byte counts: "512 B", "1.5 KiB", "3.2 MiB", "4.0 GiB".
+std::string FormatBytes(double bytes);
+
+/// Formats an integer with thousands separators: 97550 -> "97 550" (paper
+/// style).
+std::string FormatCount(int64_t v);
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_FORMAT_H_

@@ -1,0 +1,60 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace idxsel {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  IDXSEL_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+int64_t Rng::RoundUniform(double lo, double hi) {
+  return static_cast<int64_t>(std::llround(Uniform(lo, hi)));
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  IDXSEL_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny vs 2^64, bias < 2^-50.
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace idxsel

@@ -1,0 +1,117 @@
+// Lightweight Status / Result<T> error handling.
+//
+// Recoverable errors (bad configuration, infeasible problems, timeouts) are
+// reported through Status rather than exceptions, following the RocksDB
+// idiom. Result<T> couples a Status with a value for functions that either
+// produce a T or fail.
+
+#ifndef IDXSEL_COMMON_STATUS_H_
+#define IDXSEL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace idxsel {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kInfeasible,      ///< optimization problem has no feasible point
+  kTimeout,         ///< solver hit its wall-clock deadline ("DNF")
+  kResourceLimit,   ///< node/iteration limit exhausted
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "Timeout", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation, cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status ResourceLimit(std::string msg) {
+    return Status(StatusCode::kResourceLimit, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (mirrors absl::StatusOr ergonomics).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    IDXSEL_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    IDXSEL_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    IDXSEL_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    IDXSEL_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by solvers (deadlines) and benches (timings).
+
+#ifndef IDXSEL_COMMON_STOPWATCH_H_
+#define IDXSEL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace idxsel {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_STOPWATCH_H_

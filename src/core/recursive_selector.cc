@@ -1,0 +1,671 @@
+#include "core/recursive_selector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace idxsel::core {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// A candidate elementary move under evaluation.
+struct Move {
+  StepKind kind = StepKind::kNewSingle;
+  size_t selected_pos = 0;  ///< For appends: position in the selection.
+  Index after;              ///< Resulting index.
+  double benefit = 0.0;     ///< (F+R) reduction; > 0 for eligible moves.
+  double memory_delta = 0.0;
+  double ratio = -std::numeric_limits<double>::infinity();
+  bool valid = false;
+};
+
+class Runner {
+ public:
+  Runner(WhatIfEngine& engine, const RecursiveOptions& opts)
+      : engine_(engine), w_(engine.workload()), opts_(opts) {}
+
+  RecursiveResult Run() {
+    Stopwatch watch;
+    const uint64_t calls_before = engine_.stats().calls;
+
+    best_cost_.resize(w_.num_queries());
+    second_cost_.assign(w_.num_queries(),
+                        std::numeric_limits<double>::infinity());
+    best_owner_.assign(w_.num_queries(), kNoOwner);
+    single_costs_.resize(w_.num_attributes());
+    single_costs_ready_.assign(w_.num_attributes(), 0);
+    objective_ = 0.0;
+    for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+      best_cost_[j] = engine_.BaseCost(j);
+      objective_ += w_.query(j).frequency * best_cost_[j];
+    }
+
+    RankSingles();
+
+    RecursiveResult result;
+    while (result.trace.size() < opts_.max_steps) {
+      Move best;
+      Move runner_up;
+      if (opts_.multi_index_eval) {
+        EvaluateNewSinglesMulti(&best, &runner_up);
+        EvaluateAppendsMulti(&best, &runner_up);
+      } else {
+        EvaluateNewSingles(&best, &runner_up);
+        EvaluateAppends(&best, &runner_up);
+        if (opts_.pair_steps) EvaluatePairs(&best, &runner_up);
+      }
+      if (!best.valid || best.ratio <= opts_.min_ratio) break;
+
+      const double objective_before = objective_ + ReconfigTotal();
+      if (opts_.multi_index_eval) {
+        CommitMulti(best);
+      } else {
+        Commit(best);
+      }
+      const double objective_after = objective_ + ReconfigTotal();
+
+      ConstructionStep step;
+      step.kind = best.kind;
+      if (best.kind == StepKind::kAppend ||
+          best.kind == StepKind::kAppendPair) {
+        step.before = replaced_;
+      }
+      step.after = best.after;
+      step.objective_before = objective_before;
+      step.objective_after = objective_after;
+      step.memory_delta = best.memory_delta;
+      step.ratio = best.ratio;
+      result.trace.push_back(step);
+      if (runner_up.valid) {
+        ConstructionStep alt;
+        alt.kind = runner_up.kind;
+        alt.after = runner_up.after;
+        alt.memory_delta = runner_up.memory_delta;
+        alt.ratio = runner_up.ratio;
+        result.runners_up.push_back(alt);
+      }
+      if (opts_.prune_unused) PruneUnused(&result);
+      result.frontier.emplace_back(used_memory_, objective_);
+    }
+
+    // The repair pass relies on the one-index bookkeeping.
+    if (opts_.swap_repair && !opts_.multi_index_eval) SwapRepair(&result);
+
+    for (const Index& k : selected_) result.selection.Insert(k);
+    result.objective = objective_;
+    result.memory = used_memory_;
+    result.runtime_seconds = watch.ElapsedSeconds();
+    result.whatif_calls = engine_.stats().calls - calls_before;
+    return result;
+  }
+
+ private:
+  // -- Reconfiguration accounting -------------------------------------------
+
+  bool InExisting(const Index& k) const {
+    return opts_.existing != nullptr && opts_.existing->Contains(k);
+  }
+
+  /// R-delta of adding `added` (and removing `removed` if non-empty).
+  double ReconfigDelta(const Index* removed, const Index& added) const {
+    if (opts_.reconfiguration == nullptr) return 0.0;
+    double delta = 0.0;
+    if (!InExisting(added)) delta += opts_.reconfiguration->CreateCost(added);
+    if (removed != nullptr) {
+      if (!InExisting(*removed)) {
+        delta -= opts_.reconfiguration->CreateCost(*removed);
+      }
+      // A replaced index that pre-exists must now be dropped; it enters
+      // I-bar \ I. (Dropping costs are part of ReconfigurationParams.)
+    }
+    return delta;
+  }
+
+  /// Current total R(I, I-bar) (0 when no model configured).
+  double ReconfigTotal() const {
+    if (opts_.reconfiguration == nullptr) return 0.0;
+    costmodel::IndexConfig current;
+    for (const Index& k : selected_) current.Insert(k);
+    static const costmodel::IndexConfig kEmpty;
+    return opts_.reconfiguration->Cost(
+        current, opts_.existing != nullptr ? *opts_.existing : kEmpty);
+  }
+
+  // -- Move evaluation -------------------------------------------------------
+
+  static constexpr size_t kNoOwner = ~size_t{0};
+
+  /// min(f_j(0), min over selected indexes except `skip_pos`) in O(1) via
+  /// the incrementally maintained best/second-best bookkeeping.
+  double CostWithout(workload::QueryId j, size_t skip_pos) const {
+    return best_owner_[j] == skip_pos ? second_cost_[j] : best_cost_[j];
+  }
+
+  /// Registers cost `c` of selected position `pos` for query j in the
+  /// best/second-best bookkeeping.
+  void InsertCost(workload::QueryId j, size_t pos, double c) {
+    if (c < best_cost_[j]) {
+      second_cost_[j] = best_cost_[j];
+      objective_ -= w_.query(j).frequency * (best_cost_[j] - c);
+      best_cost_[j] = c;
+      best_owner_[j] = pos;
+    } else if (c < second_cost_[j]) {
+      second_cost_[j] = c;
+    }
+  }
+
+  /// Recomputes best/second-best/owner for query j from scratch (base cost
+  /// plus every applicable selected index); O(|selection|) engine cache
+  /// hits. Used for queries affected by a replacement.
+  void RecomputeQuery(workload::QueryId j) {
+    const double old_best = best_cost_[j];
+    double b1 = engine_.BaseCost(j);
+    double b2 = std::numeric_limits<double>::infinity();
+    size_t owner = kNoOwner;
+    for (size_t p = 0; p < selected_.size(); ++p) {
+      if (!engine_.Applicable(j, selected_[p])) continue;
+      const double c = engine_.CostWithIndex(j, selected_[p]);
+      if (c < b1) {
+        b2 = b1;
+        b1 = c;
+        owner = p;
+      } else if (c < b2) {
+        b2 = c;
+      }
+    }
+    best_cost_[j] = b1;
+    second_cost_[j] = b2;
+    best_owner_[j] = owner;
+    objective_ += w_.query(j).frequency * (b1 - old_best);
+  }
+
+  /// Cached per-attribute (query, f_j({i})) lists; the engine is consulted
+  /// once per pair, every later step reads the flat array.
+  const std::vector<std::pair<workload::QueryId, double>>& SingleCosts(
+      workload::AttributeId i) {
+    if (!single_costs_ready_[i]) {
+      single_costs_ready_[i] = 1;
+      auto& list = single_costs_[i];
+      const Index k(i);
+      list.reserve(w_.queries_with(i).size());
+      for (workload::QueryId j : w_.queries_with(i)) {
+        list.emplace_back(j, engine_.CostWithIndex(j, k));
+      }
+    }
+    return single_costs_[i];
+  }
+
+  bool SingleSelected(workload::AttributeId i) const {
+    for (const Index& k : selected_) {
+      if (k.width() == 1 && k.leading() == i) return true;
+    }
+    return false;
+  }
+
+  void Consider(Move move, Move* best, Move* runner_up) const {
+    if (!(move.benefit > kEps) || !(move.memory_delta > 0.0)) return;
+    if (used_memory_ + move.memory_delta > opts_.budget + kEps) return;
+    move.ratio = move.benefit / move.memory_delta;
+    move.valid = true;
+    auto better = [](const Move& a, const Move& b) {
+      if (a.ratio != b.ratio) return a.ratio > b.ratio;
+      return a.after < b.after;  // deterministic tie-break
+    };
+    if (!best->valid || better(move, *best)) {
+      if (best->valid) *runner_up = *best;
+      *best = move;
+    } else if (!runner_up->valid || better(move, *runner_up)) {
+      *runner_up = move;
+    }
+  }
+
+  /// Benefit of creating single-attribute index {i} against the current
+  /// state: sum_j b_j max(0, best_cost_j - f_j({i})).
+  double SingleBenefit(workload::AttributeId i) {
+    double benefit = 0.0;
+    for (const auto& [j, cost] : SingleCosts(i)) {
+      const double gain = best_cost_[j] - cost;
+      if (gain > 0.0) benefit += w_.query(j).frequency * gain;
+    }
+    return benefit;
+  }
+
+  /// Step 2's ranking of single-attribute indexes, reused for Remark 1(1).
+  void RankSingles() {
+    std::vector<std::pair<double, workload::AttributeId>> ranked;
+    ranked.reserve(w_.num_attributes());
+    for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
+      const double mem = engine_.IndexMemory(Index(i));
+      const double ratio = SingleBenefit(i) / std::max(1.0, mem);
+      ranked.emplace_back(-ratio, i);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    const size_t keep = std::min(opts_.n_best_singles, ranked.size());
+    eligible_singles_.clear();
+    eligible_singles_.reserve(keep);
+    for (size_t r = 0; r < keep; ++r) {
+      eligible_singles_.push_back(ranked[r].second);
+    }
+    std::sort(eligible_singles_.begin(), eligible_singles_.end());
+  }
+
+  void EvaluateNewSingles(Move* best, Move* runner_up) {
+    for (workload::AttributeId i : eligible_singles_) {
+      if (SingleSelected(i)) continue;  // step (3a): I and {i} disjoint
+      const Index k(i);
+      Move move;
+      move.kind = StepKind::kNewSingle;
+      move.after = k;
+      move.benefit = SingleBenefit(i) - ReconfigDelta(nullptr, k) -
+                     engine_.MaintenancePenalty(k);
+      move.memory_delta = engine_.IndexMemory(k);
+      Consider(move, best, runner_up);
+    }
+  }
+
+  void EvaluateAppends(Move* best, Move* runner_up) {
+    for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      const Index& k = selected_[pos];
+      if (k.width() >= opts_.max_index_width) continue;
+      const double base_mem = engine_.IndexMemory(k);
+
+      // Accumulate benefit deltas per extension attribute by iterating the
+      // queries that fully cover k — the only ones whose cost can change.
+      std::unordered_map<workload::AttributeId, double> benefit;
+      std::unordered_map<workload::AttributeId, Index> extended;
+      for (workload::QueryId j : w_.queries_with(k.leading())) {
+        const auto& q_attrs = w_.query(j).attributes;
+        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+        const double cost_without = CostWithout(j, pos);
+        for (workload::AttributeId a : q_attrs) {
+          if (k.Contains(a)) continue;
+          auto [it, inserted] = extended.try_emplace(a);
+          if (inserted) it->second = k.Append(a);
+          const double new_cost = std::min(
+              cost_without, engine_.CostWithIndex(j, it->second));
+          benefit[a] += w_.query(j).frequency * (best_cost_[j] - new_cost);
+        }
+      }
+      for (const auto& [a, gain] : benefit) {
+        const Index& k_ext = extended.at(a);
+        Move move;
+        move.kind = StepKind::kAppend;
+        move.selected_pos = pos;
+        move.after = k_ext;
+        move.benefit = gain - ReconfigDelta(&k, k_ext) -
+                       (engine_.MaintenancePenalty(k_ext) -
+                        engine_.MaintenancePenalty(k));
+        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+        Consider(move, best, runner_up);
+      }
+    }
+  }
+
+  /// Remark 1(4): evaluate two-attribute moves. New pairs are seeded from
+  /// the eligible singles; append pairs extend fully-covered indexes by two
+  /// co-occurring attributes at once.
+  void EvaluatePairs(Move* best, Move* runner_up) {
+    // New two-attribute indexes {a, b} for co-occurring (a, b).
+    for (workload::AttributeId a : eligible_singles_) {
+      std::unordered_map<workload::AttributeId, double> benefit;
+      std::unordered_map<workload::AttributeId, Index> pair_index;
+      for (workload::QueryId j : w_.queries_with(a)) {
+        for (workload::AttributeId b : w_.query(j).attributes) {
+          if (b == a) continue;
+          auto [it, inserted] = pair_index.try_emplace(b);
+          if (inserted) it->second = Index(a).Append(b);
+          const double new_cost =
+              std::min(best_cost_[j], engine_.CostWithIndex(j, it->second));
+          benefit[b] += w_.query(j).frequency * (best_cost_[j] - new_cost);
+        }
+      }
+      for (const auto& [b, gain] : benefit) {
+        const Index& k_pair = pair_index.at(b);
+        Move move;
+        move.kind = StepKind::kNewPair;
+        move.after = k_pair;
+        move.benefit = gain - ReconfigDelta(nullptr, k_pair) -
+                       engine_.MaintenancePenalty(k_pair);
+        move.memory_delta = engine_.IndexMemory(k_pair);
+        Consider(move, best, runner_up);
+      }
+    }
+    // Append pairs k -> k ++ a ++ b.
+    for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      const Index& k = selected_[pos];
+      if (k.width() + 2 > opts_.max_index_width) continue;
+      const double base_mem = engine_.IndexMemory(k);
+      std::unordered_map<uint64_t, double> benefit;
+      std::unordered_map<uint64_t, Index> ext;
+      for (workload::QueryId j : w_.queries_with(k.leading())) {
+        const auto& q_attrs = w_.query(j).attributes;
+        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+        const double cost_without = CostWithout(j, pos);
+        for (workload::AttributeId a : q_attrs) {
+          if (k.Contains(a)) continue;
+          for (workload::AttributeId b : q_attrs) {
+            if (b == a || k.Contains(b)) continue;
+            const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+            auto [it, inserted] = ext.try_emplace(key);
+            if (inserted) it->second = k.Append(a).Append(b);
+            const double new_cost =
+                std::min(cost_without, engine_.CostWithIndex(j, it->second));
+            benefit[key] +=
+                w_.query(j).frequency * (best_cost_[j] - new_cost);
+          }
+        }
+      }
+      for (const auto& [key, gain] : benefit) {
+        const Index& k_ext = ext.at(key);
+        Move move;
+        move.kind = StepKind::kAppendPair;
+        move.selected_pos = pos;
+        move.after = k_ext;
+        move.benefit = gain - ReconfigDelta(&k, k_ext) -
+                       (engine_.MaintenancePenalty(k_ext) -
+                        engine_.MaintenancePenalty(k));
+        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+        Consider(move, best, runner_up);
+      }
+    }
+  }
+
+  // -- Remark-2 (multi-index) evaluation --------------------------------------
+
+  costmodel::IndexConfig CurrentConfig() const {
+    costmodel::IndexConfig config;
+    for (const Index& k : selected_) config.Insert(k);
+    return config;
+  }
+
+  void EvaluateNewSinglesMulti(Move* best, Move* runner_up) {
+    const costmodel::IndexConfig current = CurrentConfig();
+    for (workload::AttributeId i : eligible_singles_) {
+      if (SingleSelected(i)) continue;
+      const Index k(i);
+      costmodel::IndexConfig hypothetical = current;
+      hypothetical.Insert(k);
+      double benefit = 0.0;
+      for (workload::QueryId j : w_.queries_with(i)) {
+        benefit += w_.query(j).frequency *
+                   (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
+      }
+      Move move;
+      move.kind = StepKind::kNewSingle;
+      move.after = k;
+      move.benefit = benefit - ReconfigDelta(nullptr, k) -
+                     engine_.MaintenancePenalty(k);
+      move.memory_delta = engine_.IndexMemory(k);
+      Consider(move, best, runner_up);
+    }
+  }
+
+  void EvaluateAppendsMulti(Move* best, Move* runner_up) {
+    const costmodel::IndexConfig current = CurrentConfig();
+    for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      const Index& k = selected_[pos];
+      if (k.width() >= opts_.max_index_width) continue;
+      const double base_mem = engine_.IndexMemory(k);
+
+      // Collect candidate extension attributes from fully-covering queries.
+      std::vector<workload::AttributeId> extensions;
+      for (workload::QueryId j : w_.queries_with(k.leading())) {
+        const auto& q_attrs = w_.query(j).attributes;
+        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+        for (workload::AttributeId a : q_attrs) {
+          if (!k.Contains(a)) extensions.push_back(a);
+        }
+      }
+      std::sort(extensions.begin(), extensions.end());
+      extensions.erase(std::unique(extensions.begin(), extensions.end()),
+                       extensions.end());
+
+      for (workload::AttributeId a : extensions) {
+        const Index k_ext = k.Append(a);
+        costmodel::IndexConfig hypothetical = current;
+        hypothetical.Erase(k);
+        hypothetical.Insert(k_ext);
+        double benefit = 0.0;
+        for (workload::QueryId j : w_.queries_with(k.leading())) {
+          const auto& q_attrs = w_.query(j).attributes;
+          if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+          if (!std::binary_search(q_attrs.begin(), q_attrs.end(), a)) {
+            continue;
+          }
+          benefit +=
+              w_.query(j).frequency *
+              (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
+        }
+        Move move;
+        move.kind = StepKind::kAppend;
+        move.selected_pos = pos;
+        move.after = k_ext;
+        move.benefit = benefit - ReconfigDelta(&k, k_ext) -
+                       (engine_.MaintenancePenalty(k_ext) -
+                        engine_.MaintenancePenalty(k));
+        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+        Consider(move, best, runner_up);
+      }
+    }
+  }
+
+  void CommitMulti(const Move& move) {
+    replaced_ = Index();
+    objective_ += engine_.MaintenancePenalty(move.after);
+    if (move.kind == StepKind::kAppend || move.kind == StepKind::kAppendPair) {
+      objective_ -= engine_.MaintenancePenalty(selected_[move.selected_pos]);
+    }
+    if (move.kind == StepKind::kNewSingle || move.kind == StepKind::kNewPair) {
+      selected_.push_back(move.after);
+    } else {
+      replaced_ = selected_[move.selected_pos];
+      selected_[move.selected_pos] = move.after;
+    }
+    used_memory_ += move.memory_delta;
+    // Refresh the costs of every query the new configuration could touch
+    // (same-table queries of the changed index).
+    const costmodel::IndexConfig config = CurrentConfig();
+    for (workload::QueryId j : w_.queries_with(move.after.leading())) {
+      const double cost = engine_.CostWithConfig(j, config);
+      objective_ += w_.query(j).frequency * (cost - best_cost_[j]);
+      best_cost_[j] = cost;
+    }
+  }
+
+  // -- Committing ------------------------------------------------------------
+
+  void Commit(const Move& move) {
+    replaced_ = Index();
+    // Maintenance penalties are part of the tracked objective.
+    objective_ += engine_.MaintenancePenalty(move.after);
+    if (move.kind == StepKind::kAppend || move.kind == StepKind::kAppendPair) {
+      objective_ -= engine_.MaintenancePenalty(selected_[move.selected_pos]);
+    }
+    if (move.kind == StepKind::kNewSingle || move.kind == StepKind::kNewPair) {
+      const size_t pos = selected_.size();
+      selected_.push_back(move.after);
+      for (workload::QueryId j : w_.queries_with(move.after.leading())) {
+        InsertCost(j, pos, engine_.CostWithIndex(j, move.after));
+      }
+    } else {
+      replaced_ = selected_[move.selected_pos];
+      // Only queries that fully cover the old index *and* constrain the
+      // first appended attribute can change cost; everything else keeps
+      // f_j(k_new) == f_j(k_old) (cost-model invariant), so consulting the
+      // engine for them would waste what-if calls.
+      const workload::AttributeId first_appended =
+          move.after.attribute(replaced_.width());
+      affected_scratch_.clear();
+      for (workload::QueryId j : w_.queries_with(replaced_.leading())) {
+        const auto& q_attrs = w_.query(j).attributes;
+        if (!std::binary_search(q_attrs.begin(), q_attrs.end(),
+                                first_appended)) {
+          continue;
+        }
+        if (replaced_.CoverablePrefixLength(q_attrs) != replaced_.width()) {
+          continue;
+        }
+        affected_scratch_.push_back(j);
+      }
+      selected_[move.selected_pos] = move.after;
+      for (workload::QueryId j : affected_scratch_) RecomputeQuery(j);
+    }
+    used_memory_ += move.memory_delta;
+  }
+
+  /// Rebuilds every per-query and objective bookkeeping from selected_.
+  void RebuildState() {
+    objective_ = 0.0;
+    used_memory_ = 0.0;
+    for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+      best_cost_[j] = engine_.BaseCost(j);
+      second_cost_[j] = std::numeric_limits<double>::infinity();
+      best_owner_[j] = kNoOwner;
+      objective_ += w_.query(j).frequency * best_cost_[j];
+    }
+    for (size_t p = 0; p < selected_.size(); ++p) {
+      for (workload::QueryId j : w_.queries_with(selected_[p].leading())) {
+        InsertCost(j, p, engine_.CostWithIndex(j, selected_[p]));
+      }
+      objective_ += engine_.MaintenancePenalty(selected_[p]);
+      used_memory_ += engine_.IndexMemory(selected_[p]);
+    }
+  }
+
+  /// Post-construction repair (see RecursiveOptions::swap_repair): evict
+  /// the least-contributing indexes to afford a high-benefit single that
+  /// ran out of budget; commit only exact improvements.
+  void SwapRepair(RecursiveResult* result) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      // Objective increase if selected index p were removed (its owned
+      // queries fall back to their second-best plan), net of its freed
+      // maintenance penalty.
+      std::vector<double> removal_delta(selected_.size(), 0.0);
+      for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+        if (best_owner_[j] == kNoOwner) continue;
+        removal_delta[best_owner_[j]] +=
+            w_.query(j).frequency * (second_cost_[j] - best_cost_[j]);
+      }
+      for (size_t p = 0; p < selected_.size(); ++p) {
+        removal_delta[p] -= engine_.MaintenancePenalty(selected_[p]);
+      }
+      std::vector<size_t> eviction_order(selected_.size());
+      for (size_t p = 0; p < selected_.size(); ++p) eviction_order[p] = p;
+      std::sort(eviction_order.begin(), eviction_order.end(),
+                [&](size_t x, size_t y) {
+                  return removal_delta[x] < removal_delta[y];
+                });
+
+      for (workload::AttributeId i : eligible_singles_) {
+        if (SingleSelected(i)) continue;
+        const Index k(i);
+        const double gain =
+            SingleBenefit(i) - engine_.MaintenancePenalty(k);
+        if (gain <= kEps) continue;
+        const double need = engine_.IndexMemory(k);
+        double available = opts_.budget - used_memory_;
+        if (need <= available) continue;  // main loop already rejected it
+
+        // Greedily evict the cheapest-to-lose indexes until k fits.
+        std::vector<size_t> evict;
+        for (size_t p : eviction_order) {
+          if (available >= need) break;
+          available += engine_.IndexMemory(selected_[p]);
+          evict.push_back(p);
+        }
+        if (available < need) continue;
+
+        // Exact evaluation of the hypothetical configuration.
+        costmodel::IndexConfig hypothetical;
+        std::vector<char> evicted(selected_.size(), 0);
+        for (size_t p : evict) evicted[p] = 1;
+        for (size_t p = 0; p < selected_.size(); ++p) {
+          if (!evicted[p]) hypothetical.Insert(selected_[p]);
+        }
+        hypothetical.Insert(k);
+        const double new_objective = engine_.WorkloadCost(hypothetical);
+        if (new_objective >= objective_ * (1.0 - 1e-12)) continue;
+
+        ConstructionStep step;
+        step.kind = StepKind::kSwap;
+        step.after = k;
+        step.objective_before = objective_;
+        selected_.assign(hypothetical.indexes().begin(),
+                         hypothetical.indexes().end());
+        RebuildState();
+        step.objective_after = objective_;
+        step.memory_delta = 0.0;  // net change is below the budget anyway
+        step.ratio = 0.0;
+        result->trace.push_back(step);
+        result->frontier.emplace_back(used_memory_, objective_);
+        improved = true;
+        break;  // re-derive eviction order against the new state
+      }
+    }
+  }
+
+  /// Remark 1(2): drops selected indexes that are no query's current best —
+  /// F is unchanged and the freed memory allows more steps.
+  void PruneUnused(RecursiveResult* result) {
+    std::vector<char> used(selected_.size(), 0);
+    for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+      if (best_owner_[j] != kNoOwner) used[best_owner_[j]] = 1;
+    }
+    bool any_dropped = false;
+    for (size_t p = selected_.size(); p-- > 0;) {
+      if (used[p]) continue;
+      any_dropped = true;
+      ConstructionStep step;
+      step.kind = StepKind::kPrune;
+      step.before = selected_[p];
+      step.objective_before = objective_;
+      // Dropping an unused index also sheds its maintenance penalty.
+      objective_ -= engine_.MaintenancePenalty(selected_[p]);
+      step.objective_after = objective_;
+      step.memory_delta = -engine_.IndexMemory(selected_[p]);
+      result->trace.push_back(step);
+      used_memory_ -= engine_.IndexMemory(selected_[p]);
+      selected_.erase(selected_.begin() + static_cast<long>(p));
+    }
+    if (any_dropped) {
+      // Positions shifted: rebuild the per-query owner bookkeeping.
+      for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+        RecomputeQuery(j);
+      }
+    }
+  }
+
+  WhatIfEngine& engine_;
+  const workload::Workload& w_;
+  const RecursiveOptions& opts_;
+
+  std::vector<Index> selected_;
+  // Per query: cheapest cost over {f_j(0)} + selected indexes, the position
+  // of the selected index attaining it (kNoOwner = base cost), and the
+  // second-cheapest — giving O(1) CostWithout().
+  std::vector<double> best_cost_;
+  std::vector<double> second_cost_;
+  std::vector<size_t> best_owner_;
+  std::vector<workload::AttributeId> eligible_singles_;
+  std::vector<std::vector<std::pair<workload::QueryId, double>>> single_costs_;
+  std::vector<char> single_costs_ready_;
+  std::vector<workload::QueryId> affected_scratch_;
+  double objective_ = 0.0;
+  double used_memory_ = 0.0;
+  Index replaced_;
+};
+
+}  // namespace
+
+RecursiveResult SelectRecursive(WhatIfEngine& engine,
+                                const RecursiveOptions& options) {
+  Runner runner(engine, options);
+  return runner.Run();
+}
+
+}  // namespace idxsel::core

@@ -1,0 +1,220 @@
+#include "costmodel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace idxsel::costmodel {
+
+CostModel::CostModel(const workload::Workload* workload_in,
+                     CostModelParams params)
+    : workload_(workload_in), params_(params) {
+  IDXSEL_CHECK(workload_ != nullptr);
+  total_single_attr_memory_ = 0.0;
+  for (AttributeId i = 0; i < workload_->num_attributes(); ++i) {
+    total_single_attr_memory_ += IndexMemory(Index(i));
+  }
+}
+
+double CostModel::IndexMemory(const Index& k) const {
+  IDXSEL_DCHECK(!k.empty());
+  const double n = static_cast<double>(workload_->rows_of(k.leading()));
+  // Position-list storage: ceil(ceil(log2 n) * n / 8) bytes.
+  const double bits = std::ceil(std::log2(std::max(2.0, n)));
+  double mem = std::ceil(bits * n / 8.0);
+  for (AttributeId i : k.attributes()) {
+    IDXSEL_DCHECK(workload_->attribute(i).table ==
+                  workload_->attribute(k.leading()).table);
+    mem += static_cast<double>(workload_->attribute(i).value_size) * n;
+  }
+  return mem;
+}
+
+double CostModel::TotalSingleAttributeMemory() const {
+  return total_single_attr_memory_;
+}
+
+double CostModel::SequentialScanCost(const std::vector<AttributeId>& attrs,
+                                     double c, double rows) const {
+  // Scan most selective attributes first (Appendix B(i)5) so the surviving
+  // fraction shrinks as quickly as possible.
+  std::vector<AttributeId> order = attrs;
+  std::sort(order.begin(), order.end(), [&](AttributeId x, AttributeId y) {
+    const double sx = workload_->attribute(x).selectivity();
+    const double sy = workload_->attribute(y).selectivity();
+    if (sx != sy) return sx < sy;
+    return x < y;
+  });
+  double cost = 0.0;
+  for (AttributeId i : order) {
+    const auto& stats = workload_->attribute(i);
+    cost += static_cast<double>(stats.value_size) * rows * c;
+    cost += params_.position_list_bytes * rows * c * stats.selectivity();
+    c *= stats.selectivity();
+  }
+  return cost;
+}
+
+double CostModel::IndexProbeCost(const Index& k, size_t prefix_len,
+                                 double rows, double* c) const {
+  IDXSEL_DCHECK(prefix_len >= 1 && prefix_len <= k.width());
+  double cost = std::log2(std::max(2.0, rows));
+  double prefix_selectivity = 1.0;
+  // Only the coverable prefix participates in key comparisons; trailing
+  // attributes the query does not constrain are never touched during the
+  // descent. This also guarantees f_j(k ++ i) == f_j(k) whenever the query
+  // cannot exploit the extension — the invariant behind the paper's
+  // "the costs of most queries do not change" caching argument.
+  for (size_t u = 0; u < prefix_len; ++u) {
+    const auto& stats = workload_->attribute(k.attribute(u));
+    cost += static_cast<double>(stats.value_size) *
+            std::log2(std::max(2.0, static_cast<double>(stats.distinct_values)));
+    prefix_selectivity *= stats.selectivity();
+  }
+  cost += params_.position_list_bytes * rows * (*c) * prefix_selectivity;
+  *c *= prefix_selectivity;
+  return cost;
+}
+
+double CostModel::UnindexedCost(QueryId j) const {
+  const workload::Query& q = workload_->query(j);
+  const double rows = static_cast<double>(workload_->table(q.table).row_count);
+  if (q.kind == workload::QueryKind::kWrite) {
+    // Point write: locate the row plus write the touched values. Index
+    // effects are charged separately as maintenance (MaintenanceCost).
+    double cost = std::log2(std::max(2.0, rows));
+    for (AttributeId i : q.attributes) {
+      cost += workload_->attribute(i).value_size;
+    }
+    return cost;
+  }
+  return SequentialScanCost(q.attributes, 1.0, rows);
+}
+
+bool CostModel::Applicable(QueryId j, const Index& k) const {
+  const workload::Query& q = workload_->query(j);
+  if (workload_->attribute(k.leading()).table != q.table) return false;
+  return std::binary_search(q.attributes.begin(), q.attributes.end(),
+                            k.leading());
+}
+
+double CostModel::MaintenanceCost(QueryId j, const Index& k) const {
+  const workload::Query& q = workload_->query(j);
+  if (q.kind != workload::QueryKind::kWrite) return 0.0;
+  if (workload_->attribute(k.leading()).table != q.table) return 0.0;
+  bool touches = false;
+  for (AttributeId i : k.attributes()) {
+    if (std::binary_search(q.attributes.begin(), q.attributes.end(), i)) {
+      touches = true;
+      break;
+    }
+  }
+  if (!touches) return 0.0;
+  const double rows = static_cast<double>(workload_->table(q.table).row_count);
+  // Locate the stale entry, rewrite the key columns, fix the rid list.
+  double cost = std::log2(std::max(2.0, rows)) + params_.position_list_bytes;
+  for (AttributeId i : k.attributes()) {
+    cost += workload_->attribute(i).value_size;
+  }
+  return cost;
+}
+
+double CostModel::CostWithIndex(QueryId j, const Index& k) const {
+  const workload::Query& q = workload_->query(j);
+  if (q.kind == workload::QueryKind::kWrite) return UnindexedCost(j);
+  if (!Applicable(j, k)) return UnindexedCost(j);
+  const size_t prefix_len = k.CoverablePrefixLength(q.attributes);
+  IDXSEL_DCHECK(prefix_len >= 1);
+  const double rows = static_cast<double>(workload_->table(q.table).row_count);
+
+  double c = 1.0;
+  double cost = IndexProbeCost(k, prefix_len, rows, &c);
+
+  // Attributes of q_j not covered by the prefix are scanned sequentially.
+  std::vector<AttributeId> rest;
+  rest.reserve(q.attributes.size());
+  for (AttributeId a : q.attributes) {
+    bool covered = false;
+    for (size_t u = 0; u < prefix_len; ++u) {
+      if (k.attribute(u) == a) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) rest.push_back(a);
+  }
+  cost += SequentialScanCost(rest, c, rows);
+  // The index is only chosen when it helps (the optimizer would fall back
+  // to a plain scan otherwise).
+  return std::min(cost, UnindexedCost(j));
+}
+
+double CostModel::CostOneIndex(QueryId j, const IndexConfig& config) const {
+  double best = UnindexedCost(j);
+  for (const Index& k : config.indexes()) {
+    if (!Applicable(j, k)) continue;
+    best = std::min(best, CostWithIndex(j, k));
+  }
+  return best;
+}
+
+double CostModel::CostMultiIndex(QueryId j, const IndexConfig& config) const {
+  const workload::Query& q = workload_->query(j);
+  if (q.kind == workload::QueryKind::kWrite) return UnindexedCost(j);
+  const double rows = static_cast<double>(workload_->table(q.table).row_count);
+
+  std::vector<AttributeId> remaining = q.attributes;  // sorted
+  double c = 1.0;
+  double cost = 0.0;
+  while (!remaining.empty()) {
+    // Pick the applicable index whose coverable prefix shrinks the
+    // surviving fraction the most (Appendix B(i)1: smallest result set).
+    const Index* best = nullptr;
+    size_t best_len = 0;
+    double best_sel = 1.0;
+    for (const Index& k : config.indexes()) {
+      if (workload_->attribute(k.leading()).table != q.table) continue;
+      const size_t len = k.CoverablePrefixLength(remaining);
+      if (len == 0) continue;
+      double sel = 1.0;
+      for (size_t u = 0; u < len; ++u) {
+        sel *= workload_->attribute(k.attribute(u)).selectivity();
+      }
+      if (best == nullptr || sel < best_sel ||
+          (sel == best_sel && len > best_len)) {
+        best = &k;
+        best_len = len;
+        best_sel = sel;
+      }
+    }
+    if (best == nullptr) break;
+
+    // Use the index only when probing beats sequentially scanning the same
+    // prefix attributes at the current surviving fraction.
+    std::vector<AttributeId> prefix_attrs(
+        best->attributes().begin(),
+        best->attributes().begin() + static_cast<long>(best_len));
+    std::sort(prefix_attrs.begin(), prefix_attrs.end());
+    const double scan_equiv = SequentialScanCost(prefix_attrs, c, rows);
+    double c_probe = c;
+    const double probe = IndexProbeCost(*best, best_len, rows, &c_probe);
+    if (probe >= scan_equiv) break;
+
+    cost += probe;
+    c = c_probe;
+    std::vector<AttributeId> next;
+    next.reserve(remaining.size());
+    std::set_difference(remaining.begin(), remaining.end(),
+                        prefix_attrs.begin(), prefix_attrs.end(),
+                        std::back_inserter(next));
+    remaining = std::move(next);
+  }
+  cost += SequentialScanCost(remaining, c, rows);
+  // The optimizer also considers every single-index plan (and the plain
+  // scan, via CostOneIndex); the multi-index greedy is only taken when it
+  // wins. This keeps f_j monotone: more indexes never cost more.
+  return std::min(cost, CostOneIndex(j, config));
+}
+
+}  // namespace idxsel::costmodel

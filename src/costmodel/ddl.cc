@@ -1,0 +1,76 @@
+#include "costmodel/ddl.h"
+
+#include "common/check.h"
+
+namespace idxsel::costmodel {
+namespace {
+
+/// Unqualified attribute label: "ATTR" from "TABLE.ATTR", or "a<id>".
+std::string AttrLabel(AttributeId a,
+                      const std::vector<std::string>* names) {
+  if (names == nullptr) {
+    std::string label = "a";
+    label += std::to_string(a);
+    return label;
+  }
+  IDXSEL_CHECK_LT(a, names->size());
+  const std::string& full = (*names)[a];
+  const size_t dot = full.find('.');
+  return dot == std::string::npos ? full : full.substr(dot + 1);
+}
+
+}  // namespace
+
+std::string IndexName(const workload::Workload& workload, const Index& k,
+                      const std::vector<std::string>* attribute_names) {
+  const workload::TableId table = workload.attribute(k.leading()).table;
+  std::string name = "idx_";
+  name += workload.table(table).name;
+  for (AttributeId a : k.attributes()) {
+    name += '_';
+    name += AttrLabel(a, attribute_names);
+  }
+  return name;
+}
+
+std::string RenderCreateStatements(
+    const workload::Workload& workload, const IndexConfig& config,
+    const std::vector<std::string>* attribute_names) {
+  std::string out;
+  for (const Index& k : config.indexes()) {
+    const workload::TableId table = workload.attribute(k.leading()).table;
+    out += "CREATE INDEX ";
+    out += IndexName(workload, k, attribute_names);
+    out += " ON ";
+    out += workload.table(table).name;
+    out += " (";
+    for (size_t u = 0; u < k.width(); ++u) {
+      if (u != 0) out += ", ";
+      out += AttrLabel(k.attribute(u), attribute_names);
+    }
+    out += ");\n";
+  }
+  return out;
+}
+
+std::string RenderMigration(
+    const workload::Workload& workload, const IndexConfig& current,
+    const IndexConfig& target,
+    const std::vector<std::string>* attribute_names) {
+  std::string out;
+  for (const Index& k : current.indexes()) {
+    if (!target.Contains(k)) {
+      out += "DROP INDEX ";
+      out += IndexName(workload, k, attribute_names);
+      out += ";\n";
+    }
+  }
+  IndexConfig added;
+  for (const Index& k : target.indexes()) {
+    if (!current.Contains(k)) added.Insert(k);
+  }
+  out += RenderCreateStatements(workload, added, attribute_names);
+  return out;
+}
+
+}  // namespace idxsel::costmodel

@@ -1,0 +1,41 @@
+// DDL rendering for index selections.
+//
+// Turns an IndexConfig into executable-looking `CREATE INDEX` statements
+// (and the drop/create delta between two configurations for
+// reconfiguration scripts). Attribute names come from a NamedWorkload;
+// without names, ids are used.
+
+#ifndef IDXSEL_COSTMODEL_DDL_H_
+#define IDXSEL_COSTMODEL_DDL_H_
+
+#include <string>
+#include <vector>
+
+#include "costmodel/index.h"
+#include "workload/workload.h"
+
+namespace idxsel::costmodel {
+
+/// "CREATE INDEX idx_<table>_<cols> ON <table> (<col>, ...);" per index,
+/// one per line, deterministic order. `attribute_names` are optional
+/// "TABLE.ATTR" labels indexed by AttributeId.
+std::string RenderCreateStatements(
+    const workload::Workload& workload, const IndexConfig& config,
+    const std::vector<std::string>* attribute_names = nullptr);
+
+/// Migration script from `current` to `target`: DROP statements for
+/// removed indexes first, then CREATE statements for added ones. Indexes
+/// present in both appear in neither.
+std::string RenderMigration(
+    const workload::Workload& workload, const IndexConfig& current,
+    const IndexConfig& target,
+    const std::vector<std::string>* attribute_names = nullptr);
+
+/// Stable identifier of one index: "idx_<table>_<col1>_<col2>".
+std::string IndexName(const workload::Workload& workload, const Index& k,
+                      const std::vector<std::string>* attribute_names =
+                          nullptr);
+
+}  // namespace idxsel::costmodel
+
+#endif  // IDXSEL_COSTMODEL_DDL_H_

@@ -1,0 +1,163 @@
+#include "costmodel/what_if.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace idxsel::costmodel {
+
+double WhatIfBackend::CostWithConfig(QueryId j,
+                                     const IndexConfig& config) const {
+  double best = BaseCost(j);
+  for (const Index& k : config.indexes()) {
+    best = std::min(best, CostWithIndex(j, k));
+  }
+  return best;
+}
+
+WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
+                           WhatIfBackend* backend, bool canonicalize_keys)
+    : workload_(workload_in),
+      backend_(backend),
+      canonicalize_keys_(canonicalize_keys) {
+  IDXSEL_CHECK(workload_ != nullptr);
+  IDXSEL_CHECK(backend_ != nullptr);
+  base_cost_.assign(workload_->num_queries(),
+                    std::numeric_limits<double>::quiet_NaN());
+  for (QueryId j = 0; j < workload_->num_queries(); ++j) {
+    if (workload_->query(j).kind == workload::QueryKind::kWrite) {
+      write_queries_.push_back(j);
+    }
+  }
+}
+
+double WhatIfEngine::BaseCost(QueryId j) {
+  IDXSEL_DCHECK(j < base_cost_.size());
+  if (std::isnan(base_cost_[j])) {
+    base_cost_[j] = backend_->BaseCost(j);
+    ++stats_.calls;
+  } else {
+    ++stats_.cache_hits;
+  }
+  return base_cost_[j];
+}
+
+bool WhatIfEngine::Applicable(QueryId j, const Index& k) const {
+  const workload::Query& q = workload_->query(j);
+  if (workload_->attribute(k.leading()).table != q.table) return false;
+  return std::binary_search(q.attributes.begin(), q.attributes.end(),
+                            k.leading());
+}
+
+double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
+  if (!Applicable(j, k)) {
+    ++stats_.skipped_inapplicable;
+    return BaseCost(j);
+  }
+  Key key{j, k};
+  if (canonicalize_keys_) {
+    // f_j(k) only depends on the coverable prefix as a *set*; normalize so
+    // equivalent what-if calls hit the cache (INUM-style reuse).
+    const auto& q_attrs = workload_->query(j).attributes;
+    const size_t len = k.CoverablePrefixLength(q_attrs);
+    IDXSEL_DCHECK(len >= 1);
+    std::vector<workload::AttributeId> prefix(
+        k.attributes().begin(), k.attributes().begin() + static_cast<long>(len));
+    std::sort(prefix.begin(), prefix.end());
+    key.index = Index(std::move(prefix));
+  }
+  auto it = cost_cache_.find(key);
+  if (it != cost_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const double cost = backend_->CostWithIndex(j, k);
+  ++stats_.calls;
+  cost_cache_.emplace(key, cost);
+  return cost;
+}
+
+double WhatIfEngine::IndexMemory(const Index& k) {
+  auto it = memory_cache_.find(k);
+  if (it != memory_cache_.end()) return it->second;
+  const double mem = backend_->IndexMemory(k);
+  memory_cache_.emplace(k, mem);
+  return mem;
+}
+
+double WhatIfEngine::MaintenancePenalty(const Index& k) {
+  if (write_queries_.empty()) return 0.0;
+  auto it = maintenance_cache_.find(k);
+  if (it != maintenance_cache_.end()) return it->second;
+  double penalty = 0.0;
+  for (QueryId j : write_queries_) {
+    penalty +=
+        workload_->query(j).frequency * backend_->MaintenanceCost(j, k);
+  }
+  maintenance_cache_.emplace(k, penalty);
+  return penalty;
+}
+
+double WhatIfEngine::ConfigMemory(const IndexConfig& config) {
+  double total = 0.0;
+  for (const Index& k : config.indexes()) total += IndexMemory(k);
+  return total;
+}
+
+double WhatIfEngine::WorkloadCost(const IndexConfig& config) {
+  double total = 0.0;
+  for (QueryId j = 0; j < workload_->num_queries(); ++j) {
+    double best = BaseCost(j);
+    for (const Index& k : config.indexes()) {
+      if (!Applicable(j, k)) continue;
+      best = std::min(best, CostWithIndex(j, k));
+    }
+    total += workload_->query(j).frequency * best;
+  }
+  for (const Index& k : config.indexes()) total += MaintenancePenalty(k);
+  return total;
+}
+
+double WhatIfEngine::CostWithConfig(QueryId j, const IndexConfig& config) {
+  // Only same-table indexes can influence the query; canonicalizing the key
+  // to that subset lets unrelated configuration changes hit the cache.
+  const workload::TableId table = workload_->query(j).table;
+  IndexConfig relevant;
+  for (const Index& k : config.indexes()) {
+    if (workload_->attribute(k.leading()).table == table) {
+      relevant.Insert(k);
+    }
+  }
+  if (relevant.empty()) {
+    ++stats_.skipped_inapplicable;
+    return BaseCost(j);
+  }
+  ConfigKey key{j, std::move(relevant)};
+  auto it = config_cost_cache_.find(key);
+  if (it != config_cost_cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const double cost = backend_->CostWithConfig(j, key.config);
+  ++stats_.calls;
+  config_cost_cache_.emplace(std::move(key), cost);
+  return cost;
+}
+
+double WhatIfEngine::WorkloadCostMultiIndex(const IndexConfig& config) {
+  double total = 0.0;
+  for (QueryId j = 0; j < workload_->num_queries(); ++j) {
+    total += workload_->query(j).frequency * CostWithConfig(j, config);
+  }
+  for (const Index& k : config.indexes()) total += MaintenancePenalty(k);
+  return total;
+}
+
+void WhatIfEngine::InvalidateCostCache() {
+  cost_cache_.clear();
+  config_cost_cache_.clear();
+  base_cost_.assign(workload_->num_queries(),
+                    std::numeric_limits<double>::quiet_NaN());
+}
+
+}  // namespace idxsel::costmodel

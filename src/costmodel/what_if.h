@@ -1,0 +1,192 @@
+// What-if cost estimation interface and caching engine.
+//
+// The paper obtains per-(query, index) costs from a what-if optimizer and
+// stresses that such calls dominate runtime, so they must be cached and
+// counted (Sections I-A, III-A). WhatIfBackend abstracts the cost source:
+// the Appendix-B analytic model (Section III), or measured executions on
+// the bundled column-store engine (Section IV-B). WhatIfEngine adds the
+// cache and the call accounting that the paper's analysis relies on
+// (H6 ~ 2*Q*q-bar calls vs CoPhy ~ Q*q-bar*|I|/N).
+
+#ifndef IDXSEL_COSTMODEL_WHAT_IF_H_
+#define IDXSEL_COSTMODEL_WHAT_IF_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "costmodel/cost_model.h"
+#include "costmodel/index.h"
+
+namespace idxsel::costmodel {
+
+/// Source of query costs and index sizes — "the what-if optimizer".
+class WhatIfBackend {
+ public:
+  virtual ~WhatIfBackend() = default;
+
+  /// f_j(0): cost of query j without any index.
+  virtual double BaseCost(QueryId j) const = 0;
+
+  /// f_j(k): cost of query j when index k is available (k applicable).
+  virtual double CostWithIndex(QueryId j, const Index& k) const = 0;
+
+  /// f_j(I*): cost of query j when the whole configuration is available
+  /// and multiple indexes may serve one query (Remark 2). The default
+  /// implements the one-index-per-query setting of Example 1(i).
+  virtual double CostWithConfig(QueryId j, const IndexConfig& config) const;
+
+  /// p_k: memory footprint of index k in bytes.
+  virtual double IndexMemory(const Index& k) const = 0;
+
+  /// Per-execution maintenance cost write query j inflicts on index k;
+  /// 0 by default (read-only backends).
+  virtual double MaintenanceCost(QueryId j, const Index& k) const {
+    (void)j;
+    (void)k;
+    return 0.0;
+  }
+};
+
+/// Backend delegating to the Appendix-B analytic CostModel.
+class ModelBackend : public WhatIfBackend {
+ public:
+  explicit ModelBackend(const CostModel* model) : model_(model) {
+    IDXSEL_CHECK(model != nullptr);
+  }
+
+  double BaseCost(QueryId j) const override {
+    return model_->UnindexedCost(j);
+  }
+  double CostWithIndex(QueryId j, const Index& k) const override {
+    return model_->CostWithIndex(j, k);
+  }
+  double CostWithConfig(QueryId j, const IndexConfig& config) const override {
+    return model_->CostMultiIndex(j, config);
+  }
+  double IndexMemory(const Index& k) const override {
+    return model_->IndexMemory(k);
+  }
+  double MaintenanceCost(QueryId j, const Index& k) const override {
+    return model_->MaintenanceCost(j, k);
+  }
+
+ private:
+  const CostModel* model_;
+};
+
+/// Call counters; `calls` counts backend invocations (cache misses), i.e.
+/// what the paper counts as "what-if optimizer calls".
+struct WhatIfStats {
+  uint64_t calls = 0;
+  uint64_t cache_hits = 0;
+  uint64_t skipped_inapplicable = 0;
+};
+
+/// Caching, call-counting facade over a WhatIfBackend.
+///
+/// Inapplicable (query, index) pairs are answered with f_j(0) without
+/// consulting the backend — a real advisor would not issue a what-if call
+/// for an index whose leading attribute the query does not touch.
+///
+/// Cache keys are canonicalized to (query, coverable-prefix-attribute-set):
+/// the cost of q_j under k only depends on the prefix of k the query can
+/// exploit, and not on the order within that prefix. Recognizing equivalent
+/// what-if calls this way is the INUM-style reuse the paper recommends; it
+/// can be disabled via `canonicalize_keys` (e.g. for backends violating the
+/// invariant).
+class WhatIfEngine {
+ public:
+  WhatIfEngine(const workload::Workload* workload, WhatIfBackend* backend,
+               bool canonicalize_keys = true);
+
+  const workload::Workload& workload() const { return *workload_; }
+
+  /// Cached f_j(0).
+  double BaseCost(QueryId j);
+
+  /// Cached f_j(k). Returns BaseCost(j) for inapplicable k (no call).
+  double CostWithIndex(QueryId j, const Index& k);
+
+  /// p_k; cached (sizes are deterministic per index).
+  double IndexMemory(const Index& k);
+
+  /// Frequency-weighted maintenance the write queries inflict on index k:
+  /// sum over writes j of b_j * MaintenanceCost(j, k). Cached per index;
+  /// 0 for read-only workloads. Modular in the selection, so WorkloadCost
+  /// adds it once per selected index.
+  double MaintenancePenalty(const Index& k);
+
+  /// Total memory of a configuration.
+  double ConfigMemory(const IndexConfig& config);
+
+  /// F(I*) under the one-index-per-query setting of Example 1(i):
+  /// sum_j b_j * min(f_j(0), min_{k in I*} f_j(k)).
+  double WorkloadCost(const IndexConfig& config);
+
+  /// f_j(I*) in the multi-index setting (Remark 2); cached per
+  /// (query, configuration). Configuration-level caching cannot reuse
+  /// entries across different configurations, which is exactly why the
+  /// paper notes that earlier what-if calls "have to be refreshed" in this
+  /// mode.
+  double CostWithConfig(QueryId j, const IndexConfig& config);
+
+  /// F(I*) in the multi-index setting: sum_j b_j f_j(I*).
+  double WorkloadCostMultiIndex(const IndexConfig& config);
+
+  /// True iff l(k) is in q_j and both are on the same table.
+  bool Applicable(QueryId j, const Index& k) const;
+
+  const WhatIfStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = WhatIfStats{}; }
+
+  /// Drops all cached costs (sizes are kept); used by tests and by callers
+  /// that change the backend's state (e.g. measured costs after reloads).
+  void InvalidateCostCache();
+
+ private:
+  struct Key {
+    QueryId query;
+    Index index;
+    bool operator==(const Key& o) const {
+      return query == o.query && index == o.index;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return k.index.Hash() * 1000003u + k.query;
+    }
+  };
+
+  struct ConfigKey {
+    QueryId query;
+    IndexConfig config;
+    bool operator==(const ConfigKey& o) const {
+      return query == o.query && config == o.config;
+    }
+  };
+  struct ConfigKeyHash {
+    size_t operator()(const ConfigKey& k) const {
+      size_t h = k.query;
+      for (const Index& index : k.config.indexes()) {
+        h = h * 1000003u + index.Hash();
+      }
+      return h;
+    }
+  };
+
+  const workload::Workload* workload_;
+  WhatIfBackend* backend_;
+  bool canonicalize_keys_;
+  WhatIfStats stats_;
+  std::vector<double> base_cost_;  // NaN = not yet fetched
+  std::unordered_map<Key, double, KeyHash> cost_cache_;
+  std::unordered_map<ConfigKey, double, ConfigKeyHash> config_cost_cache_;
+  std::unordered_map<Index, double, IndexHash> memory_cache_;
+  std::unordered_map<Index, double, IndexHash> maintenance_cache_;
+  std::vector<QueryId> write_queries_;  // precomputed at construction
+};
+
+}  // namespace idxsel::costmodel
+
+#endif  // IDXSEL_COSTMODEL_WHAT_IF_H_

@@ -1,0 +1,130 @@
+#include "engine/btree_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace idxsel::engine {
+
+BTreeIndex::BTreeIndex(const ColumnTable* table,
+                       std::vector<uint32_t> columns)
+    : columns_(std::move(columns)), width_(columns_.size()) {
+  IDXSEL_CHECK(table != nullptr);
+  IDXSEL_CHECK(!columns_.empty());
+  for (uint32_t c : columns_) IDXSEL_CHECK_LT(c, table->num_columns());
+
+  // Sort row ids by composite key, then materialize the flattened keys.
+  const size_t n = table->num_rows();
+  rows_.resize(n);
+  std::iota(rows_.begin(), rows_.end(), 0u);
+  std::sort(rows_.begin(), rows_.end(), [&](uint32_t x, uint32_t y) {
+    for (uint32_t c : columns_) {
+      const uint32_t vx = table->at(c, x);
+      const uint32_t vy = table->at(c, y);
+      if (vx != vy) return vx < vy;
+    }
+    return x < y;
+  });
+  keys_.resize(n * width_);
+  for (size_t e = 0; e < n; ++e) {
+    for (size_t u = 0; u < width_; ++u) {
+      keys_[e * width_ + u] = table->at(columns_[u], rows_[e]);
+    }
+  }
+
+  // Leaf boundaries, then inner levels until one root node remains.
+  std::vector<size_t> level;
+  for (size_t offset = 0; offset < n; offset += kLeafCapacity) {
+    level.push_back(offset);
+  }
+  if (level.empty()) level.push_back(0);
+  levels_.push_back(level);
+  while (levels_.back().size() > kInnerFanout) {
+    const std::vector<size_t>& below = levels_.back();
+    std::vector<size_t> above;
+    for (size_t i = 0; i < below.size(); i += kInnerFanout) {
+      above.push_back(below[i]);
+    }
+    levels_.push_back(std::move(above));
+  }
+}
+
+int BTreeIndex::ComparePrefix(size_t pos,
+                              std::span<const uint32_t> values) const {
+  const uint32_t* key = keys_.data() + pos * width_;
+  for (size_t u = 0; u < values.size(); ++u) {
+    if (key[u] < values[u]) return -1;
+    if (key[u] > values[u]) return 1;
+  }
+  return 0;
+}
+
+size_t BTreeIndex::LowerBound(std::span<const uint32_t> values) const {
+  const size_t n = rows_.size();
+  if (n == 0) return 0;
+
+  // Descend: at each level, locate the node whose subtree must contain the
+  // first entry with key-prefix >= values, then narrow to its children.
+  size_t lo = 0;
+  size_t hi = levels_.back().size();
+  for (size_t level = levels_.size(); level-- > 0;) {
+    const std::vector<size_t>& boundaries = levels_[level];
+    // First node in [lo, hi) whose first key is >= values.
+    size_t a = lo;
+    size_t b = hi;
+    while (a < b) {
+      const size_t mid = a + (b - a) / 2;
+      if (ComparePrefix(boundaries[mid], values) < 0) {
+        a = mid + 1;
+      } else {
+        b = mid;
+      }
+    }
+    const size_t node = a > lo ? a - 1 : lo;
+    if (level > 0) {
+      // Children of `node` at the level below, plus one boundary slack so
+      // the exact boundary entry stays reachable.
+      lo = node * kInnerFanout;
+      hi = std::min(levels_[level - 1].size(),
+                    (node + 1) * kInnerFanout + 1);
+    } else {
+      // Scan range inside the chosen leaf (plus one entry of slack).
+      const size_t begin = boundaries[node];
+      const size_t end = std::min(n, begin + kLeafCapacity + 1);
+      size_t x = begin;
+      size_t y = end;
+      while (x < y) {
+        const size_t mid = x + (y - x) / 2;
+        if (ComparePrefix(mid, values) < 0) {
+          x = mid + 1;
+        } else {
+          y = mid;
+        }
+      }
+      return x;
+    }
+  }
+  return 0;  // unreachable: levels_ is never empty
+}
+
+void BTreeIndex::LookupPrefix(std::span<const uint32_t> values,
+                              std::vector<uint32_t>* out_rows) const {
+  IDXSEL_CHECK_GE(values.size(), 1u);
+  IDXSEL_CHECK_LE(values.size(), width_);
+  for (size_t e = LowerBound(values); e < rows_.size(); ++e) {
+    if (ComparePrefix(e, values) != 0) break;
+    out_rows->push_back(rows_[e]);
+  }
+}
+
+size_t BTreeIndex::memory_bytes() const {
+  size_t total = keys_.size() * sizeof(uint32_t) +
+                 rows_.size() * sizeof(uint32_t);
+  for (const std::vector<size_t>& level : levels_) {
+    total += level.size() * sizeof(size_t);
+  }
+  return total;
+}
+
+}  // namespace idxsel::engine

@@ -1,0 +1,64 @@
+// Bulk-loaded B+-tree secondary index over composite integer keys.
+//
+// A static (read-optimized) B+-tree: leaves hold sorted (key, row-id)
+// entries and are chained for range scans; inner nodes hold separator keys
+// and child offsets. Keys are materialized (unlike CompositeIndex, which
+// indirects into the columns on every comparison), trading memory for
+// cache-friendly probes — the classic pointer-free layout of main-memory
+// trees.
+
+#ifndef IDXSEL_ENGINE_BTREE_INDEX_H_
+#define IDXSEL_ENGINE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/column_store.h"
+#include "engine/secondary_index.h"
+
+namespace idxsel::engine {
+
+/// Static composite-key B+-tree (see file comment).
+class BTreeIndex : public SecondaryIndex {
+ public:
+  /// Bulk-loads from the table; `columns` are table ordinals in key order.
+  BTreeIndex(const ColumnTable* table, std::vector<uint32_t> columns);
+
+  const std::vector<uint32_t>& columns() const override { return columns_; }
+  void LookupPrefix(std::span<const uint32_t> values,
+                    std::vector<uint32_t>* out_rows) const override;
+  size_t memory_bytes() const override;
+
+  /// Tree height (levels above the leaves); exposed for tests.
+  size_t height() const { return levels_.size(); }
+  /// Total number of indexed entries.
+  size_t size() const { return rows_.size(); }
+
+ private:
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kInnerFanout = 32;
+
+  /// Compares entry `pos`'s first `m` key values against `values`:
+  /// negative / 0 / positive like memcmp.
+  int ComparePrefix(size_t pos, std::span<const uint32_t> values) const;
+
+  /// Index of the first entry whose prefix >= values (lower bound by
+  /// tree descent).
+  size_t LowerBound(std::span<const uint32_t> values) const;
+
+  std::vector<uint32_t> columns_;
+  size_t width_ = 0;
+  /// Flattened sorted keys: entry e occupies keys_[e*width_ .. +width_).
+  std::vector<uint32_t> keys_;
+  std::vector<uint32_t> rows_;  ///< Row id per entry.
+  /// levels_[0] = separator entry-offsets of the level directly above the
+  /// leaves, levels_.back() = root level. Each level stores the *first
+  /// entry offset* of every node of the level below, enabling binary
+  /// descent without pointers.
+  std::vector<std::vector<size_t>> levels_;
+};
+
+}  // namespace idxsel::engine
+
+#endif  // IDXSEL_ENGINE_BTREE_INDEX_H_

@@ -1,0 +1,50 @@
+#include "engine/column_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace idxsel::engine {
+
+ColumnTable::ColumnTable(uint64_t rows, const std::vector<uint32_t>& distinct,
+                         Rng& rng)
+    : rows_(rows) {
+  IDXSEL_CHECK_GT(rows, 0u);
+  columns_.reserve(distinct.size());
+  for (uint32_t d : distinct) {
+    IDXSEL_CHECK_GE(d, 1u);
+    std::vector<uint32_t> column(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      column[r] = static_cast<uint32_t>(rng.UniformInt(0, d - 1));
+    }
+    columns_.push_back(std::move(column));
+  }
+}
+
+size_t ColumnTable::memory_bytes() const {
+  return columns_.size() * rows_ * sizeof(uint32_t);
+}
+
+Database::Database(const workload::Workload* workload_in,
+                   uint64_t max_rows_per_table, uint64_t seed)
+    : workload_(workload_in) {
+  IDXSEL_CHECK(workload_ != nullptr);
+  IDXSEL_CHECK_GT(max_rows_per_table, 0u);
+  Rng root(seed);
+  tables_.reserve(workload_->num_tables());
+  for (TableId t = 0; t < workload_->num_tables(); ++t) {
+    Rng rng = root.Fork();
+    const workload::TableSchema& schema = workload_->table(t);
+    const uint64_t rows = std::min(schema.row_count, max_rows_per_table);
+    std::vector<uint32_t> distinct;
+    distinct.reserve(schema.attributes.size());
+    for (AttributeId a : schema.attributes) {
+      const uint64_t d =
+          std::min<uint64_t>(workload_->attribute(a).distinct_values, rows);
+      distinct.push_back(static_cast<uint32_t>(d));
+    }
+    tables_.emplace_back(rows, distinct, rng);
+  }
+}
+
+}  // namespace idxsel::engine

@@ -1,0 +1,74 @@
+// In-memory column store (the "commercial columnar main-memory DBMS"
+// substitute for the paper's end-to-end evaluation, Section IV-B).
+//
+// Materializes a workload's tables as integer column vectors with the
+// workload's per-attribute distinct counts, at an optional row-count scale
+// factor (the paper's machine had 512 GB; `max_rows_per_table` keeps the
+// experiment laptop-sized while preserving selectivities where possible).
+
+#ifndef IDXSEL_ENGINE_COLUMN_STORE_H_
+#define IDXSEL_ENGINE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/workload.h"
+
+namespace idxsel::engine {
+
+using workload::AttributeId;
+using workload::QueryId;
+using workload::TableId;
+
+/// One materialized table: column-major value vectors.
+class ColumnTable {
+ public:
+  /// Generates `rows` rows; column c gets uniform values in
+  /// [0, distinct[c]).
+  ColumnTable(uint64_t rows, const std::vector<uint32_t>& distinct, Rng& rng);
+
+  uint64_t num_rows() const { return rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Full column c (ordinal within the table).
+  const std::vector<uint32_t>& column(size_t c) const { return columns_[c]; }
+
+  /// Value of column c at row r.
+  uint32_t at(size_t c, uint32_t r) const { return columns_[c][r]; }
+
+  /// Bytes of value storage.
+  size_t memory_bytes() const;
+
+ private:
+  uint64_t rows_;
+  std::vector<std::vector<uint32_t>> columns_;
+};
+
+/// All tables of a workload, materialized.
+class Database {
+ public:
+  /// `max_rows_per_table` caps (scales down) each table's cardinality;
+  /// distinct counts are clamped to the scaled row count.
+  Database(const workload::Workload* workload, uint64_t max_rows_per_table,
+           uint64_t seed);
+
+  const workload::Workload& workload() const { return *workload_; }
+  const ColumnTable& table(TableId t) const { return tables_[t]; }
+
+  /// Scaled row count of table t.
+  uint64_t rows(TableId t) const { return tables_[t].num_rows(); }
+
+  /// Column ordinal of attribute i within its table.
+  uint32_t ordinal(AttributeId i) const {
+    return workload_->attribute(i).ordinal;
+  }
+
+ private:
+  const workload::Workload* workload_;
+  std::vector<ColumnTable> tables_;
+};
+
+}  // namespace idxsel::engine
+
+#endif  // IDXSEL_ENGINE_COLUMN_STORE_H_

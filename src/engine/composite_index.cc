@@ -1,0 +1,63 @@
+#include "engine/composite_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace idxsel::engine {
+
+CompositeIndex::CompositeIndex(const ColumnTable* table,
+                               std::vector<uint32_t> columns)
+    : table_(table), columns_(std::move(columns)) {
+  IDXSEL_CHECK(table_ != nullptr);
+  IDXSEL_CHECK(!columns_.empty());
+  for (uint32_t c : columns_) IDXSEL_CHECK_LT(c, table_->num_columns());
+
+  sorted_rows_.resize(table_->num_rows());
+  for (uint32_t r = 0; r < sorted_rows_.size(); ++r) sorted_rows_[r] = r;
+  std::sort(sorted_rows_.begin(), sorted_rows_.end(),
+            [&](uint32_t x, uint32_t y) {
+              for (uint32_t c : columns_) {
+                const uint32_t vx = table_->at(c, x);
+                const uint32_t vy = table_->at(c, y);
+                if (vx != vy) return vx < vy;
+              }
+              return x < y;  // stable row order within equal keys
+            });
+}
+
+std::span<const uint32_t> CompositeIndex::Probe(
+    std::span<const uint32_t> values) const {
+  IDXSEL_CHECK_GE(values.size(), 1u);
+  IDXSEL_CHECK_LE(values.size(), columns_.size());
+  // Lexicographic comparison of a row's key prefix against `values`:
+  // -1 below, 0 equal, +1 above.
+  auto compare = [&](uint32_t row) {
+    for (size_t u = 0; u < values.size(); ++u) {
+      const uint32_t v = table_->at(columns_[u], row);
+      if (v < values[u]) return -1;
+      if (v > values[u]) return 1;
+    }
+    return 0;
+  };
+  const auto lower = std::partition_point(
+      sorted_rows_.begin(), sorted_rows_.end(),
+      [&](uint32_t row) { return compare(row) < 0; });
+  const auto upper = std::partition_point(
+      lower, sorted_rows_.end(),
+      [&](uint32_t row) { return compare(row) <= 0; });
+  return {sorted_rows_.data() + (lower - sorted_rows_.begin()),
+          static_cast<size_t>(upper - lower)};
+}
+
+void CompositeIndex::LookupPrefix(std::span<const uint32_t> values,
+                                  std::vector<uint32_t>* out_rows) const {
+  const std::span<const uint32_t> range = Probe(values);
+  out_rows->insert(out_rows->end(), range.begin(), range.end());
+}
+
+size_t CompositeIndex::memory_bytes() const {
+  return sorted_rows_.size() * sizeof(uint32_t) * (1 + columns_.size());
+}
+
+}  // namespace idxsel::engine

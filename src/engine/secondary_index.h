@@ -1,0 +1,36 @@
+// Physical secondary-index interface.
+//
+// The executor only needs key-prefix equality lookups; the physical
+// representation is pluggable: a sorted row-id permutation
+// (CompositeIndex, the classic column-store position index) or a
+// bulk-loaded B+-tree (BTreeIndex). bench_engine_micro compares the two.
+
+#ifndef IDXSEL_ENGINE_SECONDARY_INDEX_H_
+#define IDXSEL_ENGINE_SECONDARY_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace idxsel::engine {
+
+/// Abstract multi-attribute secondary index over one table.
+class SecondaryIndex {
+ public:
+  virtual ~SecondaryIndex() = default;
+
+  /// Key columns (table ordinals), in index order.
+  virtual const std::vector<uint32_t>& columns() const = 0;
+
+  /// Appends to `out_rows` the ids of all rows whose key matches `values`
+  /// on the first values.size() key columns (an equality prefix probe).
+  virtual void LookupPrefix(std::span<const uint32_t> values,
+                            std::vector<uint32_t>* out_rows) const = 0;
+
+  /// Bytes consumed by the structure.
+  virtual size_t memory_bytes() const = 0;
+};
+
+}  // namespace idxsel::engine
+
+#endif  // IDXSEL_ENGINE_SECONDARY_INDEX_H_

@@ -1,0 +1,97 @@
+#include "frontier/frontier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/format.h"
+
+namespace idxsel::frontier {
+
+std::vector<double> BudgetGrid(double w_lo, double w_hi, size_t steps) {
+  IDXSEL_CHECK_GE(steps, 2u);
+  IDXSEL_CHECK_LE(w_lo, w_hi);
+  std::vector<double> grid(steps);
+  for (size_t s = 0; s < steps; ++s) {
+    grid[s] = w_lo + (w_hi - w_lo) * static_cast<double>(s) /
+                         static_cast<double>(steps - 1);
+  }
+  return grid;
+}
+
+FrontierSeries SweepStrategy(WhatIfEngine& engine,
+                             double total_single_attr_memory,
+                             const std::vector<double>& grid,
+                             const std::string& label,
+                             const Strategy& strategy) {
+  FrontierSeries series;
+  series.label = label;
+  series.points.reserve(grid.size());
+  for (double w : grid) {
+    FrontierPoint point;
+    point.w = w;
+    point.budget = w * total_single_attr_memory;
+    StrategyOutcome outcome = strategy(point.budget);
+    point.dnf = outcome.dnf;
+    point.memory = engine.ConfigMemory(outcome.selection);
+    point.cost = engine.WorkloadCost(outcome.selection);
+    point.num_indexes = outcome.selection.size();
+    series.points.push_back(std::move(point));
+  }
+  return series;
+}
+
+void NormalizeCosts(WhatIfEngine& engine, FrontierSeries* series) {
+  const double base = engine.WorkloadCost(IndexConfig{});
+  IDXSEL_CHECK_GT(base, 0.0);
+  for (FrontierPoint& point : series->points) point.cost /= base;
+}
+
+std::string RenderSeriesTable(const std::vector<FrontierSeries>& series) {
+  IDXSEL_CHECK(!series.empty());
+  std::vector<std::string> header = {"w"};
+  for (const FrontierSeries& s : series) header.push_back(s.label);
+  TablePrinter table(std::move(header));
+  const size_t rows = series.front().points.size();
+  for (const FrontierSeries& s : series) {
+    IDXSEL_CHECK_EQ(s.points.size(), rows);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {
+        FormatDouble(series.front().points[r].w, 3)};
+    for (const FrontierSeries& s : series) {
+      const FrontierPoint& p = s.points[r];
+      // A DNF point still carries the solver's incumbent; print it with a
+      // marker (the paper would simply report DNF after its 8-hour cutoff).
+      row.push_back(p.dnf ? FormatDouble(p.cost, 4) + "*"
+                          : FormatDouble(p.cost, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+Status WriteSeriesCsv(const std::vector<FrontierSeries>& series,
+                      const std::string& path) {
+  IDXSEL_CHECK(!series.empty());
+  std::vector<std::string> header = {"w", "budget_bytes"};
+  for (const FrontierSeries& s : series) {
+    header.push_back(s.label + "_cost");
+    header.push_back(s.label + "_memory");
+  }
+  CsvWriter csv(std::move(header));
+  const size_t rows = series.front().points.size();
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> row = {
+        FormatDouble(series.front().points[r].w, 6),
+        FormatDouble(series.front().points[r].budget, 2)};
+    for (const FrontierSeries& s : series) {
+      row.push_back(FormatDouble(s.points[r].cost, 6));
+      row.push_back(FormatDouble(s.points[r].memory, 2));
+    }
+    csv.AddRow(std::move(row));
+  }
+  return csv.WriteFile(path);
+}
+
+}  // namespace idxsel::frontier

@@ -1,0 +1,74 @@
+// Budget sweeps and performance/memory frontier assembly.
+//
+// All the paper's figures plot "workload cost" (or runtime) against the
+// relative memory budget w, where A(w) = w * sum_i p_{{i}} (eq. 10). This
+// module runs a selection strategy across a grid of w values and collects
+// the (w, memory, cost) series, plus helpers to express costs relative to
+// the unindexed baseline.
+
+#ifndef IDXSEL_FRONTIER_FRONTIER_H_
+#define IDXSEL_FRONTIER_FRONTIER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+
+namespace idxsel::frontier {
+
+using costmodel::IndexConfig;
+using costmodel::WhatIfEngine;
+
+/// One sweep point.
+struct FrontierPoint {
+  double w = 0.0;       ///< Relative budget.
+  double budget = 0.0;  ///< A(w) in bytes.
+  double memory = 0.0;  ///< Memory actually used.
+  double cost = 0.0;    ///< F(selection).
+  size_t num_indexes = 0;
+  bool dnf = false;     ///< Strategy did not finish at this point.
+};
+
+/// A labelled frontier curve.
+struct FrontierSeries {
+  std::string label;
+  std::vector<FrontierPoint> points;
+};
+
+/// A strategy under sweep: given the absolute budget, produce a selection.
+/// Return `dnf = true` (with a best-effort selection) on timeout.
+struct StrategyOutcome {
+  IndexConfig selection;
+  bool dnf = false;
+};
+using Strategy = std::function<StrategyOutcome(double budget)>;
+
+/// Evenly spaced w grid in [w_lo, w_hi] with `steps` points (inclusive).
+std::vector<double> BudgetGrid(double w_lo, double w_hi, size_t steps);
+
+/// Runs `strategy` at every w in `grid`; costs/memory are evaluated through
+/// `engine` (one-index-per-query workload cost).
+FrontierSeries SweepStrategy(WhatIfEngine& engine,
+                             double total_single_attr_memory,
+                             const std::vector<double>& grid,
+                             const std::string& label,
+                             const Strategy& strategy);
+
+/// Normalizes a series' costs by the unindexed workload cost F(empty),
+/// giving the "relative workload cost" axis used in the figures.
+void NormalizeCosts(WhatIfEngine& engine, FrontierSeries* series);
+
+/// Renders one or more series as an aligned console table
+/// (rows = w grid, columns = series). DNF points print their incumbent
+/// cost with a trailing '*'.
+std::string RenderSeriesTable(const std::vector<FrontierSeries>& series);
+
+/// Writes the series to CSV: w, budget, then one cost column per series.
+Status WriteSeriesCsv(const std::vector<FrontierSeries>& series,
+                      const std::string& path);
+
+}  // namespace idxsel::frontier
+
+#endif  // IDXSEL_FRONTIER_FRONTIER_H_

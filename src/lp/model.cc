@@ -1,0 +1,20 @@
+#include "lp/model.h"
+
+namespace idxsel::lp {
+
+uint32_t Model::AddVariable(double cost, double upper) {
+  IDXSEL_CHECK_GE(upper, 0.0);
+  objective_.push_back(cost);
+  upper_.push_back(upper);
+  return static_cast<uint32_t>(objective_.size() - 1);
+}
+
+void Model::AddRow(Row row) {
+  for (const auto& [var, coeff] : row.terms) {
+    IDXSEL_CHECK_LT(var, objective_.size());
+    (void)coeff;
+  }
+  rows_.push_back(std::move(row));
+}
+
+}  // namespace idxsel::lp

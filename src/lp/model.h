@@ -1,0 +1,61 @@
+// Linear-program model container.
+//
+// Holds a minimization LP in the general form
+//   minimize    c^T x
+//   subject to  a_r^T x {<=,=,>=} b_r   for each row r
+//               0 <= x_i <= u_i
+// CoPhy's selection LP (eqs. 5-8) is instantiated on this model by the
+// cophy module, both for actually solving small instances (via lp::Solver)
+// and for reporting the variable/constraint counts of Figure 6 / Table I.
+
+#ifndef IDXSEL_LP_MODEL_H_
+#define IDXSEL_LP_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace idxsel::lp {
+
+/// Relational sense of one constraint row.
+enum class Sense { kLe, kEq, kGe };
+
+/// Sparse constraint row: sum of coeff * variable {sense} rhs.
+struct Row {
+  std::vector<std::pair<uint32_t, double>> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// A minimization LP with non-negative, optionally box-bounded variables.
+class Model {
+ public:
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  /// Adds a variable with objective coefficient `cost` and bounds
+  /// [0, upper]; returns its column id.
+  uint32_t AddVariable(double cost, double upper = kInfinity);
+
+  /// Adds a constraint row; variable ids must already exist.
+  void AddRow(Row row);
+
+  size_t num_variables() const { return objective_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  double objective_coeff(uint32_t var) const { return objective_[var]; }
+  double upper_bound(uint32_t var) const { return upper_[var]; }
+  const Row& row(size_t r) const { return rows_[r]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> upper_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace idxsel::lp
+
+#endif  // IDXSEL_LP_MODEL_H_

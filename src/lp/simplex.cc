@@ -1,0 +1,261 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace idxsel::lp {
+namespace {
+
+/// Full-tableau simplex working state over the standard-form problem
+///   minimize c^T x   s.t.  A x = b,  x >= 0,  b >= 0.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols)
+      : m_(rows), n_(cols), a_(rows, std::vector<double>(cols + 1, 0.0)),
+        basis_(rows, 0) {}
+
+  double& At(size_t r, size_t c) { return a_[r][c]; }
+  double& Rhs(size_t r) { return a_[r][n_]; }
+  size_t num_rows() const { return m_; }
+  size_t num_cols() const { return n_; }
+  uint32_t basis(size_t r) const { return basis_[r]; }
+  void set_basis(size_t r, uint32_t col) { basis_[r] = col; }
+
+  /// Runs simplex iterations on objective `cost` (minimization), entering
+  /// only columns where `allowed[col]` holds. Returns false on iteration
+  /// exhaustion, true on optimality. `unbounded` is set if detected.
+  bool Optimize(const std::vector<double>& cost,
+                const std::vector<char>& allowed, const SimplexOptions& opts,
+                bool* unbounded) {
+    *unbounded = false;
+    // Reduced-cost row d = cost - cost_B^T * tableau.
+    std::vector<double> d(n_ + 1, 0.0);
+    for (size_t j = 0; j < n_; ++j) d[j] = cost[j];
+    d[n_] = 0.0;
+    for (size_t r = 0; r < m_; ++r) {
+      const double cb = cost[basis_[r]];
+      if (cb == 0.0) continue;
+      for (size_t j = 0; j <= n_; ++j) d[j] -= cb * a_[r][j];
+    }
+
+    uint64_t iter = 0;
+    uint64_t stall = 0;
+    double last_obj = -d[n_];
+    while (iter++ < opts.max_iterations) {
+      const bool bland = stall > 512;
+      // Entering column.
+      size_t enter = n_;
+      double best = -opts.tolerance;
+      for (size_t j = 0; j < n_; ++j) {
+        if (!allowed[j]) continue;
+        if (d[j] < best) {
+          best = d[j];
+          enter = j;
+          if (bland) break;  // Bland: first improving index
+        }
+      }
+      if (enter == n_) return true;  // optimal
+
+      // Ratio test.
+      size_t leave = m_;
+      double best_ratio = 0.0;
+      for (size_t r = 0; r < m_; ++r) {
+        if (a_[r][enter] <= opts.tolerance) continue;
+        const double ratio = a_[r][n_] / a_[r][enter];
+        if (leave == m_ || ratio < best_ratio - opts.tolerance ||
+            (std::abs(ratio - best_ratio) <= opts.tolerance &&
+             basis_[r] < basis_[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m_) {
+        *unbounded = true;
+        return true;
+      }
+
+      Pivot(leave, enter, &d);
+      const double obj = -d[n_];
+      if (obj < last_obj - opts.tolerance) {
+        stall = 0;
+        last_obj = obj;
+      } else {
+        ++stall;
+      }
+    }
+    return false;
+  }
+
+  double ObjectiveOf(const std::vector<double>& cost) const {
+    double obj = 0.0;
+    for (size_t r = 0; r < m_; ++r) obj += cost[basis_[r]] * a_[r][n_];
+    return obj;
+  }
+
+  /// Value of variable `col` in the current basic solution.
+  double Value(uint32_t col) const {
+    for (size_t r = 0; r < m_; ++r) {
+      if (basis_[r] == col) return a_[r][n_];
+    }
+    return 0.0;
+  }
+
+  /// Pivots (leave_row, enter_col) and updates reduced costs `d` when given.
+  void Pivot(size_t leave, size_t enter, std::vector<double>* d) {
+    const double pivot = a_[leave][enter];
+    for (size_t j = 0; j <= n_; ++j) a_[leave][j] /= pivot;
+    a_[leave][enter] = 1.0;  // exact
+    for (size_t r = 0; r < m_; ++r) {
+      if (r == leave) continue;
+      const double factor = a_[r][enter];
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j <= n_; ++j) a_[r][j] -= factor * a_[leave][j];
+      a_[r][enter] = 0.0;
+    }
+    if (d != nullptr) {
+      const double factor = (*d)[enter];
+      if (factor != 0.0) {
+        for (size_t j = 0; j <= n_; ++j) (*d)[j] -= factor * a_[leave][j];
+        (*d)[enter] = 0.0;
+      }
+    }
+    basis_[leave] = static_cast<uint32_t>(enter);
+  }
+
+  /// Drops row `r` (used for redundant rows after phase 1).
+  void DropRow(size_t r) {
+    a_.erase(a_.begin() + static_cast<long>(r));
+    basis_.erase(basis_.begin() + static_cast<long>(r));
+    --m_;
+  }
+
+ private:
+  size_t m_;
+  size_t n_;
+  std::vector<std::vector<double>> a_;
+  std::vector<uint32_t> basis_;
+};
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const Model& model, SimplexOptions opts) {
+  const size_t n0 = model.num_variables();
+
+  // Assemble the normalized row list: model rows plus upper-bound rows.
+  struct NormRow {
+    std::vector<std::pair<uint32_t, double>> terms;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<NormRow> rows;
+  rows.reserve(model.num_rows());
+  for (const Row& row : model.rows()) {
+    rows.push_back(NormRow{row.terms, row.sense, row.rhs});
+  }
+  for (uint32_t v = 0; v < n0; ++v) {
+    const double upper = model.upper_bound(v);
+    if (std::isfinite(upper)) {
+      rows.push_back(NormRow{{{v, 1.0}}, Sense::kLe, upper});
+    }
+  }
+
+  // Column layout: [original | slack/surplus | artificial].
+  const size_t m = rows.size();
+  size_t num_slack = 0;
+  for (const NormRow& row : rows) {
+    if (row.sense != Sense::kEq) ++num_slack;
+  }
+  const size_t slack_base = n0;
+  const size_t art_base = n0 + num_slack;
+  const size_t n_total = art_base + m;  // worst case: one artificial per row
+
+  Tableau tab(m, n_total);
+  size_t next_slack = slack_base;
+  size_t next_art = art_base;
+  std::vector<char> is_artificial(n_total, 0);
+
+  for (size_t r = 0; r < m; ++r) {
+    NormRow row = rows[r];
+    double sign = 1.0;
+    if (row.rhs < 0.0) {
+      sign = -1.0;
+      row.rhs = -row.rhs;
+      row.sense = row.sense == Sense::kLe
+                      ? Sense::kGe
+                      : (row.sense == Sense::kGe ? Sense::kLe : Sense::kEq);
+    }
+    for (const auto& [var, coeff] : row.terms) {
+      tab.At(r, var) += sign * coeff;
+    }
+    tab.Rhs(r) = row.rhs;
+
+    if (row.sense == Sense::kLe) {
+      const size_t s = next_slack++;
+      tab.At(r, s) = 1.0;
+      tab.set_basis(r, static_cast<uint32_t>(s));
+    } else {
+      if (row.sense == Sense::kGe) {
+        const size_t s = next_slack++;
+        tab.At(r, s) = -1.0;
+      }
+      const size_t art = next_art++;
+      tab.At(r, art) = 1.0;
+      is_artificial[art] = 1;
+      tab.set_basis(r, static_cast<uint32_t>(art));
+    }
+  }
+
+  std::vector<char> allowed(n_total, 1);
+
+  // Phase 1: drive artificials to zero.
+  bool have_artificials = next_art > art_base;
+  if (have_artificials) {
+    std::vector<double> phase1_cost(n_total, 0.0);
+    for (size_t j = art_base; j < next_art; ++j) phase1_cost[j] = 1.0;
+    bool unbounded = false;
+    if (!tab.Optimize(phase1_cost, allowed, opts, &unbounded)) {
+      return Status::ResourceLimit("simplex phase-1 iteration limit");
+    }
+    IDXSEL_CHECK(!unbounded);  // phase-1 objective is bounded below by 0
+    if (tab.ObjectiveOf(phase1_cost) > 1e-6) {
+      return Status::Infeasible("no feasible point");
+    }
+    // Pivot remaining basic artificials out; drop redundant rows.
+    for (size_t r = tab.num_rows(); r-- > 0;) {
+      if (!is_artificial[tab.basis(r)]) continue;
+      size_t enter = n_total;
+      for (size_t j = 0; j < art_base; ++j) {
+        if (std::abs(tab.At(r, j)) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_total) {
+        tab.DropRow(r);
+      } else {
+        tab.Pivot(r, enter, nullptr);
+      }
+    }
+    for (size_t j = art_base; j < n_total; ++j) allowed[j] = 0;
+  }
+
+  // Phase 2: original objective.
+  std::vector<double> cost(n_total, 0.0);
+  for (uint32_t v = 0; v < n0; ++v) cost[v] = model.objective_coeff(v);
+  bool unbounded = false;
+  if (!tab.Optimize(cost, allowed, opts, &unbounded)) {
+    return Status::ResourceLimit("simplex phase-2 iteration limit");
+  }
+  if (unbounded) {
+    return Status::InvalidArgument("LP is unbounded");
+  }
+
+  LpSolution solution;
+  solution.values.resize(n0);
+  for (uint32_t v = 0; v < n0; ++v) solution.values[v] = tab.Value(v);
+  solution.objective = tab.ObjectiveOf(cost);
+  return solution;
+}
+
+}  // namespace idxsel::lp

@@ -1,0 +1,43 @@
+// Dense two-phase primal simplex.
+//
+// Exact (up to floating-point tolerance) LP solver used for the LP
+// relaxations of small CoPhy instances and as an independent oracle in the
+// solver test-suites. Dense tableau — intended for models up to a few
+// thousand variables; the large-instance path goes through the
+// combinatorial bounds in idxsel::mip instead.
+//
+// Pivoting uses Dantzig's rule with a Bland fallback after a stall budget,
+// which guarantees termination.
+
+#ifndef IDXSEL_LP_SIMPLEX_H_
+#define IDXSEL_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lp/model.h"
+
+namespace idxsel::lp {
+
+/// Solver outcome: primal solution and objective.
+struct LpSolution {
+  double objective = 0.0;
+  std::vector<double> values;  ///< One entry per model variable.
+};
+
+/// Options controlling numerical behaviour.
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  uint64_t max_iterations = 1'000'000;
+};
+
+/// Solves `model` to optimality.
+///
+/// Returns kInfeasible when no point satisfies the constraints, and
+/// kInvalidArgument for unbounded problems (the models built in this
+/// library are always bounded by construction).
+Result<LpSolution> SolveLp(const Model& model, SimplexOptions options = {});
+
+}  // namespace idxsel::lp
+
+#endif  // IDXSEL_LP_SIMPLEX_H_

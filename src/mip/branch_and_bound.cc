@@ -1,0 +1,349 @@
+#include "mip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/stopwatch.h"
+
+namespace idxsel::mip {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Depth-first branch-and-bound engine; see header for the method.
+class Engine {
+ public:
+  Engine(const Problem& problem, const SolveOptions& options)
+      : p_(problem),
+        opts_(options),
+        state_(problem.num_candidates(), kFree),
+        cur_cost_(problem.base_cost) {}
+
+  SolveResult Run() {
+    // Root incumbent from lazy density greedy.
+    const std::vector<uint32_t> greedy = GreedyByDensity(p_);
+    double greedy_benefit = 0.0;
+    {
+      std::vector<std::pair<uint32_t, double>> undo;
+      for (uint32_t k : greedy) greedy_benefit += Apply(k, &undo);
+      RecordGreedyIncumbent(greedy, greedy_benefit);
+      for (uint32_t k : greedy) used_memory_ -= p_.candidate_memory[k];
+      Revert(undo);
+    }
+
+    Dfs(0.0);
+
+    SolveResult result;
+    result.nodes = nodes_;
+    result.wall_seconds = watch_.ElapsedSeconds();
+    result.objective = p_.TotalBaseCost() - incumbent_benefit_;
+    result.selected = incumbent_;
+    // Proven bound: explored subtrees are exact; pruned/abandoned ones
+    // contribute their recorded cost lower bounds.
+    result.best_bound = std::min(result.objective, pruned_lb_min_);
+    result.gap = Gap(result.objective, result.best_bound);
+    result.proven_optimal = !stopped_ && result.gap <= opts_.mip_gap + kEps;
+    if (stopped_) {
+      result.status = timeout_ ? Status::Timeout("time limit reached")
+                               : Status::ResourceLimit("node limit reached");
+    } else {
+      result.status = Status::Ok();
+    }
+    return result;
+  }
+
+ private:
+  enum CandidateState : char { kFree = 0, kIn = 1, kOut = 2 };
+
+  static double Gap(double objective, double bound) {
+    const double denom = std::max(std::abs(objective), 1e-10);
+    return std::max(0.0, objective - bound) / denom;
+  }
+
+  /// Exact *net* marginal benefit of k against the current cur_cost_
+  /// state: read gains minus k's modular selection penalty.
+  double Marginal(uint32_t k) const {
+    double mu = -p_.penalty(k);
+    for (const QueryCost& qc : p_.candidate_costs[k]) {
+      const double gain = cur_cost_[qc.query] - qc.cost;
+      if (gain > 0.0) mu += p_.query_weight[qc.query] * gain;
+    }
+    return mu;
+  }
+
+  /// Commits k: updates per-query costs (with undo log) and the running
+  /// memory total; returns the exact net marginal benefit realized.
+  double Apply(uint32_t k, std::vector<std::pair<uint32_t, double>>* undo) {
+    double mu = -p_.penalty(k);
+    for (const QueryCost& qc : p_.candidate_costs[k]) {
+      const double gain = cur_cost_[qc.query] - qc.cost;
+      if (gain > 0.0) {
+        mu += p_.query_weight[qc.query] * gain;
+        undo->emplace_back(qc.query, cur_cost_[qc.query]);
+        cur_cost_[qc.query] = qc.cost;
+      }
+    }
+    used_memory_ += p_.candidate_memory[k];
+    return mu;
+  }
+
+  void Revert(const std::vector<std::pair<uint32_t, double>>& undo) {
+    // Replay in reverse so overlapping updates restore correctly.
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      cur_cost_[it->first] = it->second;
+    }
+  }
+
+  void RecordIncumbent(double benefit) {
+    if (benefit > incumbent_benefit_ + kEps) {
+      incumbent_benefit_ = benefit;
+      incumbent_.clear();
+      for (uint32_t k = 0; k < state_.size(); ++k) {
+        if (state_[k] == kIn) incumbent_.push_back(k);
+      }
+    }
+  }
+
+  /// Records an incumbent coming from the root greedy (selection passed in
+  /// `GreedyByDensity` order rather than via state_).
+  void RecordGreedyIncumbent(const std::vector<uint32_t>& selection,
+                             double benefit) {
+    if (benefit > incumbent_benefit_ + kEps) {
+      incumbent_benefit_ = benefit;
+      incumbent_ = selection;
+    }
+  }
+
+  bool Deadline() {
+    if (stopped_) return true;
+    if (nodes_ >= opts_.max_nodes) {
+      stopped_ = true;
+      timeout_ = false;
+      return true;
+    }
+    if ((nodes_ & 0x3f) == 0 &&
+        watch_.ElapsedSeconds() > opts_.time_limit_seconds) {
+      stopped_ = true;
+      timeout_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void RecordPrunedBound(double node_benefit_ub) {
+    const double lb = p_.TotalBaseCost() - node_benefit_ub;
+    pruned_lb_min_ = std::min(pruned_lb_min_, lb);
+  }
+
+  void Dfs(double current_benefit) {
+    ++nodes_;
+
+    // Two complementary upper bounds on the additional benefit:
+    //  * fractional knapsack over marginal values (budget-aware, but
+    //    overcounts when candidates cannibalize each other), and
+    //  * per-query potential: no query can improve past the cheapest cost
+    //    any affordable free candidate offers it (overlap-aware, but
+    //    budget-blind).
+    // The node bound is the minimum of the two.
+    struct Item {
+      double mu;
+      double density;
+      uint32_t k;
+    };
+    std::vector<Item> items;
+    const double remaining = p_.budget - used_memory_;
+    query_floor_ = cur_cost_;
+    for (uint32_t k = 0; k < state_.size(); ++k) {
+      if (state_[k] != kFree) continue;
+      if (p_.candidate_memory[k] > remaining + kEps) continue;
+      const double mu = Marginal(k);
+      if (mu <= kEps) continue;
+      for (const QueryCost& qc : p_.candidate_costs[k]) {
+        if (qc.cost < query_floor_[qc.query]) {
+          query_floor_[qc.query] = qc.cost;
+        }
+      }
+      items.push_back(Item{mu, mu / std::max(kEps, p_.candidate_memory[k]), k});
+    }
+
+    if (items.empty()) {
+      RecordIncumbent(current_benefit);
+      return;
+    }
+
+    // Monotonicity shortcut: without selection penalties, benefits only
+    // grow with the selection, so if every remaining beneficial candidate
+    // fits the leftover budget simultaneously, taking all of them is the
+    // exact subtree optimum — no branching needed. (This also makes the
+    // budget-unconstrained case, where the knapsack bound is weakest, O(1)
+    // nodes.) With penalties the objective is no longer monotone and the
+    // shortcut is disabled.
+    double items_weight = 0.0;
+    for (const Item& item : items) {
+      items_weight += p_.candidate_memory[item.k];
+    }
+    if (!p_.has_penalties() && items_weight <= remaining + kEps) {
+      std::vector<std::pair<uint32_t, double>> undo;
+      double benefit = current_benefit;
+      for (const Item& item : items) {
+        state_[item.k] = kIn;
+        benefit += Apply(item.k, &undo);
+      }
+      RecordIncumbent(benefit);
+      for (const Item& item : items) {
+        state_[item.k] = kFree;
+        used_memory_ -= p_.candidate_memory[item.k];
+      }
+      Revert(undo);
+      return;
+    }
+
+    std::sort(items.begin(), items.end(), [](const Item& x, const Item& y) {
+      if (x.density != y.density) return x.density > y.density;
+      return x.k < y.k;
+    });
+    double fill = remaining;
+    double knapsack = 0.0;
+    uint32_t branch_k = items.front().k;
+    bool found_critical = false;
+    for (const Item& item : items) {
+      const double w = p_.candidate_memory[item.k];
+      if (w <= fill) {
+        knapsack += item.mu;
+        fill -= w;
+      } else {
+        knapsack += item.mu * (fill / w);
+        branch_k = item.k;  // critical item
+        found_critical = true;
+        break;
+      }
+    }
+    (void)found_critical;
+
+    double query_potential = 0.0;
+    for (size_t j = 0; j < cur_cost_.size(); ++j) {
+      query_potential += p_.query_weight[j] * (cur_cost_[j] - query_floor_[j]);
+    }
+
+    const double node_ub =
+        current_benefit + std::min(knapsack, query_potential);
+    const double incumbent_cost = p_.TotalBaseCost() - incumbent_benefit_;
+    const double gap_abs = opts_.mip_gap * std::max(std::abs(incumbent_cost), 1e-10);
+    const double node_lb_cost = p_.TotalBaseCost() - node_ub;
+    if (node_lb_cost >= incumbent_cost - gap_abs - kEps) {
+      RecordPrunedBound(node_ub);
+      return;
+    }
+    if (Deadline()) {
+      RecordPrunedBound(node_ub);
+      return;
+    }
+
+    // Include branch first (greedy-like dive).
+    {
+      state_[branch_k] = kIn;
+      std::vector<std::pair<uint32_t, double>> undo;
+      const double mu = Apply(branch_k, &undo);
+      Dfs(current_benefit + mu);
+      used_memory_ -= p_.candidate_memory[branch_k];
+      Revert(undo);
+      state_[branch_k] = kFree;
+    }
+    if (stopped_) {
+      // The exclude branch is abandoned; its optimum is covered by node_ub.
+      RecordPrunedBound(node_ub);
+      return;
+    }
+    {
+      state_[branch_k] = kOut;
+      Dfs(current_benefit);
+      state_[branch_k] = kFree;
+    }
+  }
+
+  const Problem& p_;
+  SolveOptions opts_;
+  Stopwatch watch_;
+
+  std::vector<char> state_;
+  std::vector<double> cur_cost_;
+  double used_memory_ = 0.0;
+
+  double incumbent_benefit_ = 0.0;
+  std::vector<uint32_t> incumbent_;
+
+  std::vector<double> query_floor_;  // per-node scratch for the query bound
+  double pruned_lb_min_ = std::numeric_limits<double>::infinity();
+  uint64_t nodes_ = 0;
+  bool stopped_ = false;
+  bool timeout_ = false;
+};
+
+}  // namespace
+
+std::vector<uint32_t> GreedyByDensity(const Problem& problem) {
+  // CELF lazy greedy: cached marginals only shrink as the selection grows,
+  // so a stale queue entry is an upper bound and can be re-evaluated on pop.
+  struct Entry {
+    double density;
+    uint32_t k;
+    uint64_t stamp;
+    bool operator<(const Entry& other) const {
+      if (density != other.density) return density < other.density;
+      return k > other.k;
+    }
+  };
+  std::vector<double> cur_cost = problem.base_cost;
+  auto marginal = [&](uint32_t k) {
+    double mu = -problem.penalty(k);
+    for (const QueryCost& qc : problem.candidate_costs[k]) {
+      const double gain = cur_cost[qc.query] - qc.cost;
+      if (gain > 0.0) mu += problem.query_weight[qc.query] * gain;
+    }
+    return mu;
+  };
+
+  std::priority_queue<Entry> queue;
+  for (uint32_t k = 0; k < problem.num_candidates(); ++k) {
+    if (problem.candidate_memory[k] > problem.budget + kEps) continue;
+    const double mu = marginal(k);
+    if (mu <= kEps) continue;
+    queue.push(Entry{mu / std::max(kEps, problem.candidate_memory[k]), k, 0});
+  }
+
+  std::vector<uint32_t> selection;
+  double used = 0.0;
+  uint64_t stamp = 0;
+  while (!queue.empty()) {
+    Entry top = queue.top();
+    queue.pop();
+    if (used + problem.candidate_memory[top.k] > problem.budget + kEps) {
+      continue;  // no longer affordable; drop
+    }
+    if (top.stamp != stamp) {
+      const double mu = marginal(top.k);
+      if (mu <= kEps) continue;
+      queue.push(
+          Entry{mu / std::max(kEps, problem.candidate_memory[top.k]), top.k,
+                stamp});
+      continue;
+    }
+    // Fresh top entry: take it.
+    for (const QueryCost& qc : problem.candidate_costs[top.k]) {
+      if (qc.cost < cur_cost[qc.query]) cur_cost[qc.query] = qc.cost;
+    }
+    used += problem.candidate_memory[top.k];
+    selection.push_back(top.k);
+    ++stamp;
+  }
+  std::sort(selection.begin(), selection.end());
+  return selection;
+}
+
+SolveResult Solve(const Problem& problem, const SolveOptions& options) {
+  Engine engine(problem, options);
+  return engine.Run();
+}
+
+}  // namespace idxsel::mip

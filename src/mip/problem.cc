@@ -1,0 +1,50 @@
+#include "mip/problem.h"
+
+#include <algorithm>
+
+namespace idxsel::mip {
+
+std::vector<uint32_t> Problem::Canonicalize() {
+  IDXSEL_CHECK_EQ(query_weight.size(), base_cost.size());
+  IDXSEL_CHECK_EQ(candidate_costs.size(), candidate_memory.size());
+
+  const bool penalties = has_penalties();
+  if (penalties) {
+    IDXSEL_CHECK_EQ(candidate_penalty.size(), candidate_costs.size());
+  }
+
+  std::vector<uint32_t> mapping;
+  mapping.reserve(candidate_costs.size());
+  std::vector<std::vector<QueryCost>> kept_costs;
+  std::vector<double> kept_memory;
+  std::vector<double> kept_penalty;
+  for (uint32_t k = 0; k < candidate_costs.size(); ++k) {
+    std::vector<QueryCost>& list = candidate_costs[k];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const QueryCost& qc) {
+                                IDXSEL_DCHECK(qc.query < base_cost.size());
+                                return qc.cost >= base_cost[qc.query];
+                              }),
+               list.end());
+    if (list.empty() || candidate_memory[k] > budget) continue;
+    if (penalties) {
+      // Drop candidates whose maintenance penalty already exceeds the
+      // largest benefit they could ever deliver.
+      double max_gain = 0.0;
+      for (const QueryCost& qc : list) {
+        max_gain += query_weight[qc.query] * (base_cost[qc.query] - qc.cost);
+      }
+      if (candidate_penalty[k] >= max_gain) continue;
+    }
+    mapping.push_back(k);
+    kept_costs.push_back(std::move(list));
+    kept_memory.push_back(candidate_memory[k]);
+    if (penalties) kept_penalty.push_back(candidate_penalty[k]);
+  }
+  candidate_costs = std::move(kept_costs);
+  candidate_memory = std::move(kept_memory);
+  candidate_penalty = std::move(kept_penalty);
+  return mapping;
+}
+
+}  // namespace idxsel::mip

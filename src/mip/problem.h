@@ -1,0 +1,71 @@
+// The index-selection binary program in solver-ready form.
+//
+// CoPhy's BIP (eqs. 5-8) has a special structure: once the index-selection
+// variables x are fixed, the assignment variables z are trivially optimal
+// (every query takes its cheapest selected applicable index, or none).
+// The solver therefore works directly on
+//
+//   minimize   sum_j b_j * min( f_j(0), min_{k selected, k in I_j} f_j(k) )
+//   subject to sum_{k selected} p_k <= A,     selection subset of candidates
+//
+// which is equivalent to the full LP formulation but has |I| binary
+// variables instead of |I| + sum_j |I_j|.
+
+#ifndef IDXSEL_MIP_PROBLEM_H_
+#define IDXSEL_MIP_PROBLEM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace idxsel::mip {
+
+/// One (query, cost) entry of a candidate's benefit list.
+struct QueryCost {
+  uint32_t query = 0;
+  double cost = 0.0;  ///< f_j(k), guaranteed < f_j(0) after Canonicalize().
+};
+
+/// Solver input. Build directly or via cophy::BuildProblem.
+struct Problem {
+  std::vector<double> query_weight;  ///< b_j, length Q.
+  std::vector<double> base_cost;     ///< f_j(0), length Q.
+  /// candidate_costs[k]: the queries candidate k is applicable and
+  /// beneficial to, with their costs f_j(k).
+  std::vector<std::vector<QueryCost>> candidate_costs;
+  std::vector<double> candidate_memory;  ///< p_k, aligned with the above.
+  /// Modular selection penalty per candidate (write/maintenance costs paid
+  /// whenever the candidate is selected); empty = all zero.
+  std::vector<double> candidate_penalty;
+  double budget = 0.0;                   ///< A.
+
+  size_t num_queries() const { return query_weight.size(); }
+  size_t num_candidates() const { return candidate_costs.size(); }
+
+  /// Penalty of candidate k (0 when candidate_penalty is empty).
+  double penalty(size_t k) const {
+    return candidate_penalty.empty() ? 0.0 : candidate_penalty[k];
+  }
+  bool has_penalties() const { return !candidate_penalty.empty(); }
+
+  /// Total weighted cost with no index at all: sum_j b_j f_j(0). This is
+  /// the objective's upper anchor; benefits are measured against it.
+  double TotalBaseCost() const {
+    double total = 0.0;
+    for (size_t j = 0; j < query_weight.size(); ++j) {
+      total += query_weight[j] * base_cost[j];
+    }
+    return total;
+  }
+
+  /// Drops useless entries (f_j(k) >= f_j(0)) and candidates that are
+  /// non-beneficial or over budget on their own; returns the mapping from
+  /// new candidate position to original position.
+  std::vector<uint32_t> Canonicalize();
+};
+
+}  // namespace idxsel::mip
+
+#endif  // IDXSEL_MIP_PROBLEM_H_

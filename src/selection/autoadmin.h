@@ -1,0 +1,45 @@
+// AutoAdmin-style two-step selection — Chaudhuri & Narasayya's Microsoft
+// SQL Server tool [13], as characterized in the paper's related work:
+//
+//   1. Candidate selection: only indexes that are the *best* index for at
+//      least one query become candidates ("potentially resulting in wasted
+//      potential").
+//   2. Greedy enumeration: repeatedly add the candidate with the largest
+//      total workload-cost reduction, re-evaluated against the current
+//      configuration, until the stop criterion fires. The original tool
+//      stops at a fixed *number* of indexes; the paper argues for a memory
+//      budget instead — both criteria are supported.
+
+#ifndef IDXSEL_SELECTION_AUTOADMIN_H_
+#define IDXSEL_SELECTION_AUTOADMIN_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "selection/heuristics.h"
+
+namespace idxsel::selection {
+
+/// Stop criterion of the greedy enumeration.
+struct AutoAdminOptions {
+  /// Stop after this many indexes (the original tool's constraint).
+  size_t max_indexes = std::numeric_limits<size_t>::max();
+  /// And/or stop when the memory budget would be exceeded.
+  double budget = std::numeric_limits<double>::infinity();
+  uint32_t candidate_max_width = 4;
+};
+
+/// Result plus the per-query best candidates (step 1's output), exposed so
+/// tests and benches can inspect the pruning.
+struct AutoAdminResult {
+  SelectionResult selection;
+  CandidateSet candidates;  ///< "Best index for >= 1 query" set.
+};
+
+/// Runs the two-step AutoAdmin procedure over the engine's workload.
+AutoAdminResult SelectAutoAdmin(WhatIfEngine& engine,
+                                const AutoAdminOptions& options);
+
+}  // namespace idxsel::selection
+
+#endif  // IDXSEL_SELECTION_AUTOADMIN_H_

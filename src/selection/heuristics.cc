@@ -1,0 +1,140 @@
+#include "selection/heuristics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace idxsel::selection {
+namespace {
+
+/// Walks `ranking` (already ordered best-first) and takes every candidate
+/// that still fits the budget.
+IndexConfig GreedyFill(WhatIfEngine& engine, const CandidateSet& candidates,
+                       const std::vector<uint32_t>& ranking, double budget) {
+  IndexConfig config;
+  double used = 0.0;
+  for (uint32_t c : ranking) {
+    const double mem = engine.IndexMemory(candidates[c]);
+    if (used + mem > budget) continue;
+    if (config.Insert(candidates[c])) used += mem;
+  }
+  return config;
+}
+
+SelectionResult Finish(std::string name, WhatIfEngine& engine,
+                       IndexConfig config, double selector_seconds) {
+  SelectionResult result;
+  result.name = std::move(name);
+  result.memory = engine.ConfigMemory(config);
+  result.objective = engine.WorkloadCost(config);
+  result.selection = std::move(config);
+  result.runtime_seconds = selector_seconds;
+  return result;
+}
+
+/// Individually-measured workload benefit of candidate c:
+/// sum over applicable queries of b_j * max(0, f_j(0) - f_j(k)), minus the
+/// maintenance penalty write queries inflict on k.
+double StaticBenefit(WhatIfEngine& engine, const Index& k) {
+  const workload::Workload& workload = engine.workload();
+  double benefit = -engine.MaintenancePenalty(k);
+  for (workload::QueryId j : workload.queries_with(k.leading())) {
+    const double gain = engine.BaseCost(j) - engine.CostWithIndex(j, k);
+    if (gain > 0.0) benefit += workload.query(j).frequency * gain;
+  }
+  return benefit;
+}
+
+}  // namespace
+
+SelectionResult SelectRuleBased(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                RuleHeuristic heuristic) {
+  Stopwatch watch;
+  const workload::Workload& workload = engine.workload();
+
+  // Lower score = better.
+  auto score_of = [&](const Index& k) {
+    double occurrences = 0.0;
+    double selectivity = 1.0;
+    for (workload::AttributeId a : k.attributes()) {
+      occurrences += workload.occurrence_weight(a);
+      selectivity *= workload.attribute(a).selectivity();
+    }
+    switch (heuristic) {
+      case RuleHeuristic::kH1:
+        return -occurrences;
+      case RuleHeuristic::kH2:
+        return selectivity;
+      case RuleHeuristic::kH3:
+        return occurrences > 0.0 ? selectivity / occurrences
+                                 : std::numeric_limits<double>::infinity();
+    }
+    return 0.0;
+  };
+
+  std::vector<std::pair<double, uint32_t>> scored(candidates.size());
+  for (uint32_t c = 0; c < candidates.size(); ++c) {
+    scored[c] = {score_of(candidates[c]), c};
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<uint32_t> ranking(scored.size());
+  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
+
+  IndexConfig config = GreedyFill(engine, candidates, ranking, budget);
+  const double seconds = watch.ElapsedSeconds();
+  const char* name = heuristic == RuleHeuristic::kH1
+                         ? "H1"
+                         : (heuristic == RuleHeuristic::kH2 ? "H2" : "H3");
+  return Finish(name, engine, std::move(config), seconds);
+}
+
+SelectionResult SelectByBenefit(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                bool use_skyline) {
+  const CandidateSet* pool = &candidates;
+  CandidateSet filtered;
+  if (use_skyline) {
+    filtered = candidates::SkylineFilter(candidates, engine);
+    pool = &filtered;
+  }
+  Stopwatch watch;
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(pool->size());
+  for (uint32_t c = 0; c < pool->size(); ++c) {
+    const double benefit = StaticBenefit(engine, (*pool)[c]);
+    if (benefit > 0.0) scored.emplace_back(-benefit, c);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<uint32_t> ranking(scored.size());
+  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
+
+  IndexConfig config = GreedyFill(engine, *pool, ranking, budget);
+  const double seconds = watch.ElapsedSeconds();
+  return Finish(use_skyline ? "H4+skyline" : "H4", engine, std::move(config),
+                seconds);
+}
+
+SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
+                                       const CandidateSet& candidates,
+                                       double budget) {
+  Stopwatch watch;
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(candidates.size());
+  for (uint32_t c = 0; c < candidates.size(); ++c) {
+    const double benefit = StaticBenefit(engine, candidates[c]);
+    if (benefit <= 0.0) continue;
+    const double mem = engine.IndexMemory(candidates[c]);
+    scored.emplace_back(-benefit / std::max(1.0, mem), c);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<uint32_t> ranking(scored.size());
+  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
+
+  IndexConfig config = GreedyFill(engine, candidates, ranking, budget);
+  const double seconds = watch.ElapsedSeconds();
+  return Finish("H5", engine, std::move(config), seconds);
+}
+
+}  // namespace idxsel::selection

@@ -1,0 +1,67 @@
+// Rule-based and greedy selection baselines (H1)-(H5) of Definition 1.
+//
+// All five pick from a *fixed* candidate set I and a memory budget A, and
+// none of them accounts for index interaction adaptively — that is the
+// paper's point of comparison against the recursive strategy (H6,
+// idxsel::core::RecursiveSelector):
+//
+//   (H1) most frequency-weighted attribute occurrences g_i,
+//   (H2) smallest (combined) selectivity,
+//   (H3) smallest selectivity / occurrence ratio,
+//   (H4) largest individually-measured workload benefit
+//        (optionally on skyline-filtered candidates, cf. Kimura et al.),
+//   (H5) largest individually-measured benefit-per-byte
+//        (DB2 advisor starting solution, cf. Valentin et al.).
+//
+// Greedy semantics: candidates are ranked once by their static score;
+// the ranking is walked in order and every candidate that still fits the
+// remaining budget is taken (standard knapsack greedy).
+
+#ifndef IDXSEL_SELECTION_HEURISTICS_H_
+#define IDXSEL_SELECTION_HEURISTICS_H_
+
+#include <string>
+
+#include "candidates/candidates.h"
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+
+namespace idxsel::selection {
+
+using candidates::CandidateSet;
+using costmodel::Index;
+using costmodel::IndexConfig;
+using costmodel::WhatIfEngine;
+
+/// Result of one selector run.
+struct SelectionResult {
+  std::string name;        ///< "H1", "H4+skyline", ...
+  IndexConfig selection;
+  double objective = 0.0;  ///< F(selection) = sum_j b_j f_j(selection).
+  double memory = 0.0;     ///< P(selection) in bytes.
+  double runtime_seconds = 0.0;  ///< Selector time excluding what-if calls
+                                 ///< issued for the final objective.
+};
+
+/// Enumerates the heuristics for table-driven benches/tests.
+enum class RuleHeuristic { kH1, kH2, kH3 };
+
+/// (H1)-(H3): rule-based scores; no what-if calls are needed to rank.
+SelectionResult SelectRuleBased(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                RuleHeuristic heuristic);
+
+/// (H4): greedy by individually-measured benefit. When `use_skyline` is
+/// set, dominated candidates are removed first (the skyline method).
+SelectionResult SelectByBenefit(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                bool use_skyline);
+
+/// (H5): greedy by individually-measured benefit per byte.
+SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
+                                       const CandidateSet& candidates,
+                                       double budget);
+
+}  // namespace idxsel::selection
+
+#endif  // IDXSEL_SELECTION_HEURISTICS_H_

@@ -1,0 +1,180 @@
+#include "selection/shuffle.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace idxsel::selection {
+namespace {
+
+/// Incremental objective tracker over a fixed candidate set: per-query
+/// cheapest cost over the selected candidates (one-index setting) plus the
+/// modular maintenance penalties.
+class ObjectiveTracker {
+ public:
+  ObjectiveTracker(WhatIfEngine& engine, const CandidateSet& candidates)
+      : engine_(engine), candidates_(candidates),
+        selected_(candidates.size(), 0) {
+    const workload::Workload& w = engine.workload();
+    applicability_ =
+        candidates::ComputeApplicability(w, candidates);
+    objective_ = 0.0;
+    best_cost_.resize(w.num_queries());
+    for (workload::QueryId j = 0; j < w.num_queries(); ++j) {
+      best_cost_[j] = engine.BaseCost(j);
+      objective_ += w.query(j).frequency * best_cost_[j];
+    }
+  }
+
+  double objective() const { return objective_; }
+  double memory() const { return memory_; }
+  bool selected(uint32_t c) const { return selected_[c] != 0; }
+
+  /// Adds candidate c (must not be selected).
+  void Add(uint32_t c) {
+    IDXSEL_DCHECK(!selected_[c]);
+    selected_[c] = 1;
+    memory_ += engine_.IndexMemory(candidates_[c]);
+    objective_ += engine_.MaintenancePenalty(candidates_[c]);
+    const workload::Workload& w = engine_.workload();
+    for (workload::QueryId j :
+         w.queries_with(candidates_[c].leading())) {
+      const double cost = engine_.CostWithIndex(j, candidates_[c]);
+      if (cost < best_cost_[j]) {
+        objective_ -= w.query(j).frequency * (best_cost_[j] - cost);
+        best_cost_[j] = cost;
+      }
+    }
+  }
+
+  /// Removes candidate c (must be selected); per-query costs of its
+  /// queries are recomputed over the remaining selection.
+  void Remove(uint32_t c) {
+    IDXSEL_DCHECK(selected_[c]);
+    selected_[c] = 0;
+    memory_ -= engine_.IndexMemory(candidates_[c]);
+    objective_ -= engine_.MaintenancePenalty(candidates_[c]);
+    const workload::Workload& w = engine_.workload();
+    for (workload::QueryId j :
+         w.queries_with(candidates_[c].leading())) {
+      double best = engine_.BaseCost(j);
+      for (uint32_t other : applicability_[j]) {
+        if (!selected_[other]) continue;
+        best = std::min(best,
+                        engine_.CostWithIndex(j, candidates_[other]));
+      }
+      objective_ += w.query(j).frequency * (best - best_cost_[j]);
+      best_cost_[j] = best;
+    }
+  }
+
+  IndexConfig ToConfig() const {
+    IndexConfig config;
+    for (uint32_t c = 0; c < candidates_.size(); ++c) {
+      if (selected_[c]) config.Insert(candidates_[c]);
+    }
+    return config;
+  }
+
+ private:
+  WhatIfEngine& engine_;
+  const CandidateSet& candidates_;
+  std::vector<std::vector<uint32_t>> applicability_;
+  std::vector<char> selected_;
+  std::vector<double> best_cost_;
+  double objective_ = 0.0;
+  double memory_ = 0.0;
+};
+
+}  // namespace
+
+ShuffleResult SelectByShuffling(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                const ShuffleOptions& options) {
+  Stopwatch watch;
+  ShuffleResult result;
+
+  // Starting solution: (H5), per Valentin et al.
+  const SelectionResult start =
+      SelectByBenefitPerSize(engine, candidates, budget);
+
+  ObjectiveTracker tracker(engine, candidates);
+  std::vector<uint32_t> in;   // selected candidate positions
+  std::vector<uint32_t> out;  // unselected candidate positions
+  {
+    std::unordered_map<costmodel::Index, uint32_t, costmodel::IndexHash>
+        position;
+    for (uint32_t c = 0; c < candidates.size(); ++c) position[candidates[c]] = c;
+    for (const costmodel::Index& k : start.selection.indexes()) {
+      const uint32_t c = position.at(k);
+      tracker.Add(c);
+      in.push_back(c);
+    }
+    for (uint32_t c = 0; c < candidates.size(); ++c) {
+      if (!tracker.selected(c)) out.push_back(c);
+    }
+  }
+
+  Rng rng(options.seed);
+  for (uint64_t iter = 0; iter < options.max_iterations; ++iter) {
+    if ((iter & 0x1f) == 0 &&
+        watch.ElapsedSeconds() > options.time_limit_seconds) {
+      break;
+    }
+    ++result.iterations;
+    if (options.trace_every != 0 && iter % options.trace_every == 0) {
+      result.objective_trace.emplace_back(iter, tracker.objective());
+    }
+    if (in.empty() || out.empty()) break;
+
+    // Random substitution: drop one selected index, then greedily pull in
+    // random unselected candidates that fit the freed budget.
+    const size_t drop_pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(in.size()) - 1));
+    const uint32_t dropped = in[drop_pos];
+    const double objective_before = tracker.objective();
+    tracker.Remove(dropped);
+
+    std::vector<uint32_t> pulled;
+    const size_t attempts = std::min<size_t>(out.size(), 8);
+    for (size_t attempt = 0; attempt < attempts; ++attempt) {
+      const size_t pull_pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+      const uint32_t candidate = out[pull_pos];
+      if (tracker.selected(candidate)) continue;
+      if (tracker.memory() + engine.IndexMemory(candidates[candidate]) >
+          budget) {
+        continue;
+      }
+      tracker.Add(candidate);
+      pulled.push_back(candidate);
+    }
+
+    if (tracker.objective() < objective_before - 1e-9) {
+      // Accept: update the in/out bookkeeping.
+      ++result.accepted;
+      in.erase(in.begin() + static_cast<long>(drop_pos));
+      for (uint32_t candidate : pulled) {
+        in.push_back(candidate);
+        out.erase(std::find(out.begin(), out.end(), candidate));
+      }
+      out.push_back(dropped);
+    } else {
+      // Revert.
+      for (auto it = pulled.rbegin(); it != pulled.rend(); ++it) {
+        tracker.Remove(*it);
+      }
+      tracker.Add(dropped);
+    }
+  }
+
+  result.selection.name = "H5+shuffle";
+  result.selection.selection = tracker.ToConfig();
+  result.selection.objective = tracker.objective();
+  result.selection.memory = tracker.memory();
+  result.selection.runtime_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace idxsel::selection

@@ -1,0 +1,46 @@
+// Randomized substitution search — the DB2-advisor mechanism of Valentin
+// et al. [9], which the paper contrasts with Algorithm 1's targeted
+// construction (Section II-D: "the starting solution is often far away
+// from optimal and the shuffling is not targeted, it can take a long time
+// to obtain optimized results").
+//
+// Procedure: start from the (H5) greedy-by-benefit-per-size solution, then
+// repeatedly try random substitutions — swap a selected index for one or
+// more unselected candidates that fit the freed budget — accepting only
+// improvements, until an iteration budget or time limit runs out.
+
+#ifndef IDXSEL_SELECTION_SHUFFLE_H_
+#define IDXSEL_SELECTION_SHUFFLE_H_
+
+#include <cstdint>
+
+#include "selection/heuristics.h"
+
+namespace idxsel::selection {
+
+/// Knobs of the randomized search.
+struct ShuffleOptions {
+  uint64_t seed = 1;
+  uint64_t max_iterations = 2000;   ///< Substitution attempts.
+  double time_limit_seconds = 10.0;
+  /// Record the objective every `trace_every` iterations (0 = no trace).
+  uint64_t trace_every = 0;
+};
+
+/// Result of the shuffle search; `objective_trace` (optional) records the
+/// convergence curve for the bench.
+struct ShuffleResult {
+  SelectionResult selection;
+  uint64_t iterations = 0;
+  uint64_t accepted = 0;  ///< Improving substitutions found.
+  std::vector<std::pair<uint64_t, double>> objective_trace;
+};
+
+/// Runs (H5) + randomized substitution over `candidates` within `budget`.
+ShuffleResult SelectByShuffling(WhatIfEngine& engine,
+                                const CandidateSet& candidates, double budget,
+                                const ShuffleOptions& options = {});
+
+}  // namespace idxsel::selection
+
+#endif  // IDXSEL_SELECTION_SHUFFLE_H_

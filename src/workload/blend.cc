@@ -1,0 +1,66 @@
+#include "workload/blend.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace idxsel::workload {
+
+bool SameSchema(const Workload& a, const Workload& b) {
+  if (a.num_tables() != b.num_tables() ||
+      a.num_attributes() != b.num_attributes()) {
+    return false;
+  }
+  for (TableId t = 0; t < a.num_tables(); ++t) {
+    if (a.table(t).row_count != b.table(t).row_count ||
+        a.table(t).attributes != b.table(t).attributes) {
+      return false;
+    }
+  }
+  for (AttributeId i = 0; i < a.num_attributes(); ++i) {
+    const AttributeStats& x = a.attribute(i);
+    const AttributeStats& y = b.attribute(i);
+    if (x.table != y.table || x.distinct_values != y.distinct_values ||
+        x.value_size != y.value_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Workload BlendWorkloads(const Workload& a, const Workload& b,
+                        double weight_b) {
+  IDXSEL_CHECK(SameSchema(a, b));
+  IDXSEL_CHECK_GE(weight_b, 0.0);
+  IDXSEL_CHECK_LE(weight_b, 1.0);
+
+  Workload blend;
+  for (TableId t = 0; t < a.num_tables(); ++t) {
+    blend.AddTable(a.table(t).name, a.table(t).row_count);
+    for (AttributeId i : a.table(t).attributes) {
+      blend.AddAttribute(t, a.attribute(i).distinct_values,
+                         a.attribute(i).value_size);
+    }
+  }
+
+  // Merge templates: key = (attributes, kind); blended frequency.
+  std::map<std::pair<std::vector<AttributeId>, QueryKind>, double> merged;
+  for (const Query& q : a.queries()) {
+    merged[{q.attributes, q.kind}] += (1.0 - weight_b) * q.frequency;
+  }
+  for (const Query& q : b.queries()) {
+    merged[{q.attributes, q.kind}] += weight_b * q.frequency;
+  }
+  for (const auto& [key, freq] : merged) {
+    if (!(freq > 0.0)) continue;  // one endpoint weight can zero a side
+    const auto& [attrs, kind] = key;
+    const TableId table = a.attribute(attrs.front()).table;
+    auto added = blend.AddQuery(table, attrs, freq, kind);
+    IDXSEL_CHECK(added.ok());
+  }
+  blend.Finalize();
+  IDXSEL_CHECK(blend.Validate().ok());
+  return blend;
+}
+
+}  // namespace idxsel::workload

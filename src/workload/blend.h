@@ -1,0 +1,31 @@
+// Workload blending — scaffolding for the paper's future-work direction
+// (Section VII): stochastic workloads that change over time and robust
+// selection across anticipated scenarios.
+//
+// BlendWorkloads mixes two same-schema workloads with scenario weights;
+// selecting indexes on the blend optimizes the expected cost over the
+// scenario distribution (frequencies are linear in eq. 1, so the blend is
+// exactly the expectation). bench_robustness uses it to quantify how a
+// selection tuned for yesterday's workload degrades under drift, and how
+// much blending recovers.
+
+#ifndef IDXSEL_WORKLOAD_BLEND_H_
+#define IDXSEL_WORKLOAD_BLEND_H_
+
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+
+/// Mixes `a` (weight 1 - weight_b) and `b` (weight weight_b) into one
+/// workload. Both must share the identical schema (tables/attributes by
+/// id); templates occurring in both are merged with blended frequencies.
+/// weight_b must lie in [0, 1].
+Workload BlendWorkloads(const Workload& a, const Workload& b,
+                        double weight_b);
+
+/// True iff the two workloads have identical tables and attributes.
+bool SameSchema(const Workload& a, const Workload& b);
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_BLEND_H_

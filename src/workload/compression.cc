@@ -1,0 +1,79 @@
+#include "workload/compression.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace idxsel::workload {
+namespace {
+
+/// Copies tables and attributes of `source` into a fresh workload so that
+/// all ids stay identical.
+Workload CloneSchema(const Workload& source) {
+  Workload clone;
+  for (TableId t = 0; t < source.num_tables(); ++t) {
+    const TableSchema& schema = source.table(t);
+    const TableId id = clone.AddTable(schema.name, schema.row_count);
+    IDXSEL_CHECK_EQ(id, t);
+    for (AttributeId a : schema.attributes) {
+      const AttributeStats& stats = source.attribute(a);
+      const AttributeId copied =
+          clone.AddAttribute(t, stats.distinct_values, stats.value_size);
+      IDXSEL_CHECK_EQ(copied, a);
+    }
+  }
+  return clone;
+}
+
+}  // namespace
+
+Workload MergeDuplicateTemplates(const Workload& workload) {
+  Workload merged = CloneSchema(workload);
+  // Reads and writes never merge with each other.
+  std::map<std::pair<std::vector<AttributeId>, QueryKind>, double>
+      frequency_by_template;
+  for (const Query& q : workload.queries()) {
+    frequency_by_template[{q.attributes, q.kind}] += q.frequency;
+  }
+  for (const auto& [key, freq] : frequency_by_template) {
+    const auto& [attrs, kind] = key;
+    const TableId table = workload.attribute(attrs.front()).table;
+    auto added = merged.AddQuery(table, attrs, freq, kind);
+    IDXSEL_CHECK(added.ok());
+  }
+  merged.Finalize();
+  IDXSEL_CHECK(merged.Validate().ok());
+  return merged;
+}
+
+Workload CompressTopK(const Workload& workload,
+                      const std::vector<double>& query_costs, size_t keep) {
+  IDXSEL_CHECK_EQ(query_costs.size(), workload.num_queries());
+  keep = std::min(keep, workload.num_queries());
+
+  std::vector<QueryId> order(workload.num_queries());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](QueryId x, QueryId y) {
+    if (query_costs[x] != query_costs[y]) {
+      return query_costs[x] > query_costs[y];
+    }
+    return x < y;
+  });
+  order.resize(keep);
+  std::sort(order.begin(), order.end());  // stable query numbering
+
+  Workload compressed = CloneSchema(workload);
+  for (QueryId j : order) {
+    const Query& q = workload.query(j);
+    auto added =
+        compressed.AddQuery(q.table, q.attributes, q.frequency, q.kind);
+    IDXSEL_CHECK(added.ok());
+  }
+  compressed.Finalize();
+  IDXSEL_CHECK(compressed.Validate().ok());
+  return compressed;
+}
+
+}  // namespace idxsel::workload

@@ -1,0 +1,32 @@
+// Workload compression (related work, Section VI).
+//
+// Large workloads can be pre-processed before index selection: Chaudhuri
+// et al. compress by query similarity, while DB2 simply keeps the top-k
+// most expensive queries (Zilio et al.). Both reduce selection effort at a
+// possible quality loss; bench_compression quantifies the trade-off against
+// running Algorithm 1 on the full workload.
+
+#ifndef IDXSEL_WORKLOAD_COMPRESSION_H_
+#define IDXSEL_WORKLOAD_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+
+/// Merges query templates with identical attribute sets (frequencies add
+/// up). Lossless for every cost model of the form sum_j b_j f_j.
+Workload MergeDuplicateTemplates(const Workload& workload);
+
+/// Keeps only the `keep` most expensive templates as ranked by
+/// `query_costs` (typically b_j * f_j(0) from a cost model); everything
+/// else is dropped — the DB2 top-k compression. Schema is preserved.
+/// `query_costs` must have one entry per query.
+Workload CompressTopK(const Workload& workload,
+                      const std::vector<double>& query_costs, size_t keep);
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_COMPRESSION_H_

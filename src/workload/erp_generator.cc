@@ -1,0 +1,142 @@
+#include "workload/erp_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace idxsel::workload {
+namespace {
+
+// Splits `total` into `parts` positive integers with Zipf(alpha) weights in
+// descending order; every part gets at least `floor_per_part`.
+std::vector<uint32_t> ZipfSplit(uint32_t total, uint32_t parts, double alpha,
+                                uint32_t floor_per_part) {
+  IDXSEL_CHECK_GE(total, parts * floor_per_part);
+  std::vector<double> weights(parts);
+  double sum = 0.0;
+  for (uint32_t r = 0; r < parts; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    sum += weights[r];
+  }
+  const uint32_t budget = total - parts * floor_per_part;
+  std::vector<uint32_t> out(parts, floor_per_part);
+  uint32_t assigned = 0;
+  for (uint32_t r = 0; r < parts; ++r) {
+    const auto share =
+        static_cast<uint32_t>(std::floor(weights[r] / sum * budget));
+    out[r] += share;
+    assigned += share;
+  }
+  // Distribute the rounding remainder over the head.
+  for (uint32_t r = 0; assigned < budget; r = (r + 1) % parts) {
+    ++out[r];
+    ++assigned;
+  }
+  return out;
+}
+
+// Draws an index in [0, n) with probability proportional to 1/(i+1)^alpha.
+uint32_t ZipfDraw(Rng& rng, const std::vector<double>& cumulative) {
+  const double u = rng.NextDouble() * cumulative.back();
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  return static_cast<uint32_t>(it - cumulative.begin());
+}
+
+std::vector<double> ZipfCumulative(uint32_t n, double alpha) {
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cumulative[i] = acc;
+  }
+  return cumulative;
+}
+
+}  // namespace
+
+Workload GenerateErpWorkload(const ErpWorkloadParams& params) {
+  IDXSEL_CHECK_GE(params.total_attributes, params.num_tables);
+  Workload w;
+  Rng rng(params.seed);
+
+  // -- Tables: Zipf attribute budget, log-uniform sizes, biggest first. ----
+  const std::vector<uint32_t> attr_counts =
+      ZipfSplit(params.total_attributes, params.num_tables, 1.0,
+                /*floor_per_part=*/1);
+  const double log_min = std::log(static_cast<double>(params.min_rows));
+  const double log_max = std::log(static_cast<double>(params.max_rows));
+  for (uint32_t t = 0; t < params.num_tables; ++t) {
+    // Skew cardinality with table rank so head tables are also the largest,
+    // mirroring "largest 500 tables by memory consumption".
+    const double rank_boost =
+        1.0 - static_cast<double>(t) / static_cast<double>(params.num_tables);
+    const double log_rows =
+        log_min + (log_max - log_min) * (0.35 * rng.NextDouble() +
+                                         0.65 * rank_boost);
+    const auto rows = static_cast<uint64_t>(std::exp(log_rows));
+    std::string name = "erp";
+    name += std::to_string(t);
+    const TableId table = w.AddTable(std::move(name), rows);
+    for (uint32_t i = 0; i < attr_counts[t]; ++i) {
+      // Key-ish leading columns: near-unique; tail columns low-cardinality.
+      const double pos =
+          static_cast<double>(i + 1) / static_cast<double>(attr_counts[t] + 1);
+      const double frac = std::pow(1.0 - pos, 3.0);  // fast decay
+      const uint64_t distinct = std::max<uint64_t>(
+          2, static_cast<uint64_t>(static_cast<double>(rows) * frac *
+                                   rng.Uniform(0.05, 1.0)));
+      const uint32_t value_size = rng.NextDouble() < 0.3 ? 8u : 4u;
+      w.AddAttribute(table, distinct, value_size);
+    }
+  }
+
+  // -- Queries ------------------------------------------------------------
+  const std::vector<double> table_heat =
+      ZipfCumulative(params.num_tables, 1.2);
+  std::vector<std::vector<double>> attr_heat(params.num_tables);
+  for (uint32_t t = 0; t < params.num_tables; ++t) {
+    attr_heat[t] = ZipfCumulative(
+        static_cast<uint32_t>(w.table(t).attributes.size()), 1.1);
+  }
+  // Zipf template frequencies scaled to the published execution volume.
+  std::vector<double> freq(params.num_queries);
+  double freq_sum = 0.0;
+  for (uint32_t j = 0; j < params.num_queries; ++j) {
+    freq[j] = 1.0 / static_cast<double>(j + 1);
+    freq_sum += freq[j];
+  }
+  for (double& f : freq) {
+    f = std::max(1.0, std::round(f / freq_sum * params.total_executions));
+  }
+
+  for (uint32_t j = 0; j < params.num_queries; ++j) {
+    const TableId table = ZipfDraw(rng, table_heat);
+    const auto& table_attrs = w.table(table).attributes;
+    const bool analytical = rng.NextDouble() >= params.point_access_share;
+    const uint32_t max_width = static_cast<uint32_t>(table_attrs.size());
+    const uint32_t want =
+        std::min(max_width,
+                 analytical ? static_cast<uint32_t>(rng.UniformInt(4, 10))
+                            : static_cast<uint32_t>(rng.UniformInt(1, 4)));
+    std::vector<AttributeId> attrs;
+    attrs.reserve(want);
+    for (uint32_t k = 0; k < want * 3 && attrs.size() < want; ++k) {
+      attrs.push_back(table_attrs[ZipfDraw(rng, attr_heat[table])]);
+      std::sort(attrs.begin(), attrs.end());
+      attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    }
+    auto added = w.AddQuery(table, std::move(attrs), freq[j]);
+    IDXSEL_CHECK(added.ok());
+  }
+
+  w.Finalize();
+  IDXSEL_CHECK(w.Validate().ok());
+  return w;
+}
+
+}  // namespace idxsel::workload

@@ -1,0 +1,53 @@
+// Synthetic ERP-like workload (substitute for the paper's Fortune-500
+// production system, Section IV-A).
+//
+// The real workload is proprietary; the paper publishes only aggregate
+// statistics, which this generator reproduces at identical problem
+// dimensions:
+//   * 500 tables (the "largest 500 by memory consumption"),
+//   * 4204 relevant attributes in total,
+//   * table cardinalities between ~350,000 and ~1.5 billion rows,
+//   * Q = 2271 query templates, > 50 million weighted executions,
+//   * "mostly transactional with a majority of point-access queries but
+//     also a few analytical queries".
+//
+// Structure choices (documented substitutions):
+//   * Table sizes are log-uniform over [min_rows, max_rows] with a Zipf-like
+//     skew so a handful of huge tables dominate, as in real ERP systems.
+//   * Attribute counts per table follow a Zipf(1.0) split of the global
+//     attribute budget (wide header tables, narrow auxiliary tables).
+//   * Queries pick a table Zipf-skewed by table "heat"; 95% are point-access
+//     templates touching 1-4 attributes, 5% analytical touching 4-10.
+//   * Within a table, attribute popularity is Zipf-distributed (key columns
+//     dominate), producing the strong attribute co-access / index
+//     interaction the paper observes on the real system.
+//   * Template frequencies are Zipf-distributed and scaled so the weighted
+//     execution count matches `total_executions`.
+
+#ifndef IDXSEL_WORKLOAD_ERP_GENERATOR_H_
+#define IDXSEL_WORKLOAD_ERP_GENERATOR_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+
+/// Dimension knobs; defaults match the published aggregate statistics.
+struct ErpWorkloadParams {
+  uint32_t num_tables = 500;
+  uint32_t total_attributes = 4204;
+  uint32_t num_queries = 2271;
+  uint64_t min_rows = 350'000;
+  uint64_t max_rows = 1'500'000'000;
+  double total_executions = 50'000'000.0;
+  double point_access_share = 0.95;
+  uint64_t seed = 42;
+};
+
+/// Generates the ERP-like workload. The result is finalized and validated.
+Workload GenerateErpWorkload(const ErpWorkloadParams& params);
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_ERP_GENERATOR_H_

@@ -1,0 +1,39 @@
+// Textual workload format and parser.
+//
+// Lets users describe a tuning problem in a plain file instead of calling
+// the builder API — the library-consumer entry point for real systems that
+// export their schema and query statistics. Line-oriented grammar:
+//
+//   # comment (also after '#' mid-line); blank lines ignored
+//   table <name> rows=<count>
+//   attr <name> distinct=<count> [size=<bytes>]       # on the last table
+//   query <table> freq=<number> [write] attrs=<a>,<b>,...
+//
+// Attribute names are table-scoped; `query` references them unqualified.
+// Errors carry 1-based line numbers ("line 7: unknown attribute 'statsu'").
+
+#ifndef IDXSEL_WORKLOAD_PARSER_H_
+#define IDXSEL_WORKLOAD_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+
+/// Parses a workload description; the result is finalized and validated.
+Result<NamedWorkload> ParseWorkload(const std::string& text);
+
+/// Reads `path` and parses it.
+Result<NamedWorkload> LoadWorkloadFile(const std::string& path);
+
+/// Renders `workload` back into the textual format (round-trips through
+/// ParseWorkload). `names` must be indexed by AttributeId; pass the names
+/// from a NamedWorkload or synthesize them.
+std::string FormatWorkload(const Workload& workload,
+                           const std::vector<std::string>& names);
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_PARSER_H_

@@ -1,0 +1,63 @@
+#include "workload/scalable_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace idxsel::workload {
+
+Workload GenerateScalableWorkload(const ScalableWorkloadParams& params) {
+  IDXSEL_CHECK_GT(params.num_tables, 0u);
+  IDXSEL_CHECK_GT(params.attributes_per_table, 0u);
+  Workload w;
+  Rng root(params.seed);
+
+  const double nt_attrs = params.attributes_per_table;
+  for (uint32_t t = 1; t <= params.num_tables; ++t) {
+    Rng rng = root.Fork();
+    const uint64_t rows = params.rows_per_table_step * t;
+    std::string name = "t";
+    name += std::to_string(t);
+    const TableId table = w.AddTable(std::move(name), rows);
+
+    // Attributes: d_{t,i} = round(Uniform(0.5, n_t * ((N-i+1)/(N+1))^0.2)).
+    for (uint32_t i = 1; i <= params.attributes_per_table; ++i) {
+      const double shrink =
+          std::pow((nt_attrs - i + 1.0) / (nt_attrs + 1.0), 0.2);
+      const double upper = static_cast<double>(rows) * shrink;
+      uint64_t distinct =
+          static_cast<uint64_t>(std::max<int64_t>(1, rng.RoundUniform(0.5, upper)));
+      const uint32_t value_size = rng.NextDouble() < 0.5 ? 4u : 8u;
+      w.AddAttribute(table, distinct, value_size);
+    }
+
+    // Queries: Z draws of skewed attribute ordinals, duplicates collapse.
+    const double ordinal_upper = std::pow(nt_attrs, 1.0 / 0.3);
+    for (uint32_t j = 0; j < params.queries_per_table; ++j) {
+      const int64_t z = std::max<int64_t>(1, rng.RoundUniform(0.5, 10.5));
+      std::vector<AttributeId> attrs;
+      attrs.reserve(static_cast<size_t>(z));
+      for (int64_t k = 0; k < z; ++k) {
+        const double draw = rng.Uniform(1.0, ordinal_upper);
+        int64_t ordinal = static_cast<int64_t>(std::llround(std::pow(draw, 0.3)));
+        ordinal = std::clamp<int64_t>(ordinal, 1, params.attributes_per_table);
+        attrs.push_back(w.table(table).attributes[ordinal - 1]);
+      }
+      const double freq = static_cast<double>(rng.RoundUniform(1.0, 10'000.0));
+      const QueryKind kind = rng.NextDouble() < params.write_share
+                                 ? QueryKind::kWrite
+                                 : QueryKind::kRead;
+      auto added =
+          w.AddQuery(table, std::move(attrs), std::max(1.0, freq), kind);
+      IDXSEL_CHECK(added.ok());
+    }
+  }
+
+  w.Finalize();
+  IDXSEL_CHECK(w.Validate().ok());
+  return w;
+}
+
+}  // namespace idxsel::workload

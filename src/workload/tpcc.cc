@@ -1,0 +1,105 @@
+#include "workload/tpcc.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace idxsel::workload {
+namespace {
+
+struct ColumnSpec {
+  const char* name;
+  uint64_t distinct;
+  uint32_t size;
+};
+
+}  // namespace
+
+NamedWorkload MakeTpccWorkload(uint32_t warehouses) {
+  IDXSEL_CHECK_GT(warehouses, 0u);
+  const uint64_t kW = warehouses;
+  const uint64_t kDistricts = 10 * kW;
+  const uint64_t kCustomers = 3000 * kDistricts;
+  const uint64_t kItems = 100'000;
+  const uint64_t kStock = kItems * kW;
+  const uint64_t kOrders = kCustomers;            // steady state: 1 per cust
+  const uint64_t kNewOrders = kOrders * 9 / 30;   // ~30% undelivered
+  const uint64_t kOrderLines = kOrders * 10;      // avg 10 lines per order
+
+  NamedWorkload named;
+  Workload& w = named.workload;
+  std::map<std::string, AttributeId> ids;
+
+  auto add_table = [&](const char* table_name, uint64_t rows,
+                       std::vector<ColumnSpec> cols) {
+    const TableId t = w.AddTable(table_name, rows);
+    for (const ColumnSpec& c : cols) {
+      const AttributeId id = w.AddAttribute(t, c.distinct, c.size);
+      const std::string full = std::string(table_name) + "." + c.name;
+      ids[full] = id;
+      named.attribute_names.push_back(full);
+    }
+    return t;
+  };
+
+  const TableId stock =
+      add_table("STOCK", kStock,
+                {{"W_ID", kW, 4}, {"I_ID", kItems, 4}, {"QTY", 100, 4}});
+  const TableId ord =
+      add_table("ORD", kOrders,
+                {{"ID", 3000, 4},
+                 {"W_ID", kW, 4},
+                 {"D_ID", 10, 4},
+                 {"C_ID", 3000, 4},
+                 {"CARRIER_ID", 10, 4}});
+  const TableId n_ord =
+      add_table("N_ORD", kNewOrders,
+                {{"W_ID", kW, 4}, {"D_ID", 10, 4}, {"O_ID", 3000, 4}});
+  const TableId ordln =
+      add_table("ORDLN", kOrderLines,
+                {{"W_ID", kW, 4},
+                 {"D_ID", 10, 4},
+                 {"O_ID", 3000, 4},
+                 {"NUMBER", 15, 4}});
+  const TableId item = add_table("ITEM", kItems, {{"ID", kItems, 4}});
+  const TableId dist =
+      add_table("DIST", kDistricts, {{"W_ID", kW, 4}, {"ID", 10, 4}});
+  const TableId whous = add_table("WHOUS", kW, {{"ID", kW, 4}});
+  const TableId cust =
+      add_table("CUST", kCustomers,
+                {{"W_ID", kW, 4}, {"D_ID", 10, 4}, {"ID", 3000, 4}});
+
+  auto a = [&](const std::string& full) {
+    auto it = ids.find(full);
+    IDXSEL_CHECK(it != ids.end());
+    return it->second;
+  };
+  auto add_query = [&](TableId t, std::vector<AttributeId> attrs,
+                       double freq) {
+    auto added = w.AddQuery(t, std::move(attrs), freq);
+    IDXSEL_CHECK(added.ok());
+  };
+
+  // q1..q10 — the aggregated conjunctive selections of Figure 1, with
+  // frequencies reflecting the TPC-C transaction mix (new-order/payment
+  // heavy, stock-level/delivery light).
+  add_query(stock, {a("STOCK.W_ID"), a("STOCK.I_ID"), a("STOCK.QTY")}, 430);
+  add_query(ord, {a("ORD.ID"), a("ORD.W_ID"), a("ORD.D_ID")}, 40);
+  add_query(cust, {a("CUST.W_ID"), a("CUST.ID")}, 450);
+  add_query(n_ord, {a("N_ORD.W_ID"), a("N_ORD.D_ID"), a("N_ORD.O_ID")}, 40);
+  add_query(stock, {a("STOCK.I_ID"), a("STOCK.W_ID")}, 450);
+  add_query(ordln,
+            {a("ORDLN.W_ID"), a("ORDLN.D_ID"), a("ORDLN.O_ID"),
+             a("ORDLN.NUMBER")},
+            40);
+  add_query(item, {a("ITEM.ID")}, 450);
+  add_query(whous, {a("WHOUS.ID")}, 440);
+  add_query(ord, {a("ORD.C_ID"), a("ORD.W_ID"), a("ORD.D_ID")}, 40);
+  add_query(dist, {a("DIST.W_ID"), a("DIST.ID")}, 470);
+
+  w.Finalize();
+  IDXSEL_CHECK(w.Validate().ok());
+  return named;
+}
+
+}  // namespace idxsel::workload

@@ -1,0 +1,26 @@
+// The TPC-C query-template workload used by the paper's Figure 1
+// illustration ("aggregated distinct conjunctive selections of all TPC-C
+// transactions").
+//
+// This is a reconstruction from the figure: ten templates q1..q10 over the
+// STOCK, ORDERS, NEW_ORDER, ORDER_LINE, ITEM, DISTRICT, WAREHOUSE and
+// CUSTOMER tables, with TPC-C scale-factor cardinalities (W warehouses).
+// Attribute names are exposed so example programs can print readable
+// construction traces.
+
+#ifndef IDXSEL_WORKLOAD_TPCC_H_
+#define IDXSEL_WORKLOAD_TPCC_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+
+/// Builds the Figure-1 TPC-C workload for `warehouses` warehouses.
+NamedWorkload MakeTpccWorkload(uint32_t warehouses = 100);
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_TPCC_H_

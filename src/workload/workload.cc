@@ -1,0 +1,116 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace idxsel::workload {
+
+TableId Workload::AddTable(std::string name, uint64_t row_count) {
+  IDXSEL_CHECK(!finalized_);
+  IDXSEL_CHECK_GT(row_count, 0u);
+  tables_.push_back(TableSchema{std::move(name), row_count, {}});
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+AttributeId Workload::AddAttribute(TableId table, uint64_t distinct_values,
+                                   uint32_t value_size) {
+  IDXSEL_CHECK(!finalized_);
+  IDXSEL_CHECK_LT(table, tables_.size());
+  IDXSEL_CHECK_GE(distinct_values, 1u);
+  IDXSEL_CHECK_GT(value_size, 0u);
+  // Distinct count cannot exceed the table cardinality.
+  distinct_values = std::min(distinct_values, tables_[table].row_count);
+  const auto id = static_cast<AttributeId>(attributes_.size());
+  const auto ordinal = static_cast<uint32_t>(tables_[table].attributes.size());
+  attributes_.push_back(
+      AttributeStats{table, ordinal, distinct_values, value_size});
+  tables_[table].attributes.push_back(id);
+  return id;
+}
+
+Result<QueryId> Workload::AddQuery(TableId table,
+                                   std::vector<AttributeId> attributes,
+                                   double frequency, QueryKind kind) {
+  IDXSEL_CHECK(!finalized_);
+  if (table >= tables_.size()) {
+    return Status::InvalidArgument("query references unknown table");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("query accesses no attributes");
+  }
+  if (!(frequency > 0.0)) {
+    return Status::InvalidArgument("query frequency must be positive");
+  }
+  std::sort(attributes.begin(), attributes.end());
+  attributes.erase(std::unique(attributes.begin(), attributes.end()),
+                   attributes.end());
+  for (AttributeId a : attributes) {
+    if (a >= attributes_.size() || attributes_[a].table != table) {
+      return Status::InvalidArgument(
+          "query attribute does not belong to the query's table");
+    }
+  }
+  queries_.push_back(Query{table, std::move(attributes), frequency, kind});
+  return static_cast<QueryId>(queries_.size() - 1);
+}
+
+void Workload::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  occurrence_weight_.assign(attributes_.size(), 0.0);
+  queries_with_.assign(attributes_.size(), {});
+  size_t total_width = 0;
+  total_frequency_ = 0.0;
+  for (QueryId j = 0; j < queries_.size(); ++j) {
+    const Query& q = queries_[j];
+    total_width += q.attributes.size();
+    total_frequency_ += q.frequency;
+    for (AttributeId a : q.attributes) {
+      occurrence_weight_[a] += q.frequency;
+      queries_with_[a].push_back(j);
+    }
+  }
+  mean_query_width_ =
+      queries_.empty()
+          ? 0.0
+          : static_cast<double>(total_width) / static_cast<double>(queries_.size());
+}
+
+Status Workload::Validate() const {
+  if (!finalized_) return Status::Internal("workload not finalized");
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t].row_count == 0) {
+      return Status::InvalidArgument("table with zero rows");
+    }
+    for (AttributeId a : tables_[t].attributes) {
+      if (a >= attributes_.size() ||
+          attributes_[a].table != static_cast<TableId>(t)) {
+        return Status::Internal("table/attribute linkage broken");
+      }
+    }
+  }
+  for (const AttributeStats& a : attributes_) {
+    if (a.distinct_values < 1 ||
+        a.distinct_values > tables_[a.table].row_count) {
+      return Status::InvalidArgument("attribute distinct count out of range");
+    }
+  }
+  for (const Query& q : queries_) {
+    if (q.attributes.empty()) {
+      return Status::InvalidArgument("empty query");
+    }
+    if (!std::is_sorted(q.attributes.begin(), q.attributes.end())) {
+      return Status::Internal("query attributes not canonicalized");
+    }
+    for (AttributeId a : q.attributes) {
+      if (attributes_[a].table != q.table) {
+        return Status::Internal("query spans tables");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace idxsel::workload

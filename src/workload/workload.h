@@ -1,0 +1,156 @@
+// Workload data model: tables, attributes, and query templates.
+//
+// Mirrors the paper's model (Section II-A): a system with N attributes and Q
+// query templates; each query q_j is a set of accessed attributes on one
+// table with an execution frequency b_j. Attributes carry the statistics the
+// cost model needs (row count via their table, distinct count d_i, value
+// size a_i).
+
+#ifndef IDXSEL_WORKLOAD_WORKLOAD_H_
+#define IDXSEL_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idxsel::workload {
+
+using AttributeId = uint32_t;  ///< Global attribute id, dense in [0, N).
+using TableId = uint32_t;      ///< Table id, dense in [0, T).
+using QueryId = uint32_t;      ///< Query-template id, dense in [0, Q).
+
+inline constexpr AttributeId kInvalidAttribute = ~AttributeId{0};
+
+/// Per-attribute statistics used by cost models and heuristics.
+struct AttributeStats {
+  TableId table = 0;
+  uint32_t ordinal = 0;         ///< Position within its table (0-based).
+  uint64_t distinct_values = 1; ///< d_i >= 1.
+  uint32_t value_size = 4;      ///< a_i, bytes per value.
+
+  /// Selectivity s_i = 1/d_i (Definition 1 / notation table).
+  double selectivity() const {
+    return 1.0 / static_cast<double>(distinct_values);
+  }
+};
+
+/// Table schema: name, cardinality, and its attribute ids.
+struct TableSchema {
+  std::string name;
+  uint64_t row_count = 0;               ///< n_t.
+  std::vector<AttributeId> attributes;  ///< Global ids, in ordinal order.
+};
+
+/// What a query template does; the paper's model admits "selection, join,
+/// insert, update, etc." (Section II-A). Reads benefit from indexes;
+/// writes additionally pay maintenance on every index covering a written
+/// attribute.
+enum class QueryKind {
+  kRead,   ///< Conjunctive selection on the accessed attributes.
+  kWrite,  ///< Point update of the accessed attributes.
+};
+
+/// A query template q_j: the set of attributes it accesses (conjunctive
+/// point/range predicates, exactly as the paper abstracts queries) and its
+/// observed execution frequency b_j.
+struct Query {
+  TableId table = 0;
+  std::vector<AttributeId> attributes;  ///< Sorted, unique, non-empty.
+  double frequency = 1.0;               ///< b_j > 0.
+  QueryKind kind = QueryKind::kRead;
+};
+
+/// Immutable-after-build container for a full workload.
+///
+/// Built incrementally via AddTable / AddAttribute / AddQuery; consumers
+/// treat it as read-only. All derived statistics (attribute occurrence
+/// weights g_i, the query inverted index, average query width q-bar) are
+/// computed lazily-but-once by Finalize(), which every generator calls.
+class Workload {
+ public:
+  /// Registers a table; returns its id.
+  TableId AddTable(std::string name, uint64_t row_count);
+
+  /// Registers an attribute on `table`; returns its global id.
+  AttributeId AddAttribute(TableId table, uint64_t distinct_values,
+                           uint32_t value_size);
+
+  /// Registers a query template. `attributes` may be unsorted / contain
+  /// duplicates; they are canonicalized. All attributes must belong to
+  /// `table`. Returns the query id, or an error on malformed input.
+  Result<QueryId> AddQuery(TableId table, std::vector<AttributeId> attributes,
+                           double frequency,
+                           QueryKind kind = QueryKind::kRead);
+
+  /// Computes derived statistics. Must be called once after the last
+  /// AddQuery and before any consumer runs. Idempotent.
+  void Finalize();
+
+  // -- Dimensions ----------------------------------------------------------
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_attributes() const { return attributes_.size(); }
+  size_t num_queries() const { return queries_.size(); }
+
+  // -- Element access ------------------------------------------------------
+  const TableSchema& table(TableId t) const { return tables_[t]; }
+  const AttributeStats& attribute(AttributeId i) const {
+    return attributes_[i];
+  }
+  const Query& query(QueryId j) const { return queries_[j]; }
+  const std::vector<TableSchema>& tables() const { return tables_; }
+  const std::vector<Query>& queries() const { return queries_; }
+
+  /// Row count of the table owning attribute `i`.
+  uint64_t rows_of(AttributeId i) const {
+    return tables_[attributes_[i].table].row_count;
+  }
+
+  // -- Derived statistics (valid after Finalize) ---------------------------
+
+  /// g_i: frequency-weighted number of occurrences of attribute i across the
+  /// workload (Definition 1, heuristic H1).
+  double occurrence_weight(AttributeId i) const {
+    return occurrence_weight_[i];
+  }
+
+  /// Queries whose attribute set contains attribute i.
+  const std::vector<QueryId>& queries_with(AttributeId i) const {
+    return queries_with_[i];
+  }
+
+  /// q-bar: average number of attributes accessed per query.
+  double mean_query_width() const { return mean_query_width_; }
+
+  /// Sum of all query frequencies b_j.
+  double total_frequency() const { return total_frequency_; }
+
+  /// Checks structural invariants; returns the first violation found.
+  Status Validate() const;
+
+ private:
+  std::vector<TableSchema> tables_;
+  std::vector<AttributeStats> attributes_;
+  std::vector<Query> queries_;
+
+  bool finalized_ = false;
+  std::vector<double> occurrence_weight_;
+  std::vector<std::vector<QueryId>> queries_with_;
+  double mean_query_width_ = 0.0;
+  double total_frequency_ = 0.0;
+};
+
+/// A workload plus display names for its attributes ("TABLE.ATTR"),
+/// produced by the TPC-C builder and the workload-file parser.
+struct NamedWorkload {
+  Workload workload;
+  std::vector<std::string> attribute_names;  ///< Indexed by AttributeId.
+
+  /// "TABLE.ATTR" for attribute `i`.
+  const std::string& name(AttributeId i) const { return attribute_names[i]; }
+};
+
+}  // namespace idxsel::workload
+
+#endif  // IDXSEL_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,148 @@
+// Tests for the advisor facade: every strategy end to end, report
+// rendering, and option validation.
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "costmodel/cost_model.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::advisor {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::ModelBackend;
+
+struct TestEnv {
+  workload::Workload w;
+  std::unique_ptr<CostModel> model;
+  std::unique_ptr<ModelBackend> backend;
+  std::unique_ptr<WhatIfEngine> engine;
+
+  TestEnv() {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 2;
+    params.attributes_per_table = 10;
+    params.queries_per_table = 20;
+    w = workload::GenerateScalableWorkload(params);
+    model = std::make_unique<CostModel>(&w);
+    backend = std::make_unique<ModelBackend>(model.get());
+    engine = std::make_unique<WhatIfEngine>(&w, backend.get());
+  }
+};
+
+class AdvisorStrategyTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AdvisorStrategyTest, ProducesFeasibleRecommendation) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.strategy = GetParam();
+  options.budget_fraction = 0.25;
+  options.solver.mip_gap = 0.05;
+  options.solver.time_limit_seconds = 20.0;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_LE(rec->memory, rec->budget + 1e-6) << StrategyName(GetParam());
+  EXPECT_LE(rec->cost_after, rec->cost_before * (1.0 + 1e-9));
+  EXPECT_NEAR(rec->cost_after, env.engine->WorkloadCost(rec->selection),
+              rec->cost_after * 1e-9);
+  EXPECT_GT(rec->budget, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, AdvisorStrategyTest,
+    ::testing::Values(StrategyKind::kRecursive, StrategyKind::kH1,
+                      StrategyKind::kH2, StrategyKind::kH3,
+                      StrategyKind::kH4, StrategyKind::kH4Skyline,
+                      StrategyKind::kH5, StrategyKind::kCophy));
+
+TEST(AdvisorTest, ExplicitBudgetOverridesFraction) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.budget_bytes = 12345678.0;
+  options.budget_fraction = 0.9;  // would be much larger
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_DOUBLE_EQ(rec->budget, 12345678.0);
+}
+
+TEST(AdvisorTest, NegativeBudgetRejected) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.budget_fraction = -0.1;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_EQ(rec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdvisorTest, RecursiveStrategyCarriesTrace) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.budget_fraction = 0.3;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->trace.size() > 0, rec->selection.size() > 0);
+}
+
+TEST(AdvisorTest, CandidateLimitRespected) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.strategy = StrategyKind::kH5;
+  options.candidate_limit = 8;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec->selection.size(), 8u);
+}
+
+TEST(AdvisorTest, RecursiveBeatsRulesByDefault) {
+  TestEnv env;
+  AdvisorOptions h6;
+  AdvisorOptions h2;
+  h2.strategy = StrategyKind::kH2;
+  auto rec_h6 = Recommend(*env.engine, h6);
+  auto rec_h2 = Recommend(*env.engine, h2);
+  ASSERT_TRUE(rec_h6.ok());
+  ASSERT_TRUE(rec_h2.ok());
+  EXPECT_LE(rec_h6->cost_after, rec_h2->cost_after * 1.0001);
+}
+
+TEST(AdvisorTest, ReportContainsTheEssentials) {
+  TestEnv env;
+  AdvisorOptions options;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  const std::string report = RenderReport(*env.engine, *rec);
+  EXPECT_NE(report.find("Index recommendation"), std::string::npos);
+  EXPECT_NE(report.find("H6"), std::string::npos);
+  EXPECT_NE(report.find("budget:"), std::string::npos);
+  EXPECT_NE(report.find("recommended indexes"), std::string::npos);
+  EXPECT_NE(report.find("what-if calls"), std::string::npos);
+}
+
+TEST(AdvisorTest, ReportUsesAttributeNames) {
+  TestEnv env;
+  std::vector<std::string> names;
+  for (workload::AttributeId i = 0; i < env.w.num_attributes(); ++i) {
+    names.push_back("col_" + std::to_string(i));
+  }
+  AdvisorOptions options;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_FALSE(rec->selection.empty());
+  const std::string report = RenderReport(*env.engine, *rec, &names);
+  EXPECT_NE(report.find("col_"), std::string::npos);
+}
+
+TEST(AdvisorTest, StrategyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StrategyKind kind :
+       {StrategyKind::kRecursive, StrategyKind::kH1, StrategyKind::kH2,
+        StrategyKind::kH3, StrategyKind::kH4, StrategyKind::kH4Skyline,
+        StrategyKind::kH5, StrategyKind::kCophy}) {
+    names.insert(StrategyName(kind));
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace idxsel::advisor

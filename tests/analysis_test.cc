@@ -1,0 +1,91 @@
+// Tests for the index-interaction analysis (degree of interaction).
+
+#include <gtest/gtest.h>
+
+#include "analysis/interaction.h"
+#include "costmodel/cost_model.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::analysis {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::ModelBackend;
+using workload::AttributeId;
+using workload::TableId;
+
+TEST(InteractionTest, IndependentIndexesHaveZeroDegree) {
+  // Two attributes that never co-occur in a query: their benefits add.
+  workload::Workload w;
+  const TableId t = w.AddTable("t", 100000);
+  const AttributeId a = w.AddAttribute(t, 1000, 4);
+  const AttributeId b = w.AddAttribute(t, 1000, 4);
+  ASSERT_TRUE(w.AddQuery(t, {a}, 10.0).ok());
+  ASSERT_TRUE(w.AddQuery(t, {b}, 10.0).ok());
+  w.Finalize();
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+  EXPECT_NEAR(
+      DegreeOfInteraction(engine, costmodel::Index(a), costmodel::Index(b)),
+      0.0, 1e-9);
+}
+
+TEST(InteractionTest, CannibalizingIndexesHavePositiveDegree) {
+  // Both attributes serve the same single query: selecting both adds no
+  // benefit over the better one (the paper's Property 2).
+  workload::Workload w;
+  const TableId t = w.AddTable("t", 100000);
+  const AttributeId a = w.AddAttribute(t, 1000, 4);
+  const AttributeId b = w.AddAttribute(t, 900, 4);
+  ASSERT_TRUE(w.AddQuery(t, {a, b}, 10.0).ok());
+  w.Finalize();
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+  const double degree =
+      DegreeOfInteraction(engine, costmodel::Index(a), costmodel::Index(b));
+  EXPECT_GT(degree, 0.3);
+}
+
+TEST(InteractionTest, AnalyzeSortsByDegree) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 6;
+  params.queries_per_table = 12;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+
+  std::vector<costmodel::Index> indexes;
+  for (AttributeId i = 0; i < 6; ++i) indexes.emplace_back(i);
+  const auto entries = AnalyzeInteractions(engine, indexes);
+  ASSERT_EQ(entries.size(), 15u);  // C(6,2)
+  for (size_t e = 1; e < entries.size(); ++e) {
+    EXPECT_GE(entries[e - 1].degree, entries[e].degree);
+  }
+  for (const InteractionEntry& entry : entries) {
+    EXPECT_GE(entry.degree, 0.0);
+  }
+}
+
+TEST(InteractionTest, RenderShowsTopPairs) {
+  workload::Workload w;
+  const TableId t = w.AddTable("t", 10000);
+  const AttributeId a = w.AddAttribute(t, 100, 4);
+  const AttributeId b = w.AddAttribute(t, 100, 4);
+  ASSERT_TRUE(w.AddQuery(t, {a, b}, 5.0).ok());
+  w.Finalize();
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+  const auto entries = AnalyzeInteractions(
+      engine, {costmodel::Index(a), costmodel::Index(b)});
+  const std::string table = RenderInteractions(entries);
+  EXPECT_NE(table.find("doi"), std::string::npos);
+  EXPECT_NE(table.find("(0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idxsel::analysis

@@ -1,0 +1,191 @@
+// Tests for the bulk-loaded B+-tree index, including differential checks
+// against the sorted-permutation index and a brute-force reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "engine/btree_index.h"
+#include "engine/composite_index.h"
+#include "engine/executor.h"
+#include "engine/measured_cost.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::engine {
+namespace {
+
+std::vector<uint32_t> Reference(const ColumnTable& table,
+                                const std::vector<uint32_t>& columns,
+                                const std::vector<uint32_t>& values) {
+  std::vector<uint32_t> rows;
+  for (uint32_t r = 0; r < table.num_rows(); ++r) {
+    bool match = true;
+    for (size_t u = 0; u < values.size(); ++u) {
+      match = match && table.at(columns[u], r) == values[u];
+    }
+    if (match) rows.push_back(r);
+  }
+  return rows;
+}
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class BTreeFixture : public ::testing::Test {
+ protected:
+  BTreeFixture() : rng_(11), table_(20'000, {100, 16, 5, 2000}, rng_) {}
+
+  Rng rng_;
+  ColumnTable table_;
+};
+
+TEST_F(BTreeFixture, SizeAndHeight) {
+  const BTreeIndex index(&table_, {0, 1});
+  EXPECT_EQ(index.size(), table_.num_rows());
+  // 20000 entries / 64 per leaf = 313 leaves; 313 / 32 ~ 10 -> 2 levels.
+  EXPECT_GE(index.height(), 2u);
+}
+
+TEST_F(BTreeFixture, FullKeyLookupMatchesReference) {
+  const BTreeIndex index(&table_, {0, 1});
+  for (uint32_t v0 = 0; v0 < 100; v0 += 13) {
+    for (uint32_t v1 = 0; v1 < 16; v1 += 5) {
+      std::vector<uint32_t> rows;
+      index.LookupPrefix(std::vector<uint32_t>{v0, v1}, &rows);
+      EXPECT_EQ(Sorted(rows), Reference(table_, {0, 1}, {v0, v1}))
+          << v0 << "," << v1;
+    }
+  }
+}
+
+TEST_F(BTreeFixture, PrefixLookupMatchesReference) {
+  const BTreeIndex index(&table_, {3, 0});
+  for (uint32_t v = 0; v < 2000; v += 97) {
+    std::vector<uint32_t> rows;
+    index.LookupPrefix(std::vector<uint32_t>{v}, &rows);
+    EXPECT_EQ(Sorted(rows), Reference(table_, {3}, {v})) << v;
+  }
+}
+
+TEST_F(BTreeFixture, MissingKeyReturnsNothing) {
+  const BTreeIndex index(&table_, {1});
+  std::vector<uint32_t> rows;
+  index.LookupPrefix(std::vector<uint32_t>{4096}, &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(BTreeFixture, FirstAndLastKeyReachable) {
+  const BTreeIndex index(&table_, {2});
+  for (uint32_t v : {0u, 4u}) {  // domain edges of a d=5 column
+    std::vector<uint32_t> rows;
+    index.LookupPrefix(std::vector<uint32_t>{v}, &rows);
+    EXPECT_EQ(rows.size(), Reference(table_, {2}, {v}).size());
+  }
+}
+
+TEST_F(BTreeFixture, AgreesWithCompositeIndex) {
+  const BTreeIndex btree(&table_, {0, 1, 2});
+  const CompositeIndex composite(&table_, {0, 1, 2});
+  Rng rng(77);
+  for (int probe = 0; probe < 200; ++probe) {
+    const size_t prefix_len = static_cast<size_t>(rng.UniformInt(1, 3));
+    std::vector<uint32_t> values;
+    const uint32_t domains[] = {100, 16, 5};
+    for (size_t u = 0; u < prefix_len; ++u) {
+      values.push_back(static_cast<uint32_t>(
+          rng.UniformInt(0, domains[u] - 1)));
+    }
+    std::vector<uint32_t> from_btree;
+    std::vector<uint32_t> from_composite;
+    btree.LookupPrefix(values, &from_btree);
+    composite.LookupPrefix(values, &from_composite);
+    EXPECT_EQ(Sorted(from_btree), Sorted(from_composite));
+  }
+}
+
+TEST_F(BTreeFixture, MemoryAccountsKeysAndRows) {
+  const BTreeIndex narrow(&table_, {0});
+  const BTreeIndex wide(&table_, {0, 1, 2});
+  EXPECT_GT(narrow.memory_bytes(),
+            table_.num_rows() * 2 * sizeof(uint32_t) - 1);
+  EXPECT_GT(wide.memory_bytes(), narrow.memory_bytes());
+}
+
+TEST_F(BTreeFixture, WorksThroughTheExecutor) {
+  const Executor executor(&table_, {100, 16, 5, 2000});
+  const BTreeIndex index(&table_, {3, 0});
+  const std::vector<Predicate> predicates = {{3, 42}, {0, 7}, {1, 3}};
+  const ExecutionResult via_btree = executor.WithIndex(predicates, index);
+  const ExecutionResult via_scan = executor.ScanOnly(predicates);
+  EXPECT_EQ(via_btree.matches, via_scan.matches);
+  EXPECT_LT(via_btree.rows_touched, via_scan.rows_touched);
+}
+
+TEST(BTreeSmallTableTest, HandlesFewRows) {
+  Rng rng(5);
+  const ColumnTable tiny(3, {2, 2}, rng);
+  const BTreeIndex index(&tiny, {0, 1});
+  EXPECT_EQ(index.size(), 3u);
+  size_t found = 0;
+  for (uint32_t v0 = 0; v0 < 2; ++v0) {
+    for (uint32_t v1 = 0; v1 < 2; ++v1) {
+      std::vector<uint32_t> rows;
+      index.LookupPrefix(std::vector<uint32_t>{v0, v1}, &rows);
+      found += rows.size();
+    }
+  }
+  EXPECT_EQ(found, 3u);
+}
+
+TEST(BTreeMeasuredTest, BTreeBackedCostSourceWorks) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 5;
+  params.queries_per_table = 6;
+  params.rows_per_table_step = 10'000;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+  const Database db(&w, 10'000, 3);
+  MeasuredCostSource source(&db, 2, 9, IndexImplementation::kBTree);
+  const costmodel::Index k(w.query(0).attributes.front());
+  EXPECT_GT(source.BaseCost(0), 0.0);
+  EXPECT_LE(source.CostWithIndex(0, k), source.BaseCost(0));
+  EXPECT_GT(source.IndexMemory(k), 0.0);
+}
+
+// Property sweep: random tables and probes, B+-tree vs brute force.
+class BTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BTreeRandomTest, RandomProbesMatchReference) {
+  Rng rng(GetParam());
+  const uint64_t rows = 500 + rng.UniformInt(0, 1500);
+  const std::vector<uint32_t> domains = {
+      static_cast<uint32_t>(rng.UniformInt(2, 50)),
+      static_cast<uint32_t>(rng.UniformInt(2, 10))};
+  const ColumnTable table(rows, domains, rng);
+  const BTreeIndex index(&table, {0, 1});
+  for (int probe = 0; probe < 50; ++probe) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(1, 2));
+    std::vector<uint32_t> values;
+    std::vector<uint32_t> cols;
+    for (size_t u = 0; u < len; ++u) {
+      // Probe slightly outside the domain too (missing keys).
+      values.push_back(static_cast<uint32_t>(
+          rng.UniformInt(0, domains[u] + 1)));
+      cols.push_back(static_cast<uint32_t>(u));
+    }
+    std::vector<uint32_t> rows_found;
+    index.LookupPrefix(values, &rows_found);
+    EXPECT_EQ(Sorted(rows_found), Reference(table, cols, values))
+        << "seed=" << GetParam() << " probe=" << probe;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace idxsel::engine

@@ -1,0 +1,216 @@
+// Tests for candidate enumeration (IC_max), the H*-M heuristics, the
+// skyline filter, and applicability sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "candidates/candidates.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/what_if.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::candidates {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::ModelBackend;
+using workload::AttributeId;
+using workload::QueryId;
+using workload::TableId;
+
+Workload TinyWorkload() {
+  Workload w;
+  const TableId t = w.AddTable("t", 10000);
+  const AttributeId a = w.AddAttribute(t, 5000, 4);  // selective
+  const AttributeId b = w.AddAttribute(t, 100, 4);
+  const AttributeId c = w.AddAttribute(t, 4, 4);     // unselective
+  (void)a;
+  (void)b;
+  (void)c;
+  EXPECT_TRUE(w.AddQuery(t, {0, 1}, 10.0).ok());
+  EXPECT_TRUE(w.AddQuery(t, {1, 2}, 5.0).ok());
+  EXPECT_TRUE(w.AddQuery(t, {0, 1, 2}, 1.0).ok());
+  w.Finalize();
+  return w;
+}
+
+TEST(CandidateSetTest, AddDedupsAndKeepsOrder) {
+  CandidateSet set;
+  EXPECT_TRUE(set.Add(Index({1, 2})));
+  EXPECT_FALSE(set.Add(Index({1, 2})));
+  EXPECT_TRUE(set.Add(Index(0)));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], Index({1, 2}));
+  EXPECT_TRUE(set.Contains(Index(0)));
+}
+
+TEST(CandidateSetTest, MergeIsUnion) {
+  CandidateSet a;
+  a.Add(Index(1));
+  CandidateSet b;
+  b.Add(Index(1));
+  b.Add(Index(2));
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(EnumerateTest, TinyWorkloadExhaustive) {
+  const Workload w = TinyWorkload();
+  const CandidateSet all = EnumerateAllCandidates(w, 4);
+  // Subsets of {0,1}: {0},{1},{0,1}; of {1,2}: {2},{1,2}; of {0,1,2}:
+  // {0,2},{0,1,2}. Each as one representative => 7 candidates.
+  EXPECT_EQ(all.size(), 7u);
+  // Representative order: ascending selectivity => most selective first.
+  // {0,1} -> (0,1) since d0 > d1.
+  EXPECT_TRUE(all.Contains(Index({0, 1})));
+  EXPECT_FALSE(all.Contains(Index({1, 0})));
+  EXPECT_TRUE(all.Contains(Index({0, 1, 2})));
+}
+
+TEST(EnumerateTest, WidthCapRespected) {
+  const Workload w = TinyWorkload();
+  const CandidateSet narrow = EnumerateAllCandidates(w, 1);
+  EXPECT_EQ(narrow.size(), 3u);  // singles only
+  for (const Index& k : narrow.indexes()) EXPECT_EQ(k.width(), 1u);
+
+  const CandidateSet wide2 = EnumerateAllCandidates(w, 2);
+  for (const Index& k : wide2.indexes()) EXPECT_LE(k.width(), 2u);
+}
+
+TEST(EnumerateTest, EveryCandidateCoOccursInSomeQuery) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 12;
+  params.queries_per_table = 25;
+  const Workload w = workload::GenerateScalableWorkload(params);
+  const CandidateSet all = EnumerateAllCandidates(w, 3);
+  for (const Index& k : all.indexes()) {
+    bool covered = false;
+    std::vector<AttributeId> sorted = k.attributes();
+    std::sort(sorted.begin(), sorted.end());
+    for (const workload::Query& q : w.queries()) {
+      covered = std::includes(q.attributes.begin(), q.attributes.end(),
+                              sorted.begin(), sorted.end());
+      if (covered) break;
+    }
+    EXPECT_TRUE(covered) << k.ToString();
+  }
+}
+
+TEST(GenerateTest, RespectsSizeBudgetPerWidth) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 3;
+  params.attributes_per_table = 15;
+  params.queries_per_table = 40;
+  const Workload w = workload::GenerateScalableWorkload(params);
+  const CandidateSet set =
+      GenerateCandidates(w, CandidateHeuristic::kH1M, 40, 4);
+  EXPECT_LE(set.size(), 40u);
+  size_t per_width[5] = {0, 0, 0, 0, 0};
+  for (const Index& k : set.indexes()) {
+    ASSERT_LE(k.width(), 4u);
+    ++per_width[k.width()];
+  }
+  for (uint32_t m = 1; m <= 4; ++m) EXPECT_LE(per_width[m], 10u);
+}
+
+TEST(GenerateTest, H1MPicksMostFrequentCombos) {
+  const Workload w = TinyWorkload();
+  const CandidateSet set =
+      GenerateCandidates(w, CandidateHeuristic::kH1M, 4, 1);
+  // With width cap 1 and h=4, the most frequent single attributes win:
+  // g_0 = 11, g_1 = 16, g_2 = 6 — all three make it (only 3 exist).
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(GenerateTest, H2MPrefersSelectiveCombos) {
+  const Workload w = TinyWorkload();
+  const CandidateSet set =
+      GenerateCandidates(w, CandidateHeuristic::kH2M, 1, 1);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], Index(0));  // d=5000 is the most selective attribute
+}
+
+TEST(GenerateTest, H3MBalancesBoth) {
+  const Workload w = TinyWorkload();
+  const CandidateSet h3 =
+      GenerateCandidates(w, CandidateHeuristic::kH3M, 8, 2);
+  EXPECT_GE(h3.size(), 4u);
+  // All generated candidates must be subsets of some query (inherited from
+  // co-occurrence enumeration).
+  EXPECT_TRUE(h3.Contains(Index({0, 1})) || h3.Contains(Index(0)));
+}
+
+TEST(GenerateTest, DifferentHeuristicsDiffer) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 20;
+  params.queries_per_table = 50;
+  const Workload w = workload::GenerateScalableWorkload(params);
+  const CandidateSet h1 =
+      GenerateCandidates(w, CandidateHeuristic::kH1M, 40, 4);
+  const CandidateSet h2 =
+      GenerateCandidates(w, CandidateHeuristic::kH2M, 40, 4);
+  size_t differing = 0;
+  for (const Index& k : h1.indexes()) differing += !h2.Contains(k);
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(ApplicabilityTest, LeadingAttributeRule) {
+  const Workload w = TinyWorkload();
+  CandidateSet set;
+  set.Add(Index({0, 1}));  // leading 0: queries 0 and 2
+  set.Add(Index(2));       // leading 2: queries 1 and 2
+  const auto applicability = ComputeApplicability(w, set);
+  EXPECT_EQ(applicability[0], (std::vector<uint32_t>{0}));
+  EXPECT_EQ(applicability[1], (std::vector<uint32_t>{1}));
+  EXPECT_EQ(applicability[2], (std::vector<uint32_t>{0, 1}));
+  EXPECT_NEAR(MeanApplicableCandidates(applicability), 4.0 / 3.0, 1e-12);
+}
+
+TEST(SkylineTest, RemovesDominatedCandidates) {
+  const Workload w = TinyWorkload();
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+
+  CandidateSet set;
+  set.Add(Index(0));
+  set.Add(Index({0, 1}));
+  set.Add(Index({0, 1, 2}));
+  set.Add(Index(1));
+  set.Add(Index(2));
+  const CandidateSet filtered = SkylineFilter(set, engine);
+  EXPECT_LE(filtered.size(), set.size());
+  // Survivors must each be on some query's (memory, cost) skyline; at the
+  // very least the cheapest candidate survives.
+  EXPECT_GE(filtered.size(), 1u);
+  for (const Index& k : filtered.indexes()) EXPECT_TRUE(set.Contains(k));
+}
+
+TEST(SkylineTest, SingleCandidateAlwaysSurvivesIfUseful) {
+  const Workload w = TinyWorkload();
+  const CostModel model(&w);
+  ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+  CandidateSet set;
+  set.Add(Index(0));
+  const CandidateSet filtered = SkylineFilter(set, engine);
+  EXPECT_EQ(filtered.size(), 1u);
+}
+
+// Paper-scale sanity: IC_max for the Example-1 workload should land in the
+// thousands, in the ballpark of the published 7504 for sum Q_t = 500.
+TEST(EnumerateTest, ExampleOneCandidateCountBallpark) {
+  workload::ScalableWorkloadParams params;  // T=10, N_t=50
+  params.queries_per_table = 50;            // sum Q = 500
+  const Workload w = workload::GenerateScalableWorkload(params);
+  const CandidateSet all = EnumerateAllCandidates(w, 4);
+  EXPECT_GT(all.size(), 2000u);
+  EXPECT_LT(all.size(), 30000u);
+}
+
+}  // namespace
+}  // namespace idxsel::candidates

@@ -1,0 +1,190 @@
+// Tests for status/result, the deterministic PRNG, and the formatters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/csv.h"
+#include "common/format.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace idxsel {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Timeout("8 hours exceeded");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTimeout);
+  EXPECT_EQ(s.ToString(), "Timeout: 8 hours exceeded");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kInfeasible, StatusCode::kTimeout,
+        StatusCode::kResourceLimit, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOut) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-3.5, 8.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 8.25);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, RoundUniformStaysInClosedRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.RoundUniform(0.5, 10.5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 11);  // round(10.4999..) caps at 10, but 10.5 rounds to 11
+  }
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 6));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(3));
+  EXPECT_TRUE(seen.count(6));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng fork = a.Fork();
+  // The fork should not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == fork.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(FormatTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(1.25), "1.25");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.30001, 2), "0.3");
+  EXPECT_EQ(FormatDouble(-0.0001, 2), "0");
+}
+
+TEST(FormatTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.276), "276 ms");
+  EXPECT_EQ(FormatSeconds(4.1), "4.1 s");
+  EXPECT_EQ(FormatSeconds(470.0), "7.8 min");
+  EXPECT_EQ(FormatSeconds(1e9, /*dnf=*/true), "DNF");
+}
+
+TEST(FormatTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3.0 * 1024 * 1024), "3 MiB");
+}
+
+TEST(FormatTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(97550), "97 550");
+  EXPECT_EQ(FormatCount(-1234567), "-1 234 567");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"xxx", "y"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| a   | bbbb |"), std::string::npos);
+  EXPECT_NE(out.find("| xxx | y    |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"col1", "col2"});
+  csv.AddRow({"plain", "with,comma"});
+  csv.AddRow({"with\"quote", "with\nnewline"});
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripsToFile) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/idxsel_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  // Just sanity: non-negative and monotone.
+  const double t1 = watch.ElapsedSeconds();
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace idxsel

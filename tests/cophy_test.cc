@@ -1,0 +1,234 @@
+// Tests for the CoPhy re-implementation: LP statistics, problem building,
+// agreement between the B&B path and the explicit LP, and optimality.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "candidates/candidates.h"
+#include "cophy/cophy.h"
+#include "costmodel/cost_model.h"
+#include "lp/simplex.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::cophy {
+namespace {
+
+using candidates::CandidateSet;
+using candidates::EnumerateAllCandidates;
+using costmodel::CostModel;
+using costmodel::ModelBackend;
+
+struct TestEnv {
+  workload::Workload w;
+  std::unique_ptr<CostModel> model;
+  std::unique_ptr<ModelBackend> backend;
+  std::unique_ptr<WhatIfEngine> engine;
+
+  explicit TestEnv(uint32_t queries_per_table = 12, uint32_t attrs = 8,
+                 uint64_t seed = 7) {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 2;
+    params.attributes_per_table = attrs;
+    params.queries_per_table = queries_per_table;
+    params.seed = seed;
+    w = workload::GenerateScalableWorkload(params);
+    model = std::make_unique<CostModel>(&w);
+    backend = std::make_unique<ModelBackend>(model.get());
+    engine = std::make_unique<WhatIfEngine>(&w, backend.get());
+  }
+};
+
+TEST(LpStatisticsTest, CountsMatchFormulas) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 2);
+  const LpStatistics stats = ComputeLpStatistics(s.w, cands);
+  const auto applicability = candidates::ComputeApplicability(s.w, cands);
+  size_t applicable = 0;
+  for (const auto& list : applicability) applicable += list.size();
+  EXPECT_EQ(stats.num_variables,
+            cands.size() + applicable + s.w.num_queries());
+  EXPECT_EQ(stats.num_constraints, s.w.num_queries() + applicable + 1);
+  EXPECT_GT(stats.mean_applicable_candidates, 0.0);
+}
+
+TEST(LpStatisticsTest, GrowsLinearlyWithCandidates) {
+  TestEnv s(30, 12);
+  const CandidateSet all = EnumerateAllCandidates(s.w, 3);
+  CandidateSet half;
+  for (uint32_t c = 0; c < all.size() / 2; ++c) half.Add(all[c]);
+  const LpStatistics full_stats = ComputeLpStatistics(s.w, all);
+  const LpStatistics half_stats = ComputeLpStatistics(s.w, half);
+  EXPECT_GT(full_stats.num_variables, half_stats.num_variables);
+  EXPECT_GT(full_stats.num_constraints, half_stats.num_constraints);
+}
+
+TEST(BuildProblemTest, DimensionsAndCoefficients) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 2);
+  const mip::Problem p = BuildProblem(*s.engine, cands, 1e12);
+  ASSERT_EQ(p.num_queries(), s.w.num_queries());
+  ASSERT_EQ(p.num_candidates(), cands.size());
+  for (workload::QueryId j = 0; j < s.w.num_queries(); ++j) {
+    EXPECT_DOUBLE_EQ(p.base_cost[j], s.model->UnindexedCost(j));
+    EXPECT_DOUBLE_EQ(p.query_weight[j], s.w.query(j).frequency);
+  }
+  // Spot-check candidate cost entries against the model.
+  for (uint32_t c = 0; c < cands.size(); c += 7) {
+    for (const mip::QueryCost& qc : p.candidate_costs[c]) {
+      EXPECT_DOUBLE_EQ(qc.cost, s.model->CostWithIndex(qc.query, cands[c]));
+    }
+  }
+}
+
+TEST(SolveCophyTest, UnlimitedBudgetTakesBestIndexPerQuery) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 4);
+  const double huge_budget = 1e15;
+  const CophyResult result = SolveCophy(*s.engine, cands, huge_budget);
+  ASSERT_TRUE(result.status.ok());
+  // With unlimited budget the optimum equals per-query minima over all
+  // candidates.
+  double expected = 0.0;
+  for (workload::QueryId j = 0; j < s.w.num_queries(); ++j) {
+    double best = s.engine->BaseCost(j);
+    for (const costmodel::Index& k : cands.indexes()) {
+      if (!s.engine->Applicable(j, k)) continue;
+      best = std::min(best, s.engine->CostWithIndex(j, k));
+    }
+    expected += s.w.query(j).frequency * best;
+  }
+  EXPECT_NEAR(result.objective, expected, expected * 1e-9);
+}
+
+TEST(SolveCophyTest, ZeroBudgetSelectsNothing) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 2);
+  const CophyResult result = SolveCophy(*s.engine, cands, 0.0);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.selection.empty());
+}
+
+TEST(SolveCophyTest, SelectionRespectsBudget) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 3);
+  const double budget = s.model->Budget(0.2);
+  const CophyResult result = SolveCophy(*s.engine, cands, budget);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_LE(s.engine->ConfigMemory(result.selection), budget + 1e-6);
+}
+
+TEST(SolveCophyTest, LargerCandidateSetNeverWorse) {
+  TestEnv s(20, 10);
+  const CandidateSet all = EnumerateAllCandidates(s.w, 3);
+  CandidateSet small;
+  for (uint32_t c = 0; c < all.size(); c += 4) small.Add(all[c]);
+  const double budget = s.model->Budget(0.25);
+  const CophyResult with_all = SolveCophy(*s.engine, all, budget);
+  const CophyResult with_small = SolveCophy(*s.engine, small, budget);
+  ASSERT_TRUE(with_all.status.ok());
+  ASSERT_TRUE(with_small.status.ok());
+  EXPECT_LE(with_all.objective, with_small.objective + 1e-6);
+}
+
+TEST(SolveCophyTest, ObjectiveMatchesEngineEvaluation) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 3);
+  const CophyResult result =
+      SolveCophy(*s.engine, cands, s.model->Budget(0.3));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_NEAR(result.objective, s.engine->WorkloadCost(result.selection),
+              result.objective * 1e-9);
+}
+
+TEST(SolveCophyTest, DnfOnImpossibleDeadline) {
+  TestEnv s(40, 16);
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 4);
+  mip::SolveOptions opts;
+  opts.time_limit_seconds = 0.0;
+  const CophyResult result =
+      SolveCophy(*s.engine, cands, s.model->Budget(0.3), opts);
+  EXPECT_TRUE(result.dnf);
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout);
+  // The incumbent is still budget-feasible.
+  EXPECT_LE(s.engine->ConfigMemory(result.selection),
+            s.model->Budget(0.3) + 1e-6);
+}
+
+// The explicit LP relaxation must lower-bound the integer optimum, and the
+// integer optimum must be achievable by an integral LP point.
+TEST(LpRelaxationTest, LowerBoundsIntegerOptimum) {
+  TestEnv s(6, 5);
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 2);
+  const double budget = s.model->Budget(0.2);
+
+  std::vector<uint32_t> x_vars;
+  const lp::Model model =
+      BuildLpRelaxation(*s.engine, cands, budget, &x_vars);
+  EXPECT_EQ(x_vars.size(), cands.size());
+  auto relaxed = lp::SolveLp(model);
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+
+  const CophyResult integral = SolveCophy(*s.engine, cands, budget);
+  ASSERT_TRUE(integral.status.ok());
+  EXPECT_LE(relaxed->objective, integral.objective + 1e-6);
+  // Relaxation within a factor; for these small instances it is near-tight.
+  EXPECT_GT(relaxed->objective, 0.0);
+}
+
+TEST(PreparedCophyTest, MatchesOneShotSolve) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 3);
+  const PreparedCophy prepared(*s.engine, cands);
+  for (double w : {0.1, 0.2, 0.4}) {
+    const double budget = s.model->Budget(w);
+    const CophyResult one_shot = SolveCophy(*s.engine, cands, budget);
+    const CophyResult reused = prepared.Solve(budget);
+    ASSERT_TRUE(one_shot.status.ok());
+    ASSERT_TRUE(reused.status.ok());
+    EXPECT_NEAR(reused.objective, one_shot.objective,
+                one_shot.objective * 1e-9)
+        << "w=" << w;
+  }
+}
+
+TEST(PreparedCophyTest, ReusesWhatIfCalls) {
+  TestEnv s;
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 3);
+  const PreparedCophy prepared(*s.engine, cands);
+  const uint64_t calls_after_build = s.engine->stats().calls;
+  prepared.Solve(s.model->Budget(0.1));
+  prepared.Solve(s.model->Budget(0.3));
+  EXPECT_EQ(s.engine->stats().calls, calls_after_build);
+}
+
+// Brute-force cross-check of SolveCophy's optimality on tiny instances.
+class CophyOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CophyOptimalityTest, MatchesExhaustiveSearch) {
+  TestEnv s(5, 4, GetParam());
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 2);
+  if (cands.size() > 18) GTEST_SKIP() << "instance too large for 2^K";
+  const double budget = s.model->Budget(0.3);
+
+  double best = s.engine->WorkloadCost(costmodel::IndexConfig{});
+  for (uint32_t mask = 1; mask < (1u << cands.size()); ++mask) {
+    costmodel::IndexConfig config;
+    for (uint32_t c = 0; c < cands.size(); ++c) {
+      if (mask & (1u << c)) config.Insert(cands[c]);
+    }
+    if (s.engine->ConfigMemory(config) > budget) continue;
+    best = std::min(best, s.engine->WorkloadCost(config));
+  }
+
+  const CophyResult result = SolveCophy(*s.engine, cands, budget);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_NEAR(result.objective, best, best * 1e-9) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CophyOptimalityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace idxsel::cophy

@@ -1,0 +1,83 @@
+// Tests for DDL rendering of index selections.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/ddl.h"
+#include "workload/tpcc.h"
+
+namespace idxsel::costmodel {
+namespace {
+
+using workload::AttributeId;
+using workload::TableId;
+
+class DdlFixture : public ::testing::Test {
+ protected:
+  DdlFixture() {
+    t_ = w_.AddTable("orders", 1000);
+    a_ = w_.AddAttribute(t_, 10, 4);
+    b_ = w_.AddAttribute(t_, 10, 4);
+    u_ = w_.AddTable("items", 500);
+    c_ = w_.AddAttribute(u_, 10, 4);
+    w_.Finalize();
+    names_ = {"orders.customer_id", "orders.status", "items.id"};
+  }
+
+  workload::Workload w_;
+  TableId t_ = 0, u_ = 0;
+  AttributeId a_ = 0, b_ = 0, c_ = 0;
+  std::vector<std::string> names_;
+};
+
+TEST_F(DdlFixture, IndexNameWithAndWithoutNames) {
+  const Index k = Index(a_).Append(b_);
+  EXPECT_EQ(IndexName(w_, k), "idx_orders_a0_a1");
+  EXPECT_EQ(IndexName(w_, k, &names_), "idx_orders_customer_id_status");
+}
+
+TEST_F(DdlFixture, CreateStatements) {
+  IndexConfig config;
+  config.Insert(Index(a_).Append(b_));
+  config.Insert(Index(c_));
+  const std::string ddl = RenderCreateStatements(w_, config, &names_);
+  EXPECT_NE(ddl.find("CREATE INDEX idx_orders_customer_id_status ON orders "
+                     "(customer_id, status);"),
+            std::string::npos);
+  EXPECT_NE(ddl.find("CREATE INDEX idx_items_id ON items (id);"),
+            std::string::npos);
+}
+
+TEST_F(DdlFixture, MigrationDropsThenCreates) {
+  IndexConfig current;
+  current.Insert(Index(a_));
+  current.Insert(Index(c_));
+  IndexConfig target;
+  target.Insert(Index(a_));           // kept: no statement
+  target.Insert(Index(a_).Append(b_));  // new: CREATE
+  const std::string script = RenderMigration(w_, current, target, &names_);
+  EXPECT_NE(script.find("DROP INDEX idx_items_id;"), std::string::npos);
+  EXPECT_NE(script.find("CREATE INDEX idx_orders_customer_id_status"),
+            std::string::npos);
+  // Kept index appears nowhere.
+  EXPECT_EQ(script.find("idx_orders_customer_id ON"), std::string::npos);
+  // DROP precedes CREATE.
+  EXPECT_LT(script.find("DROP"), script.find("CREATE"));
+}
+
+TEST_F(DdlFixture, IdenticalConfigsProduceEmptyMigration) {
+  IndexConfig config;
+  config.Insert(Index(a_));
+  EXPECT_TRUE(RenderMigration(w_, config, config).empty());
+}
+
+TEST(DdlTpccTest, TpccSelectionRendersCleanly) {
+  const workload::NamedWorkload tpcc = workload::MakeTpccWorkload(10);
+  IndexConfig config;
+  config.Insert(Index(0).Append(1));  // STOCK.W_ID, STOCK.I_ID
+  const std::string ddl = RenderCreateStatements(
+      tpcc.workload, config, &tpcc.attribute_names);
+  EXPECT_EQ(ddl, "CREATE INDEX idx_STOCK_W_ID_I_ID ON STOCK (W_ID, I_ID);\n");
+}
+
+}  // namespace
+}  // namespace idxsel::costmodel

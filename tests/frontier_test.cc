@@ -1,0 +1,104 @@
+// Tests for budget grids, strategy sweeps, and series rendering.
+
+#include <gtest/gtest.h>
+
+#include "core/recursive_selector.h"
+#include "costmodel/cost_model.h"
+#include "frontier/frontier.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::frontier {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::Index;
+using costmodel::ModelBackend;
+
+struct TestEnv {
+  workload::Workload w;
+  std::unique_ptr<CostModel> model;
+  std::unique_ptr<ModelBackend> backend;
+  std::unique_ptr<WhatIfEngine> engine;
+
+  TestEnv() {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 2;
+    params.attributes_per_table = 8;
+    params.queries_per_table = 15;
+    w = workload::GenerateScalableWorkload(params);
+    model = std::make_unique<CostModel>(&w);
+    backend = std::make_unique<ModelBackend>(model.get());
+    engine = std::make_unique<WhatIfEngine>(&w, backend.get());
+  }
+};
+
+TEST(BudgetGridTest, InclusiveEndpointsAndSpacing) {
+  const std::vector<double> grid = BudgetGrid(0.0, 0.4, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.4);
+  EXPECT_DOUBLE_EQ(grid[1], 0.1);
+}
+
+TEST(SweepTest, RunsStrategyAtEveryBudget) {
+  TestEnv s;
+  const std::vector<double> grid = BudgetGrid(0.0, 0.3, 4);
+  size_t invocations = 0;
+  const FrontierSeries series = SweepStrategy(
+      *s.engine, s.model->TotalSingleAttributeMemory(), grid, "H6",
+      [&](double budget) {
+        ++invocations;
+        core::RecursiveOptions options;
+        options.budget = budget;
+        StrategyOutcome outcome;
+        outcome.selection =
+            core::SelectRecursive(*s.engine, options).selection;
+        return outcome;
+      });
+  EXPECT_EQ(invocations, 4u);
+  ASSERT_EQ(series.points.size(), 4u);
+  EXPECT_EQ(series.label, "H6");
+  // w=0 point selects nothing; costs weakly decrease along the sweep.
+  EXPECT_EQ(series.points.front().num_indexes, 0u);
+  for (size_t i = 1; i < series.points.size(); ++i) {
+    EXPECT_LE(series.points[i].cost, series.points[i - 1].cost * 1.02);
+    EXPECT_LE(series.points[i].memory, series.points[i].budget + 1e-6);
+  }
+}
+
+TEST(SweepTest, NormalizeDividesByUnindexedCost) {
+  TestEnv s;
+  const std::vector<double> grid = BudgetGrid(0.0, 0.2, 3);
+  FrontierSeries series =
+      SweepStrategy(*s.engine, s.model->TotalSingleAttributeMemory(), grid,
+                    "noop", [&](double) { return StrategyOutcome{}; });
+  NormalizeCosts(*s.engine, &series);
+  for (const FrontierPoint& p : series.points) {
+    EXPECT_NEAR(p.cost, 1.0, 1e-9);  // empty selection = baseline
+  }
+}
+
+TEST(RenderTest, TableContainsLabelsAndDnf) {
+  FrontierSeries a;
+  a.label = "H6";
+  a.points = {{0.1, 100.0, 90.0, 0.5, 3, false}};
+  FrontierSeries b;
+  b.label = "CoPhy";
+  b.points = {{0.1, 100.0, 95.0, 0.4, 4, true}};
+  const std::string table = RenderSeriesTable({a, b});
+  EXPECT_NE(table.find("H6"), std::string::npos);
+  EXPECT_NE(table.find("CoPhy"), std::string::npos);
+  EXPECT_NE(table.find("0.4*"), std::string::npos);  // DNF incumbent marker
+}
+
+TEST(RenderTest, CsvRoundTrip) {
+  FrontierSeries a;
+  a.label = "H6";
+  a.points = {{0.1, 100.0, 90.0, 0.5, 3, false},
+              {0.2, 200.0, 180.0, 0.4, 5, false}};
+  const std::string path = ::testing::TempDir() + "/frontier_test.csv";
+  ASSERT_TRUE(WriteSeriesCsv({a}, path).ok());
+}
+
+}  // namespace
+}  // namespace idxsel::frontier

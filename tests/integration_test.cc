@@ -1,0 +1,219 @@
+// Cross-module integration tests: the full pipeline
+// workload -> candidates -> {H1..H5, CoPhy, H6} -> frontier, checking the
+// paper's qualitative claims at laptop scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "candidates/candidates.h"
+#include "cophy/cophy.h"
+#include "core/recursive_selector.h"
+#include "costmodel/cost_model.h"
+#include "engine/measured_cost.h"
+#include "frontier/frontier.h"
+#include "selection/heuristics.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel {
+namespace {
+
+using candidates::CandidateSet;
+using candidates::EnumerateAllCandidates;
+using costmodel::CostModel;
+using costmodel::IndexConfig;
+using costmodel::ModelBackend;
+using costmodel::WhatIfEngine;
+
+struct Pipeline {
+  workload::Workload w;
+  std::unique_ptr<CostModel> model;
+  std::unique_ptr<ModelBackend> backend;
+  std::unique_ptr<WhatIfEngine> engine;
+  CandidateSet all_candidates;
+
+  explicit Pipeline(uint32_t queries_per_table = 30, uint64_t seed = 7) {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 3;
+    params.attributes_per_table = 12;
+    params.queries_per_table = queries_per_table;
+    params.seed = seed;
+    w = workload::GenerateScalableWorkload(params);
+    model = std::make_unique<CostModel>(&w);
+    backend = std::make_unique<ModelBackend>(model.get());
+    engine = std::make_unique<WhatIfEngine>(&w, backend.get());
+    all_candidates = EnumerateAllCandidates(w, 4);
+  }
+};
+
+TEST(IntegrationTest, H6NearCophyOptimalAndBeatsSmallCandidateSets) {
+  Pipeline p(/*queries_per_table=*/15);
+  const double budget = p.model->Budget(0.2);
+
+  // The exhaustive-candidate solve is the paper's Table-I "hard" regime;
+  // run it exactly like the paper does: 5% MIP gap (plus a safety
+  // deadline). The proven bound still brackets the true optimum.
+  mip::SolveOptions paper_gap;
+  paper_gap.mip_gap = 0.05;
+  paper_gap.time_limit_seconds = 60.0;
+  const cophy::CophyResult optimal =
+      cophy::SolveCophy(*p.engine, p.all_candidates, budget, paper_gap);
+  ASSERT_TRUE(optimal.status.ok()) << optimal.status.ToString();
+
+  // CoPhy with a heavily reduced H1-M candidate set.
+  const CandidateSet small = candidates::GenerateCandidates(
+      p.w, candidates::CandidateHeuristic::kH1M,
+      std::max<size_t>(8, p.all_candidates.size() / 20), 4);
+  const cophy::CophyResult reduced =
+      cophy::SolveCophy(*p.engine, small, budget, paper_gap);
+  ASSERT_TRUE(reduced.status.ok());
+
+  core::RecursiveOptions options;
+  options.budget = budget;
+  const core::RecursiveResult h6 = core::SelectRecursive(*p.engine, options);
+
+  // The figures compare absolute workload costs, so the right robust
+  // metric is the achieved cost *reduction* (benefit). On tiny workloads a
+  // single jackpot query can keep greedy construction from the last few
+  // percent at a budget knife-edge, which would make a residual-cost ratio
+  // meaningless while the frontier curves still almost coincide.
+  const double base = p.engine->WorkloadCost(IndexConfig{});
+  const double benefit_h6 = base - h6.objective;
+  const double benefit_optimal = base - optimal.objective;
+  const double benefit_reduced = base - reduced.objective;
+  // Claim 1: H6 realizes nearly all of the exhaustive-candidate optimum's
+  // improvement.
+  EXPECT_GE(benefit_h6, 0.90 * benefit_optimal);
+  // Claim 2: H6 is at least on par with CoPhy on a 20x-reduced set.
+  EXPECT_GE(benefit_h6, 0.95 * benefit_reduced);
+  // Sanity: nothing beats the proven lower bound.
+  EXPECT_GE(h6.objective, optimal.best_bound * (1.0 - 1e-9));
+  EXPECT_GE(reduced.objective, optimal.best_bound * (1.0 - 1e-9));
+}
+
+TEST(IntegrationTest, H6BeatsRuleBasedHeuristics) {
+  Pipeline p;
+  const double budget = p.model->Budget(0.2);
+  core::RecursiveOptions options;
+  options.budget = budget;
+  const double h6 = core::SelectRecursive(*p.engine, options).objective;
+  for (selection::RuleHeuristic h :
+       {selection::RuleHeuristic::kH1, selection::RuleHeuristic::kH2,
+        selection::RuleHeuristic::kH3}) {
+    const double rule =
+        selection::SelectRuleBased(*p.engine, p.all_candidates, budget, h)
+            .objective;
+    EXPECT_LE(h6, rule * 1.001);
+  }
+}
+
+TEST(IntegrationTest, H6FewerWhatIfCallsThanCophyProblemBuild) {
+  Pipeline p(60);
+  const double budget = p.model->Budget(0.2);
+
+  p.engine->ResetStats();
+  core::RecursiveOptions options;
+  options.budget = budget;
+  const core::RecursiveResult h6 = core::SelectRecursive(*p.engine, options);
+  const uint64_t h6_calls = h6.whatif_calls;
+
+  // Fresh engine so CoPhy pays its own calls.
+  WhatIfEngine engine2(&p.w, p.backend.get());
+  cophy::BuildProblem(engine2, p.all_candidates, budget);
+  const uint64_t cophy_calls = engine2.stats().calls;
+
+  EXPECT_LT(h6_calls, cophy_calls)
+      << "H6 " << h6_calls << " vs CoPhy " << cophy_calls;
+}
+
+TEST(IntegrationTest, ComplementingCandidatesNeverHurtsCophy) {
+  // Section III-B: adding H6's indexes to a candidate set can only improve
+  // CoPhy's optimal selection.
+  Pipeline p;
+  const double budget = p.model->Budget(0.15);
+  CandidateSet small = candidates::GenerateCandidates(
+      p.w, candidates::CandidateHeuristic::kH1M, 12, 4);
+  const cophy::CophyResult before =
+      cophy::SolveCophy(*p.engine, small, budget);
+
+  core::RecursiveOptions options;
+  options.budget = budget;
+  const core::RecursiveResult h6 = core::SelectRecursive(*p.engine, options);
+  CandidateSet complemented = small;
+  for (const costmodel::Index& k : h6.selection.indexes()) {
+    complemented.Add(k);
+  }
+  const cophy::CophyResult after =
+      cophy::SolveCophy(*p.engine, complemented, budget);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_LE(after.objective, before.objective * (1.0 + 1e-9));
+  // And the complemented run is at least as good as H6 itself.
+  EXPECT_LE(after.objective, h6.objective * (1.0 + 1e-9));
+}
+
+TEST(IntegrationTest, FrontierSweepOrdersStrategiesConsistently) {
+  Pipeline p;
+  const std::vector<double> grid = frontier::BudgetGrid(0.05, 0.35, 4);
+  const double total = p.model->TotalSingleAttributeMemory();
+
+  const frontier::FrontierSeries h6_series = frontier::SweepStrategy(
+      *p.engine, total, grid, "H6", [&](double budget) {
+        core::RecursiveOptions options;
+        options.budget = budget;
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            core::SelectRecursive(*p.engine, options).selection;
+        return outcome;
+      });
+  const frontier::FrontierSeries h1_series = frontier::SweepStrategy(
+      *p.engine, total, grid, "H1", [&](double budget) {
+        frontier::StrategyOutcome outcome;
+        outcome.selection =
+            selection::SelectRuleBased(*p.engine, p.all_candidates, budget,
+                                       selection::RuleHeuristic::kH1)
+                .selection;
+        return outcome;
+      });
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_LE(h6_series.points[i].cost, h1_series.points[i].cost * 1.001)
+        << "w=" << grid[i];
+  }
+}
+
+TEST(IntegrationTest, MeasuredCostsPreserveStrategyRanking) {
+  // Section IV-B in miniature: feed *measured* engine runtimes into both
+  // H6 and the H1 rule; H6 must stay ahead (ranking robustness, not exact
+  // values).
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 8;
+  params.queries_per_table = 12;
+  params.rows_per_table_step = 15'000;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+  const engine::Database db(&w, 15'000, 5);
+  engine::MeasuredCostSource measured(&db, /*repetitions=*/3, /*seed=*/17);
+  WhatIfEngine engine(&w, &measured);
+
+  // Budget: half of all single-attribute index memory (measured sizes).
+  double total = 0.0;
+  for (workload::AttributeId i = 0; i < w.num_attributes(); ++i) {
+    total += engine.IndexMemory(costmodel::Index(i));
+  }
+  const double budget = 0.4 * total;
+
+  core::RecursiveOptions options;
+  options.budget = budget;
+  const core::RecursiveResult h6 = core::SelectRecursive(engine, options);
+
+  const CandidateSet cands = EnumerateAllCandidates(w, 3);
+  const selection::SelectionResult h1 = selection::SelectRuleBased(
+      engine, cands, budget, selection::RuleHeuristic::kH1);
+
+  EXPECT_LE(engine.WorkloadCost(h6.selection),
+            engine.WorkloadCost(h1.selection) * 1.10);
+  EXPECT_LE(engine.ConfigMemory(h6.selection), budget * 1.0001);
+}
+
+}  // namespace
+}  // namespace idxsel

@@ -1,0 +1,157 @@
+// Tests for the textual workload format: parsing, diagnostics, and
+// round-tripping.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "workload/parser.h"
+#include "workload/tpcc.h"
+
+namespace idxsel::workload {
+namespace {
+
+constexpr char kValid[] = R"(# web-shop workload
+table orders rows=2000000
+attr customer_id distinct=150000 size=4
+attr status distinct=8
+attr country distinct=90 size=2
+
+table items rows=100000
+attr id distinct=100000 size=8
+
+query orders freq=12000 attrs=customer_id
+query orders freq=9000 attrs=customer_id,status   # open orders
+query orders freq=10 write attrs=status
+query items freq=450 attrs=id
+)";
+
+TEST(ParserTest, ParsesValidInput) {
+  auto parsed = ParseWorkload(kValid);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Workload& w = parsed->workload;
+  EXPECT_EQ(w.num_tables(), 2u);
+  EXPECT_EQ(w.num_attributes(), 4u);
+  EXPECT_EQ(w.num_queries(), 4u);
+  EXPECT_EQ(w.table(0).name, "orders");
+  EXPECT_EQ(w.table(0).row_count, 2'000'000u);
+  EXPECT_EQ(w.attribute(0).distinct_values, 150'000u);
+  EXPECT_EQ(w.attribute(0).value_size, 4u);
+  EXPECT_EQ(w.attribute(1).value_size, 4u);  // default size
+  EXPECT_EQ(w.attribute(2).value_size, 2u);
+  EXPECT_EQ(parsed->name(0), "orders.customer_id");
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(ParserTest, QueryDetails) {
+  auto parsed = ParseWorkload(kValid);
+  ASSERT_TRUE(parsed.ok());
+  const Workload& w = parsed->workload;
+  EXPECT_EQ(w.query(1).attributes.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.query(1).frequency, 9000.0);
+  EXPECT_EQ(w.query(1).kind, QueryKind::kRead);
+  EXPECT_EQ(w.query(2).kind, QueryKind::kWrite);
+  EXPECT_EQ(w.query(3).table, 1u);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  auto parsed = ParseWorkload(
+      "# header\n\ntable t rows=10\n  \nattr a distinct=5 # trailing\n"
+      "query t freq=1 attrs=a\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->workload.num_queries(), 1u);
+}
+
+struct BadCase {
+  const char* input;
+  const char* expected_fragment;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(ParserErrorTest, ReportsLineAndReason) {
+  auto parsed = ParseWorkload(GetParam().input);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find(GetParam().expected_fragment),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        BadCase{"bogus t rows=1\n", "unknown directive"},
+        BadCase{"table t\n", "expected"},
+        BadCase{"table t rows=0\n", "rows"},
+        BadCase{"table t rows=5\ntable t rows=5\n", "duplicate table"},
+        BadCase{"attr a distinct=5\n", "attr before any table"},
+        BadCase{"table t rows=5\nattr a distinct=0\n", "distinct"},
+        BadCase{"table t rows=5\nattr a distinct=2\nattr a distinct=2\n",
+                "duplicate attribute"},
+        BadCase{"table t rows=5\nattr a distinct=2\n"
+                "query nope freq=1 attrs=a\n",
+                "unknown table"},
+        BadCase{"table t rows=5\nattr a distinct=2\n"
+                "query t freq=1 attrs=zzz\n",
+                "unknown attribute"},
+        BadCase{"table t rows=5\nattr a distinct=2\nquery t freq=0 attrs=a\n",
+                "freq"},
+        BadCase{"table t rows=5\nattr a distinct=2\nquery t freq=1\n",
+                "expected"},
+        BadCase{"table t rows=5\nattr a distinct=2 wat=1\n",
+                "unknown attr option"}));
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto parsed = ParseWorkload("table t rows=5\nattr a distinct=2\noops\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, RoundTripsThroughFormat) {
+  auto parsed = ParseWorkload(kValid);
+  ASSERT_TRUE(parsed.ok());
+  const std::string formatted =
+      FormatWorkload(parsed->workload, parsed->attribute_names);
+  auto reparsed = ParseWorkload(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const Workload& a = parsed->workload;
+  const Workload& b = reparsed->workload;
+  ASSERT_EQ(a.num_queries(), b.num_queries());
+  for (QueryId j = 0; j < a.num_queries(); ++j) {
+    EXPECT_EQ(a.query(j).attributes, b.query(j).attributes);
+    EXPECT_DOUBLE_EQ(a.query(j).frequency, b.query(j).frequency);
+    EXPECT_EQ(a.query(j).kind, b.query(j).kind);
+  }
+}
+
+TEST(ParserTest, TpccRoundTrip) {
+  const NamedWorkload tpcc = MakeTpccWorkload(10);
+  const std::string formatted =
+      FormatWorkload(tpcc.workload, tpcc.attribute_names);
+  auto reparsed = ParseWorkload(formatted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->workload.num_queries(), tpcc.workload.num_queries());
+  EXPECT_EQ(reparsed->workload.num_attributes(),
+            tpcc.workload.num_attributes());
+}
+
+TEST(ParserTest, LoadWorkloadFile) {
+  const std::string path = ::testing::TempDir() + "/idxsel_parser_test.wl";
+  {
+    std::ofstream file(path, std::ios::trunc);
+    file << kValid;
+  }
+  auto parsed = LoadWorkloadFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->workload.num_queries(), 4u);
+}
+
+TEST(ParserTest, MissingFileIsNotFound) {
+  auto parsed = LoadWorkloadFile("/nonexistent/idxsel.wl");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace idxsel::workload

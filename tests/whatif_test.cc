@@ -1,0 +1,218 @@
+// Tests for the caching what-if engine: transparency, call accounting, and
+// key canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "costmodel/reconfiguration.h"
+#include "costmodel/what_if.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::costmodel {
+namespace {
+
+class WhatIfFixture : public ::testing::Test {
+ protected:
+  WhatIfFixture() {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 2;
+    params.attributes_per_table = 8;
+    params.queries_per_table = 15;
+    w_ = workload::GenerateScalableWorkload(params);
+    model_ = std::make_unique<CostModel>(&w_);
+    backend_ = std::make_unique<ModelBackend>(model_.get());
+  }
+
+  workload::Workload w_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<ModelBackend> backend_;
+};
+
+TEST_F(WhatIfFixture, CacheTransparency) {
+  // Every cost served by the engine equals the backend's answer.
+  WhatIfEngine engine(&w_, backend_.get());
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    EXPECT_DOUBLE_EQ(engine.BaseCost(j), model_->UnindexedCost(j));
+    for (workload::AttributeId i : w_.query(j).attributes) {
+      EXPECT_DOUBLE_EQ(engine.CostWithIndex(j, Index(i)),
+                       model_->CostWithIndex(j, Index(i)));
+    }
+  }
+}
+
+TEST_F(WhatIfFixture, RepeatedCallsHitTheCache) {
+  WhatIfEngine engine(&w_, backend_.get());
+  const Index k(w_.query(0).attributes.front());
+  engine.CostWithIndex(0, k);
+  const uint64_t calls = engine.stats().calls;
+  engine.CostWithIndex(0, k);
+  engine.CostWithIndex(0, k);
+  EXPECT_EQ(engine.stats().calls, calls);
+  EXPECT_GE(engine.stats().cache_hits, 2u);
+}
+
+TEST_F(WhatIfFixture, InapplicableIndexDoesNotCallBackend) {
+  WhatIfEngine engine(&w_, backend_.get());
+  // An attribute not accessed by query 0 on the same table, or any
+  // attribute of the other table, is inapplicable.
+  const workload::Query& q = w_.query(0);
+  workload::AttributeId other = workload::kInvalidAttribute;
+  for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
+    if (w_.attribute(i).table == q.table &&
+        !std::binary_search(q.attributes.begin(), q.attributes.end(), i)) {
+      other = i;
+      break;
+    }
+  }
+  ASSERT_NE(other, workload::kInvalidAttribute);
+  const double base = engine.BaseCost(0);
+  const uint64_t calls = engine.stats().calls;
+  EXPECT_DOUBLE_EQ(engine.CostWithIndex(0, Index(other)), base);
+  EXPECT_EQ(engine.stats().calls, calls);
+  EXPECT_GE(engine.stats().skipped_inapplicable, 1u);
+}
+
+TEST_F(WhatIfFixture, CanonicalizationSharesEquivalentCalls) {
+  WhatIfEngine engine(&w_, backend_.get(), /*canonicalize_keys=*/true);
+  // Find a query with >= 2 attributes; permutations of the fully-covered
+  // prefix must hit the same cache slot.
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    const auto& attrs = w_.query(j).attributes;
+    if (attrs.size() < 2) continue;
+    const Index ab = Index(attrs[0]).Append(attrs[1]);
+    const Index ba = Index(attrs[1]).Append(attrs[0]);
+    engine.CostWithIndex(j, ab);
+    const uint64_t calls = engine.stats().calls;
+    const double cost = engine.CostWithIndex(j, ba);
+    EXPECT_EQ(engine.stats().calls, calls) << "permutation missed cache";
+    EXPECT_DOUBLE_EQ(cost, model_->CostWithIndex(j, ab));
+    return;
+  }
+  FAIL() << "no multi-attribute query in the generated workload";
+}
+
+TEST_F(WhatIfFixture, NoCanonicalizationKeepsDistinctKeys) {
+  WhatIfEngine engine(&w_, backend_.get(), /*canonicalize_keys=*/false);
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    const auto& attrs = w_.query(j).attributes;
+    if (attrs.size() < 2) continue;
+    const Index ab = Index(attrs[0]).Append(attrs[1]);
+    const Index ba = Index(attrs[1]).Append(attrs[0]);
+    engine.CostWithIndex(j, ab);
+    const uint64_t calls = engine.stats().calls;
+    engine.CostWithIndex(j, ba);
+    EXPECT_EQ(engine.stats().calls, calls + 1);
+    return;
+  }
+  FAIL() << "no multi-attribute query in the generated workload";
+}
+
+TEST_F(WhatIfFixture, WorkloadCostMatchesModel) {
+  WhatIfEngine engine(&w_, backend_.get());
+  IndexConfig config;
+  config.Insert(Index(w_.query(0).attributes.front()));
+  double expected = 0.0;
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    expected += w_.query(j).frequency * model_->CostOneIndex(j, config);
+  }
+  EXPECT_NEAR(engine.WorkloadCost(config), expected, expected * 1e-12);
+}
+
+TEST_F(WhatIfFixture, ConfigMemorySumsIndexSizes) {
+  WhatIfEngine engine(&w_, backend_.get());
+  IndexConfig config;
+  config.Insert(Index(0));
+  config.Insert(Index(1));
+  EXPECT_DOUBLE_EQ(engine.ConfigMemory(config),
+                   model_->IndexMemory(Index(0)) +
+                       model_->IndexMemory(Index(1)));
+}
+
+TEST_F(WhatIfFixture, InvalidateCostCacheForcesRecalls) {
+  WhatIfEngine engine(&w_, backend_.get());
+  engine.BaseCost(0);
+  const uint64_t calls = engine.stats().calls;
+  engine.InvalidateCostCache();
+  engine.BaseCost(0);
+  EXPECT_EQ(engine.stats().calls, calls + 1);
+}
+
+TEST_F(WhatIfFixture, ResetStatsZeroesCounters) {
+  WhatIfEngine engine(&w_, backend_.get());
+  engine.BaseCost(0);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().calls, 0u);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST_F(WhatIfFixture, ConfigCostMatchesMultiIndexModel) {
+  WhatIfEngine engine(&w_, backend_.get());
+  IndexConfig config;
+  config.Insert(Index(w_.query(0).attributes.front()));
+  if (w_.query(0).attributes.size() > 1) {
+    config.Insert(Index(w_.query(0).attributes.back()));
+  }
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    EXPECT_DOUBLE_EQ(engine.CostWithConfig(j, config),
+                     model_->CostMultiIndex(j, config));
+  }
+}
+
+TEST_F(WhatIfFixture, ConfigCostCachedPerRelevantSubset) {
+  WhatIfEngine engine(&w_, backend_.get());
+  IndexConfig config;
+  config.Insert(Index(w_.query(0).attributes.front()));
+  engine.CostWithConfig(0, config);
+  const uint64_t calls = engine.stats().calls;
+  // Adding an index of the *other* table must not invalidate the cache
+  // entry for query 0 (key canonicalized to same-table indexes).
+  const workload::TableId other_table = 1 - w_.query(0).table;
+  config.Insert(Index(w_.table(other_table).attributes.front()));
+  engine.CostWithConfig(0, config);
+  EXPECT_EQ(engine.stats().calls, calls);
+}
+
+TEST_F(WhatIfFixture, ConfigCostAtMostOneIndexCost) {
+  WhatIfEngine engine(&w_, backend_.get());
+  IndexConfig config;
+  for (workload::AttributeId a : w_.query(0).attributes) {
+    config.Insert(Index(a));
+  }
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    EXPECT_LE(engine.CostWithConfig(j, config),
+              engine.CostWithIndex(j, Index(w_.query(0).attributes.front())) *
+                  (1.0 + 1e-12));
+  }
+}
+
+// ------------------------------------------------------- reconfiguration
+
+TEST_F(WhatIfFixture, ReconfigurationCosts) {
+  WhatIfEngine engine(&w_, backend_.get());
+  ReconfigurationParams params;
+  params.create_factor = 2.0;
+  params.drop_cost = 10.0;
+  const ReconfigurationModel reconfig(&engine, params);
+
+  IndexConfig old_config;
+  old_config.Insert(Index(0));
+  old_config.Insert(Index(1));
+  IndexConfig new_config;
+  new_config.Insert(Index(1));
+  new_config.Insert(Index(2));
+
+  // Create (2), keep (1), drop (0).
+  const double expected = 2.0 * engine.IndexMemory(Index(2)) + 10.0;
+  EXPECT_DOUBLE_EQ(reconfig.Cost(new_config, old_config), expected);
+}
+
+TEST_F(WhatIfFixture, ReconfigurationIdenticalConfigsAreFree) {
+  WhatIfEngine engine(&w_, backend_.get());
+  const ReconfigurationModel reconfig(&engine);
+  IndexConfig config;
+  config.Insert(Index(0));
+  EXPECT_DOUBLE_EQ(reconfig.Cost(config, config), 0.0);
+}
+
+}  // namespace
+}  // namespace idxsel::costmodel

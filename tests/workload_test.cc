@@ -1,0 +1,364 @@
+// Tests for the workload model and the three generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/blend.h"
+#include "workload/compression.h"
+#include "workload/erp_generator.h"
+#include "workload/scalable_generator.h"
+#include "workload/tpcc.h"
+#include "workload/workload.h"
+
+namespace idxsel::workload {
+namespace {
+
+Workload SmallWorkload() {
+  Workload w;
+  const TableId t = w.AddTable("t", 1000);
+  const AttributeId a = w.AddAttribute(t, 100, 4);
+  const AttributeId b = w.AddAttribute(t, 10, 8);
+  const AttributeId c = w.AddAttribute(t, 1000, 4);
+  EXPECT_TRUE(w.AddQuery(t, {a, b}, 5.0).ok());
+  EXPECT_TRUE(w.AddQuery(t, {b, c}, 2.0).ok());
+  EXPECT_TRUE(w.AddQuery(t, {a}, 1.0).ok());
+  w.Finalize();
+  return w;
+}
+
+TEST(WorkloadTest, BasicAccessors) {
+  Workload w = SmallWorkload();
+  EXPECT_EQ(w.num_tables(), 1u);
+  EXPECT_EQ(w.num_attributes(), 3u);
+  EXPECT_EQ(w.num_queries(), 3u);
+  EXPECT_EQ(w.table(0).row_count, 1000u);
+  EXPECT_EQ(w.attribute(1).distinct_values, 10u);
+  EXPECT_DOUBLE_EQ(w.attribute(1).selectivity(), 0.1);
+  EXPECT_EQ(w.rows_of(2), 1000u);
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(WorkloadTest, DistinctCountClampedToRowCount) {
+  Workload w;
+  const TableId t = w.AddTable("t", 50);
+  const AttributeId a = w.AddAttribute(t, 1000000, 4);
+  EXPECT_EQ(w.attribute(a).distinct_values, 50u);
+}
+
+TEST(WorkloadTest, QueryCanonicalization) {
+  Workload w;
+  const TableId t = w.AddTable("t", 10);
+  const AttributeId a = w.AddAttribute(t, 5, 4);
+  const AttributeId b = w.AddAttribute(t, 5, 4);
+  auto q = w.AddQuery(t, {b, a, b, a}, 1.0);
+  ASSERT_TRUE(q.ok());
+  w.Finalize();
+  EXPECT_EQ(w.query(*q).attributes, (std::vector<AttributeId>{a, b}));
+}
+
+TEST(WorkloadTest, RejectsMalformedQueries) {
+  Workload w;
+  const TableId t1 = w.AddTable("t1", 10);
+  const TableId t2 = w.AddTable("t2", 10);
+  const AttributeId a1 = w.AddAttribute(t1, 5, 4);
+  EXPECT_FALSE(w.AddQuery(t2, {a1}, 1.0).ok());   // wrong table
+  EXPECT_FALSE(w.AddQuery(t1, {}, 1.0).ok());     // empty
+  EXPECT_FALSE(w.AddQuery(t1, {a1}, 0.0).ok());   // zero frequency
+  EXPECT_FALSE(w.AddQuery(99, {a1}, 1.0).ok());   // unknown table
+}
+
+TEST(WorkloadTest, OccurrenceWeightsAreFrequencyWeighted) {
+  Workload w = SmallWorkload();
+  EXPECT_DOUBLE_EQ(w.occurrence_weight(0), 6.0);  // a: queries 0 and 2
+  EXPECT_DOUBLE_EQ(w.occurrence_weight(1), 7.0);  // b: queries 0 and 1
+  EXPECT_DOUBLE_EQ(w.occurrence_weight(2), 2.0);  // c: query 1
+}
+
+TEST(WorkloadTest, InvertedIndexMatchesQueries) {
+  Workload w = SmallWorkload();
+  EXPECT_EQ(w.queries_with(0), (std::vector<QueryId>{0, 2}));
+  EXPECT_EQ(w.queries_with(1), (std::vector<QueryId>{0, 1}));
+  EXPECT_EQ(w.queries_with(2), (std::vector<QueryId>{1}));
+}
+
+TEST(WorkloadTest, MeanQueryWidthAndTotalFrequency) {
+  Workload w = SmallWorkload();
+  EXPECT_DOUBLE_EQ(w.mean_query_width(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(w.total_frequency(), 8.0);
+}
+
+// ---------------------------------------------------------------- scalable
+
+TEST(ScalableGeneratorTest, ProducesRequestedDimensions) {
+  ScalableWorkloadParams params;
+  params.num_tables = 4;
+  params.attributes_per_table = 20;
+  params.queries_per_table = 30;
+  const Workload w = GenerateScalableWorkload(params);
+  EXPECT_EQ(w.num_tables(), 4u);
+  EXPECT_EQ(w.num_attributes(), 80u);
+  EXPECT_EQ(w.num_queries(), 120u);
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(ScalableGeneratorTest, RowCountsScaleWithTableIndex) {
+  ScalableWorkloadParams params;
+  params.num_tables = 3;
+  params.rows_per_table_step = 1000;
+  const Workload w = GenerateScalableWorkload(params);
+  EXPECT_EQ(w.table(0).row_count, 1000u);
+  EXPECT_EQ(w.table(1).row_count, 2000u);
+  EXPECT_EQ(w.table(2).row_count, 3000u);
+}
+
+TEST(ScalableGeneratorTest, DeterministicPerSeed) {
+  ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.queries_per_table = 10;
+  const Workload w1 = GenerateScalableWorkload(params);
+  const Workload w2 = GenerateScalableWorkload(params);
+  ASSERT_EQ(w1.num_queries(), w2.num_queries());
+  for (QueryId j = 0; j < w1.num_queries(); ++j) {
+    EXPECT_EQ(w1.query(j).attributes, w2.query(j).attributes);
+    EXPECT_EQ(w1.query(j).frequency, w2.query(j).frequency);
+  }
+}
+
+TEST(ScalableGeneratorTest, DifferentSeedsDiffer) {
+  ScalableWorkloadParams p1;
+  ScalableWorkloadParams p2;
+  p2.seed = p1.seed + 1;
+  const Workload w1 = GenerateScalableWorkload(p1);
+  const Workload w2 = GenerateScalableWorkload(p2);
+  bool any_difference = false;
+  for (QueryId j = 0; j < w1.num_queries() && !any_difference; ++j) {
+    any_difference = w1.query(j).attributes != w2.query(j).attributes;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScalableGeneratorTest, QueryWidthsWithinAppendixCBounds) {
+  const Workload w = GenerateScalableWorkload({});
+  for (const Query& q : w.queries()) {
+    EXPECT_GE(q.attributes.size(), 1u);
+    EXPECT_LE(q.attributes.size(), 11u);  // Z in [1, 11] before dedup
+    EXPECT_GE(q.frequency, 1.0);
+    EXPECT_LE(q.frequency, 10000.0);
+  }
+}
+
+TEST(ScalableGeneratorTest, AttributeDrawSkewsTowardsHighOrdinals) {
+  const Workload w = GenerateScalableWorkload({});
+  // Appendix C's q draw pushes mass to high ordinals: the upper half of
+  // each table's attributes should be accessed more than the lower half.
+  double low = 0.0;
+  double high = 0.0;
+  for (AttributeId i = 0; i < w.num_attributes(); ++i) {
+    const auto& stats = w.attribute(i);
+    (stats.ordinal < 25 ? low : high) += w.occurrence_weight(i);
+  }
+  EXPECT_GT(high, low);
+}
+
+// --------------------------------------------------------------------- erp
+
+TEST(ErpGeneratorTest, MatchesPublishedDimensions) {
+  ErpWorkloadParams params;  // defaults = paper's aggregates
+  const Workload w = GenerateErpWorkload(params);
+  EXPECT_EQ(w.num_tables(), 500u);
+  EXPECT_EQ(w.num_attributes(), 4204u);
+  EXPECT_EQ(w.num_queries(), 2271u);
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+TEST(ErpGeneratorTest, RowCountsWithinPublishedRange) {
+  ErpWorkloadParams params;
+  const Workload w = GenerateErpWorkload(params);
+  for (const TableSchema& t : w.tables()) {
+    EXPECT_GE(t.row_count, params.min_rows / 2);  // log-uniform floor
+    EXPECT_LE(t.row_count, params.max_rows);
+  }
+}
+
+TEST(ErpGeneratorTest, ExecutionVolumeMatchesOrder) {
+  const Workload w = GenerateErpWorkload({});
+  // > 50M weighted executions published; Zipf rounding keeps us near it.
+  EXPECT_GT(w.total_frequency(), 4e7);
+  EXPECT_LT(w.total_frequency(), 8e7);
+}
+
+TEST(ErpGeneratorTest, MostlyPointAccess) {
+  const Workload w = GenerateErpWorkload({});
+  size_t narrow = 0;
+  for (const Query& q : w.queries()) narrow += q.attributes.size() <= 4;
+  EXPECT_GT(static_cast<double>(narrow) / w.num_queries(), 0.85);
+}
+
+TEST(ErpGeneratorTest, Deterministic) {
+  const Workload w1 = GenerateErpWorkload({});
+  const Workload w2 = GenerateErpWorkload({});
+  ASSERT_EQ(w1.num_queries(), w2.num_queries());
+  for (QueryId j = 0; j < w1.num_queries(); j += 97) {
+    EXPECT_EQ(w1.query(j).attributes, w2.query(j).attributes);
+  }
+}
+
+// ------------------------------------------------------------- compression
+
+TEST(CompressionTest, MergeDuplicateTemplatesSumsFrequencies) {
+  Workload w;
+  const TableId t = w.AddTable("t", 100);
+  const AttributeId a = w.AddAttribute(t, 10, 4);
+  const AttributeId b = w.AddAttribute(t, 10, 4);
+  ASSERT_TRUE(w.AddQuery(t, {a, b}, 3.0).ok());
+  ASSERT_TRUE(w.AddQuery(t, {b, a}, 4.0).ok());  // same canonical template
+  ASSERT_TRUE(w.AddQuery(t, {a}, 1.0).ok());
+  w.Finalize();
+
+  const Workload merged = MergeDuplicateTemplates(w);
+  EXPECT_EQ(merged.num_queries(), 2u);
+  EXPECT_DOUBLE_EQ(merged.total_frequency(), 8.0);
+  // Schema ids preserved.
+  EXPECT_EQ(merged.num_attributes(), w.num_attributes());
+  EXPECT_EQ(merged.attribute(a).distinct_values, 10u);
+}
+
+TEST(CompressionTest, MergeIsLosslessForAdditiveCosts) {
+  const Workload w = GenerateScalableWorkload({});
+  const Workload merged = MergeDuplicateTemplates(w);
+  EXPECT_LE(merged.num_queries(), w.num_queries());
+  EXPECT_NEAR(merged.total_frequency(), w.total_frequency(), 1e-6);
+  // Occurrence weights are invariant under merging.
+  for (AttributeId i = 0; i < w.num_attributes(); ++i) {
+    EXPECT_NEAR(merged.occurrence_weight(i), w.occurrence_weight(i), 1e-6);
+  }
+}
+
+TEST(CompressionTest, TopKKeepsTheMostExpensiveQueries) {
+  Workload w;
+  const TableId t = w.AddTable("t", 100);
+  const AttributeId a = w.AddAttribute(t, 10, 4);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(w.AddQuery(t, {a}, 1.0 + i).ok());
+  }
+  w.Finalize();
+  const std::vector<double> costs = {5.0, 1.0, 4.0, 2.0, 3.0};
+  const Workload top2 = CompressTopK(w, costs, 2);
+  ASSERT_EQ(top2.num_queries(), 2u);
+  // Queries 0 (cost 5) and 2 (cost 4) survive, in original order.
+  EXPECT_DOUBLE_EQ(top2.query(0).frequency, 1.0);
+  EXPECT_DOUBLE_EQ(top2.query(1).frequency, 3.0);
+}
+
+TEST(CompressionTest, TopKClampsToWorkloadSize) {
+  const Workload w = GenerateScalableWorkload({});
+  std::vector<double> costs(w.num_queries(), 1.0);
+  const Workload all = CompressTopK(w, costs, w.num_queries() * 10);
+  EXPECT_EQ(all.num_queries(), w.num_queries());
+}
+
+// ------------------------------------------------------------------- blend
+
+TEST(BlendTest, SameSchemaDetection) {
+  ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 5;
+  params.queries_per_table = 5;
+  const Workload a = GenerateScalableWorkload(params);
+  params.seed += 1;  // same schema stream? No — seed changes attributes too
+  const Workload b = GenerateScalableWorkload(params);
+  EXPECT_TRUE(SameSchema(a, a));
+  // Different seeds draw different distinct counts -> different schema.
+  EXPECT_FALSE(SameSchema(a, b));
+}
+
+TEST(BlendTest, EndpointsReproduceTheScenarios) {
+  Workload a;
+  const TableId t = a.AddTable("t", 1000);
+  const AttributeId x = a.AddAttribute(t, 10, 4);
+  const AttributeId y = a.AddAttribute(t, 20, 4);
+  ASSERT_TRUE(a.AddQuery(t, {x}, 10.0).ok());
+  a.Finalize();
+  Workload b;
+  (void)b.AddTable("t", 1000);
+  (void)b.AddAttribute(t, 10, 4);
+  (void)b.AddAttribute(t, 20, 4);
+  ASSERT_TRUE(b.AddQuery(t, {y}, 6.0).ok());
+  b.Finalize();
+
+  const Workload at_a = BlendWorkloads(a, b, 0.0);
+  EXPECT_EQ(at_a.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(at_a.query(0).frequency, 10.0);
+
+  const Workload at_b = BlendWorkloads(a, b, 1.0);
+  EXPECT_EQ(at_b.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(at_b.query(0).frequency, 6.0);
+
+  const Workload mid = BlendWorkloads(a, b, 0.5);
+  EXPECT_EQ(mid.num_queries(), 2u);
+  EXPECT_DOUBLE_EQ(mid.total_frequency(), 8.0);
+}
+
+TEST(BlendTest, SharedTemplatesMerge) {
+  Workload a;
+  const TableId t = a.AddTable("t", 1000);
+  const AttributeId x = a.AddAttribute(t, 10, 4);
+  ASSERT_TRUE(a.AddQuery(t, {x}, 10.0).ok());
+  a.Finalize();
+  Workload b;
+  (void)b.AddTable("t", 1000);
+  (void)b.AddAttribute(t, 10, 4);
+  ASSERT_TRUE(b.AddQuery(t, {x}, 30.0).ok());
+  b.Finalize();
+  const Workload mid = BlendWorkloads(a, b, 0.25);
+  ASSERT_EQ(mid.num_queries(), 1u);
+  EXPECT_DOUBLE_EQ(mid.query(0).frequency, 0.75 * 10.0 + 0.25 * 30.0);
+}
+
+TEST(BlendTest, ExpectedCostIsLinearInTheBlend) {
+  // F_blend(I*) == (1-w) F_a(I*) + w F_b(I*) for any fixed selection —
+  // the property that makes blend-tuning optimize the expectation.
+  ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 6;
+  params.queries_per_table = 10;
+  params.seed = 3;
+  const Workload a = GenerateScalableWorkload(params);
+  // Same schema: regenerate with identical seed, then reuse `a`'s schema
+  // via blending a with itself at different weights is trivial; instead
+  // check the identity with b = a (frequencies scaled).
+  const Workload blend = BlendWorkloads(a, a, 0.3);
+  EXPECT_NEAR(blend.total_frequency(), a.total_frequency(), 1e-6);
+}
+
+// -------------------------------------------------------------------- tpcc
+
+TEST(TpccTest, TenQueriesOnEightTables) {
+  const NamedWorkload named = MakeTpccWorkload(100);
+  EXPECT_EQ(named.workload.num_queries(), 10u);
+  EXPECT_EQ(named.workload.num_tables(), 8u);
+  EXPECT_TRUE(named.workload.Validate().ok());
+  EXPECT_EQ(named.attribute_names.size(), named.workload.num_attributes());
+}
+
+TEST(TpccTest, NamesResolve) {
+  const NamedWorkload named = MakeTpccWorkload(10);
+  std::set<std::string> names(named.attribute_names.begin(),
+                              named.attribute_names.end());
+  EXPECT_TRUE(names.count("STOCK.W_ID"));
+  EXPECT_TRUE(names.count("ORD.C_ID"));
+  EXPECT_TRUE(names.count("ORDLN.NUMBER"));
+}
+
+TEST(TpccTest, CardinalitiesScaleWithWarehouses) {
+  const NamedWorkload w10 = MakeTpccWorkload(10);
+  const NamedWorkload w100 = MakeTpccWorkload(100);
+  // STOCK is table 0: 100k items per warehouse.
+  EXPECT_EQ(w10.workload.table(0).row_count, 1'000'000u);
+  EXPECT_EQ(w100.workload.table(0).row_count, 10'000'000u);
+}
+
+}  // namespace
+}  // namespace idxsel::workload
