@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extensions.dir/bench/bench_extensions.cc.o"
+  "CMakeFiles/bench_extensions.dir/bench/bench_extensions.cc.o.d"
+  "bench/bench_extensions"
+  "bench/bench_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

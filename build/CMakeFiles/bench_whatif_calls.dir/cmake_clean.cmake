@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif_calls.dir/bench/bench_whatif_calls.cc.o"
+  "CMakeFiles/bench_whatif_calls.dir/bench/bench_whatif_calls.cc.o.d"
+  "bench/bench_whatif_calls"
+  "bench/bench_whatif_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

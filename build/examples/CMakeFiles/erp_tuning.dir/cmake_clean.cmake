@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erp_tuning.dir/erp_tuning.cpp.o"
+  "CMakeFiles/erp_tuning.dir/erp_tuning.cpp.o.d"
+  "erp_tuning"
+  "erp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

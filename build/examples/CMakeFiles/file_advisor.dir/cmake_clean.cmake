@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_advisor.dir/file_advisor.cpp.o"
+  "CMakeFiles/file_advisor.dir/file_advisor.cpp.o.d"
+  "file_advisor"
+  "file_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

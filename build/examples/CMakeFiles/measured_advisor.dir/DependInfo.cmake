@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/measured_advisor.cpp" "examples/CMakeFiles/measured_advisor.dir/measured_advisor.cpp.o" "gcc" "examples/CMakeFiles/measured_advisor.dir/measured_advisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idxsel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idxsel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/idxsel_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/candidates/CMakeFiles/idxsel_candidates.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/idxsel_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mip/CMakeFiles/idxsel_mip.dir/DependInfo.cmake"
+  "/root/repo/build/src/cophy/CMakeFiles/idxsel_cophy.dir/DependInfo.cmake"
+  "/root/repo/build/src/selection/CMakeFiles/idxsel_selection.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idxsel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/idxsel_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontier/CMakeFiles/idxsel_frontier.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/idxsel_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/idxsel_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measured_advisor.dir/measured_advisor.cpp.o"
+  "CMakeFiles/measured_advisor.dir/measured_advisor.cpp.o.d"
+  "measured_advisor"
+  "measured_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measured_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("workload")
+subdirs("costmodel")
+subdirs("candidates")
+subdirs("lp")
+subdirs("mip")
+subdirs("cophy")
+subdirs("selection")
+subdirs("core")
+subdirs("engine")
+subdirs("frontier")
+subdirs("advisor")
+subdirs("analysis")

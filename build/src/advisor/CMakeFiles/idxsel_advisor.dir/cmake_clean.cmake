@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_advisor.dir/advisor.cc.o"
+  "CMakeFiles/idxsel_advisor.dir/advisor.cc.o.d"
+  "libidxsel_advisor.a"
+  "libidxsel_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

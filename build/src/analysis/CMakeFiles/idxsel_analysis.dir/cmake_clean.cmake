@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_analysis.dir/interaction.cc.o"
+  "CMakeFiles/idxsel_analysis.dir/interaction.cc.o.d"
+  "libidxsel_analysis.a"
+  "libidxsel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_candidates.dir/candidates.cc.o"
+  "CMakeFiles/idxsel_candidates.dir/candidates.cc.o.d"
+  "libidxsel_candidates.a"
+  "libidxsel_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

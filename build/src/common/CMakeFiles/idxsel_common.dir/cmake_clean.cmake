@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_common.dir/csv.cc.o"
+  "CMakeFiles/idxsel_common.dir/csv.cc.o.d"
+  "CMakeFiles/idxsel_common.dir/format.cc.o"
+  "CMakeFiles/idxsel_common.dir/format.cc.o.d"
+  "CMakeFiles/idxsel_common.dir/random.cc.o"
+  "CMakeFiles/idxsel_common.dir/random.cc.o.d"
+  "CMakeFiles/idxsel_common.dir/status.cc.o"
+  "CMakeFiles/idxsel_common.dir/status.cc.o.d"
+  "libidxsel_common.a"
+  "libidxsel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

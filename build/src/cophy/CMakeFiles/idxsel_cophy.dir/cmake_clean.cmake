@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_cophy.dir/cophy.cc.o"
+  "CMakeFiles/idxsel_cophy.dir/cophy.cc.o.d"
+  "libidxsel_cophy.a"
+  "libidxsel_cophy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_cophy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for idxsel_cophy.
+# This may be replaced when dependencies are built.

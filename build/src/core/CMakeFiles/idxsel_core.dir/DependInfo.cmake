@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/recursive_selector.cc" "src/core/CMakeFiles/idxsel_core.dir/recursive_selector.cc.o" "gcc" "src/core/CMakeFiles/idxsel_core.dir/recursive_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/idxsel_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idxsel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idxsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

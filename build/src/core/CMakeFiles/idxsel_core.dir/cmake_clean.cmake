@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_core.dir/recursive_selector.cc.o"
+  "CMakeFiles/idxsel_core.dir/recursive_selector.cc.o.d"
+  "libidxsel_core.a"
+  "libidxsel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

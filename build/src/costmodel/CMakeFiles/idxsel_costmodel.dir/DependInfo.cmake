@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/cost_model.cc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/cost_model.cc.o" "gcc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/cost_model.cc.o.d"
+  "/root/repo/src/costmodel/ddl.cc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/ddl.cc.o" "gcc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/ddl.cc.o.d"
+  "/root/repo/src/costmodel/index.cc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/index.cc.o" "gcc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/index.cc.o.d"
+  "/root/repo/src/costmodel/what_if.cc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/what_if.cc.o" "gcc" "src/costmodel/CMakeFiles/idxsel_costmodel.dir/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/idxsel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idxsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

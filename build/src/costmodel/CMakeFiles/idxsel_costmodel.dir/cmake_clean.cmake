@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_costmodel.dir/cost_model.cc.o"
+  "CMakeFiles/idxsel_costmodel.dir/cost_model.cc.o.d"
+  "CMakeFiles/idxsel_costmodel.dir/ddl.cc.o"
+  "CMakeFiles/idxsel_costmodel.dir/ddl.cc.o.d"
+  "CMakeFiles/idxsel_costmodel.dir/index.cc.o"
+  "CMakeFiles/idxsel_costmodel.dir/index.cc.o.d"
+  "CMakeFiles/idxsel_costmodel.dir/what_if.cc.o"
+  "CMakeFiles/idxsel_costmodel.dir/what_if.cc.o.d"
+  "libidxsel_costmodel.a"
+  "libidxsel_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

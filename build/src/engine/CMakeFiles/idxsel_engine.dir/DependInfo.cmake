@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/btree_index.cc" "src/engine/CMakeFiles/idxsel_engine.dir/btree_index.cc.o" "gcc" "src/engine/CMakeFiles/idxsel_engine.dir/btree_index.cc.o.d"
+  "/root/repo/src/engine/column_store.cc" "src/engine/CMakeFiles/idxsel_engine.dir/column_store.cc.o" "gcc" "src/engine/CMakeFiles/idxsel_engine.dir/column_store.cc.o.d"
+  "/root/repo/src/engine/composite_index.cc" "src/engine/CMakeFiles/idxsel_engine.dir/composite_index.cc.o" "gcc" "src/engine/CMakeFiles/idxsel_engine.dir/composite_index.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/idxsel_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/idxsel_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/measured_cost.cc" "src/engine/CMakeFiles/idxsel_engine.dir/measured_cost.cc.o" "gcc" "src/engine/CMakeFiles/idxsel_engine.dir/measured_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/costmodel/CMakeFiles/idxsel_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idxsel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/idxsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

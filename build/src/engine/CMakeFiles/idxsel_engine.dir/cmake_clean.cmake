@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_engine.dir/btree_index.cc.o"
+  "CMakeFiles/idxsel_engine.dir/btree_index.cc.o.d"
+  "CMakeFiles/idxsel_engine.dir/column_store.cc.o"
+  "CMakeFiles/idxsel_engine.dir/column_store.cc.o.d"
+  "CMakeFiles/idxsel_engine.dir/composite_index.cc.o"
+  "CMakeFiles/idxsel_engine.dir/composite_index.cc.o.d"
+  "CMakeFiles/idxsel_engine.dir/executor.cc.o"
+  "CMakeFiles/idxsel_engine.dir/executor.cc.o.d"
+  "CMakeFiles/idxsel_engine.dir/measured_cost.cc.o"
+  "CMakeFiles/idxsel_engine.dir/measured_cost.cc.o.d"
+  "libidxsel_engine.a"
+  "libidxsel_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_frontier.dir/frontier.cc.o"
+  "CMakeFiles/idxsel_frontier.dir/frontier.cc.o.d"
+  "libidxsel_frontier.a"
+  "libidxsel_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_lp.dir/model.cc.o"
+  "CMakeFiles/idxsel_lp.dir/model.cc.o.d"
+  "CMakeFiles/idxsel_lp.dir/simplex.cc.o"
+  "CMakeFiles/idxsel_lp.dir/simplex.cc.o.d"
+  "libidxsel_lp.a"
+  "libidxsel_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_mip.dir/branch_and_bound.cc.o"
+  "CMakeFiles/idxsel_mip.dir/branch_and_bound.cc.o.d"
+  "CMakeFiles/idxsel_mip.dir/problem.cc.o"
+  "CMakeFiles/idxsel_mip.dir/problem.cc.o.d"
+  "libidxsel_mip.a"
+  "libidxsel_mip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_mip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

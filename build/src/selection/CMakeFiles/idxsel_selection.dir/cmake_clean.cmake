@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_selection.dir/autoadmin.cc.o"
+  "CMakeFiles/idxsel_selection.dir/autoadmin.cc.o.d"
+  "CMakeFiles/idxsel_selection.dir/heuristics.cc.o"
+  "CMakeFiles/idxsel_selection.dir/heuristics.cc.o.d"
+  "CMakeFiles/idxsel_selection.dir/shuffle.cc.o"
+  "CMakeFiles/idxsel_selection.dir/shuffle.cc.o.d"
+  "libidxsel_selection.a"
+  "libidxsel_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/blend.cc" "src/workload/CMakeFiles/idxsel_workload.dir/blend.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/blend.cc.o.d"
+  "/root/repo/src/workload/compression.cc" "src/workload/CMakeFiles/idxsel_workload.dir/compression.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/compression.cc.o.d"
+  "/root/repo/src/workload/erp_generator.cc" "src/workload/CMakeFiles/idxsel_workload.dir/erp_generator.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/erp_generator.cc.o.d"
+  "/root/repo/src/workload/parser.cc" "src/workload/CMakeFiles/idxsel_workload.dir/parser.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/parser.cc.o.d"
+  "/root/repo/src/workload/scalable_generator.cc" "src/workload/CMakeFiles/idxsel_workload.dir/scalable_generator.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/scalable_generator.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/workload/CMakeFiles/idxsel_workload.dir/tpcc.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/tpcc.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/idxsel_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/idxsel_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/idxsel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

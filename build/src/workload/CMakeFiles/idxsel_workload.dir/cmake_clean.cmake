@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idxsel_workload.dir/blend.cc.o"
+  "CMakeFiles/idxsel_workload.dir/blend.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/compression.cc.o"
+  "CMakeFiles/idxsel_workload.dir/compression.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/erp_generator.cc.o"
+  "CMakeFiles/idxsel_workload.dir/erp_generator.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/parser.cc.o"
+  "CMakeFiles/idxsel_workload.dir/parser.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/scalable_generator.cc.o"
+  "CMakeFiles/idxsel_workload.dir/scalable_generator.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/tpcc.cc.o"
+  "CMakeFiles/idxsel_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/idxsel_workload.dir/workload.cc.o"
+  "CMakeFiles/idxsel_workload.dir/workload.cc.o.d"
+  "libidxsel_workload.a"
+  "libidxsel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idxsel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

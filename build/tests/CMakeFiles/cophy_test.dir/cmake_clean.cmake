@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cophy_test.dir/cophy_test.cc.o"
+  "CMakeFiles/cophy_test.dir/cophy_test.cc.o.d"
+  "cophy_test"
+  "cophy_test.pdb"
+  "cophy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cophy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/updates_test.dir/updates_test.cc.o"
+  "CMakeFiles/updates_test.dir/updates_test.cc.o.d"
+  "updates_test"
+  "updates_test.pdb"
+  "updates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

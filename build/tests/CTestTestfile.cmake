@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/costmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/ddl_test[1]_include.cmake")
+include("/root/repo/build/tests/whatif_test[1]_include.cmake")
+include("/root/repo/build/tests/candidates_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_test[1]_include.cmake")
+include("/root/repo/build/tests/cophy_test[1]_include.cmake")
+include("/root/repo/build/tests/selection_test[1]_include.cmake")
+include("/root/repo/build/tests/shuffle_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/frontier_test[1]_include.cmake")
+include("/root/repo/build/tests/updates_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
