@@ -6,10 +6,14 @@
 //   IDXSEL_BENCH_TIME_LIMIT=s   CoPhy solver wall-clock limit per solve
 //                               (default 5 s quick / 60 s full; the paper
 //                               used an 8-hour cutoff -> "DNF")
+//   IDXSEL_OBS=0                keep observability off (benches enable it
+//                               by default and write metrics/trace JSON
+//                               sidecars next to their CSVs)
 
 #ifndef IDXSEL_BENCH_BENCH_COMMON_H_
 #define IDXSEL_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -20,6 +24,7 @@
 #include "costmodel/cost_model.h"
 #include "costmodel/what_if.h"
 #include "frontier/frontier.h"
+#include "obs/obs.h"
 #include "selection/heuristics.h"
 #include "workload/scalable_generator.h"
 
@@ -36,6 +41,45 @@ inline double CophyTimeLimit() {
   }
   return FullMode() ? 60.0 : 5.0;
 }
+
+/// Brackets a bench binary with observability: enables obs (unless the
+/// IDXSEL_OBS environment variable says otherwise) and, on destruction,
+/// writes `<stem>.metrics.json` and `<stem>.trace.json` into the working
+/// directory — the self-describing sidecars next to the bench's CSVs.
+class ObsSession {
+ public:
+  explicit ObsSession(std::string stem)
+      : stem_(std::move(stem)), scope_(stem_) {
+    if (std::getenv("IDXSEL_OBS") == nullptr) obs::SetEnabled(true);
+  }
+
+  ~ObsSession() {
+    const obs::RunReport report = scope_.Finish();
+    WriteFile(stem_ + ".metrics.json", report.MetricsJson());
+    WriteFile(stem_ + ".trace.json", report.TraceJson());
+    std::printf(
+        "observability: %s.metrics.json + %s.trace.json written "
+        "(load the trace via chrome://tracing or ui.perfetto.dev)\n",
+        stem_.c_str(), stem_.c_str());
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  static void WriteFile(const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "observability: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  }
+
+  std::string stem_;
+  obs::RunScope scope_;
+};
 
 /// Workload + Appendix-B model + caching what-if engine, bundled.
 struct ModelSetup {

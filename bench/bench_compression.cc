@@ -66,6 +66,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("compression");
   idxsel::bench::Run();
   return 0;
 }

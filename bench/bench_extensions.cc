@@ -101,6 +101,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("extensions");
   idxsel::bench::Run();
   return 0;
 }

@@ -58,6 +58,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("fig3");
   idxsel::bench::Run();
   return 0;
 }

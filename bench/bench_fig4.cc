@@ -69,6 +69,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("fig4");
   idxsel::bench::Run();
   return 0;
 }

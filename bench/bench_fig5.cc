@@ -111,6 +111,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("fig5");
   idxsel::bench::Run();
   return 0;
 }

@@ -62,6 +62,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("fig6");
   idxsel::bench::Run();
   return 0;
 }

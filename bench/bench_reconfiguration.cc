@@ -74,6 +74,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("reconfiguration");
   idxsel::bench::Run();
   return 0;
 }

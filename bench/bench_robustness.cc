@@ -82,6 +82,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("robustness");
   idxsel::bench::Run();
   return 0;
 }

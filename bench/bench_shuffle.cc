@@ -85,6 +85,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("shuffle");
   idxsel::bench::Run();
   return 0;
 }

@@ -96,6 +96,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("table1");
   idxsel::bench::Run();
   return 0;
 }

@@ -77,6 +77,7 @@ void Run() {
 }  // namespace idxsel::bench
 
 int main() {
+  idxsel::bench::ObsSession obs("updates");
   idxsel::bench::Run();
   return 0;
 }

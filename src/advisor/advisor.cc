@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "cophy/cophy.h"
 #include "costmodel/ddl.h"
+#include "obs/obs.h"
 #include "selection/heuristics.h"
 
 namespace idxsel::advisor {
@@ -40,6 +41,28 @@ const char* StrategyName(StrategyKind kind) {
   return "unknown";
 }
 
+const char* StrategyKey(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kRecursive:
+      return "h6";
+    case StrategyKind::kH1:
+      return "h1";
+    case StrategyKind::kH2:
+      return "h2";
+    case StrategyKind::kH3:
+      return "h3";
+    case StrategyKind::kH4:
+      return "h4";
+    case StrategyKind::kH4Skyline:
+      return "h4_skyline";
+    case StrategyKind::kH5:
+      return "h5";
+    case StrategyKind::kCophy:
+      return "cophy";
+  }
+  return "unknown";
+}
+
 Result<Recommendation> Recommend(WhatIfEngine& engine,
                                  const AdvisorOptions& options) {
   if (options.budget_bytes < 0.0 || options.budget_fraction < 0.0) {
@@ -47,6 +70,12 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   }
   Recommendation rec;
   rec.strategy = options.strategy;
+#if defined(IDXSEL_OBS)
+  // Brackets the whole call so rec.report carries the metric deltas and
+  // every span the strategies record below. Cold path: two registry
+  // snapshots per Recommend().
+  obs::RunScope obs_scope(StrategyName(options.strategy));
+#endif
 
   // Resolve the budget.
   if (options.budget_bytes > 0.0) {
@@ -63,6 +92,11 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   rec.cost_before = engine.WorkloadCost(IndexConfig{});
   const uint64_t calls_before = engine.stats().calls;
   Stopwatch watch;
+
+  // Scoped so the span closes (and lands in the tracer) before the run
+  // report snapshot at the bottom collects it.
+  {
+  IDXSEL_OBS_SPAN(recommend_span, "advisor", "advisor.recommend");
 
   candidates::CandidateSet candidate_set;
   if (NeedsCandidates(options.strategy)) {
@@ -126,11 +160,25 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
       break;
     }
   }
+  }  // recommend_span closes here.
 
   rec.runtime_seconds = watch.ElapsedSeconds();
   rec.whatif_calls = engine.stats().calls - calls_before;
   rec.memory = engine.ConfigMemory(rec.selection);
   rec.cost_after = engine.WorkloadCost(rec.selection);
+#if defined(IDXSEL_OBS)
+  {
+    obs::Registry& registry = obs::Registry::Default();
+    const std::string prefix =
+        std::string("idxsel.strategy.") + StrategyKey(options.strategy);
+    registry.GetCounter(prefix + ".runs")->Add(1);
+    if (obs::Enabled()) {
+      registry.GetHistogram(prefix + ".wall_ns")
+          ->Record(static_cast<uint64_t>(rec.runtime_seconds * 1e9));
+    }
+    rec.report = obs_scope.Finish();
+  }
+#endif
   return rec;
 }
 

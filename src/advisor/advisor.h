@@ -16,6 +16,7 @@
 #include "costmodel/index.h"
 #include "costmodel/what_if.h"
 #include "mip/branch_and_bound.h"
+#include "obs/report.h"
 
 namespace idxsel::advisor {
 
@@ -37,6 +38,9 @@ enum class StrategyKind {
 
 /// Human-readable strategy name ("H6 (Algorithm 1)", "CoPhy", ...).
 const char* StrategyName(StrategyKind kind);
+
+/// Stable lowercase key used in metric names ("h6", "h4_skyline", ...).
+const char* StrategyKey(StrategyKind kind);
 
 /// Advisor configuration.
 struct AdvisorOptions {
@@ -67,6 +71,10 @@ struct Recommendation {
   bool dnf = false;  ///< CoPhy hit its time limit (incumbent returned).
   /// H6 only: the committed construction steps.
   std::vector<core::ConstructionStep> trace;
+  /// Observability digest of this run: metric deltas and spans recorded
+  /// while Recommend() was executing. Populated in IDXSEL_OBS builds
+  /// (counters always; spans only while obs::Enabled()); empty otherwise.
+  obs::RunReport report;
 };
 
 /// Runs the configured strategy against `engine`'s workload.

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace idxsel::cophy {
 
@@ -28,6 +29,7 @@ LpStatistics ComputeLpStatistics(const workload::Workload& workload,
 
 mip::Problem BuildProblem(WhatIfEngine& engine, const CandidateSet& candidates,
                           double budget) {
+  IDXSEL_OBS_SPAN(span, "cophy", "cophy.build_problem");
   const workload::Workload& workload = engine.workload();
   mip::Problem problem;
   problem.budget = budget;
@@ -104,6 +106,15 @@ namespace {
 CophyResult SolveProblem(mip::Problem problem, const CandidateSet& candidates,
                          const mip::SolveOptions& options,
                          LpStatistics lp_stats) {
+  IDXSEL_OBS_SPAN(span, "cophy", "cophy.solve");
+#if defined(IDXSEL_OBS)
+  obs::Registry& registry = obs::Registry::Default();
+  registry.GetCounter("idxsel.cophy.solves")->Add(1);
+  registry.GetGauge("idxsel.cophy.last_lp_variables")
+      ->Set(static_cast<int64_t>(lp_stats.num_variables));
+  registry.GetGauge("idxsel.cophy.last_lp_constraints")
+      ->Set(static_cast<int64_t>(lp_stats.num_constraints));
+#endif
   CophyResult result;
   result.lp_stats = lp_stats;
   const std::vector<uint32_t> mapping = problem.Canonicalize();
@@ -120,6 +131,7 @@ CophyResult SolveProblem(mip::Problem problem, const CandidateSet& candidates,
     IDXSEL_CHECK_LT(canonical, mapping.size());
     result.selection.Insert(candidates[mapping[canonical]]);
   }
+  IDXSEL_OBS_ONLY(span.SetArg("nodes", static_cast<double>(result.nodes));)
   return result;
 }
 

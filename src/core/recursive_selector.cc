@@ -5,11 +5,49 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "obs/obs.h"
 
 namespace idxsel::core {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+#if defined(IDXSEL_OBS)
+/// Registry counters of the selector, resolved once per process. The
+/// Runner accumulates plain locals during a run and publishes them here in
+/// one batch at the end, keeping the construction loop free of atomics.
+struct SelectorMetrics {
+  obs::Counter* runs;
+  obs::Counter* rounds;
+  obs::Counter* steps_create;
+  obs::Counter* steps_append;
+  obs::Counter* steps_prune;
+  obs::Counter* steps_swap;
+  obs::Counter* candidate_evals;
+  obs::Counter* ratio_ties;
+  obs::Histogram* run_latency;
+
+  static const SelectorMetrics& Get() {
+    static const SelectorMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      SelectorMetrics m;
+      m.runs = registry.GetCounter("idxsel.selector.runs");
+      m.rounds = registry.GetCounter("idxsel.selector.rounds");
+      m.steps_create = registry.GetCounter("idxsel.selector.steps_create");
+      m.steps_append = registry.GetCounter("idxsel.selector.steps_append");
+      m.steps_prune = registry.GetCounter("idxsel.selector.steps_prune");
+      m.steps_swap = registry.GetCounter("idxsel.selector.steps_swap");
+      m.candidate_evals =
+          registry.GetCounter("idxsel.selector.candidate_evals");
+      m.ratio_ties = registry.GetCounter("idxsel.selector.ratio_ties");
+      m.run_latency =
+          registry.GetHistogram("idxsel.selector.run_latency_ns");
+      return m;
+    }();
+    return metrics;
+  }
+};
+#endif
 
 /// A candidate elementary move under evaluation.
 struct Move {
@@ -28,6 +66,7 @@ class Runner {
       : engine_(engine), w_(engine.workload()), opts_(opts) {}
 
   RecursiveResult Run() {
+    IDXSEL_OBS_SPAN(run_span, "selector", "h6.run");
     Stopwatch watch;
     const uint64_t calls_before = engine_.stats().calls;
 
@@ -47,6 +86,9 @@ class Runner {
 
     RecursiveResult result;
     while (result.trace.size() < opts_.max_steps) {
+      IDXSEL_OBS_SPAN(round_span, "selector", "h6.round");
+      IDXSEL_OBS_ONLY(round_span.SetArg(
+          "round", static_cast<double>(result.trace.size()));)
       Move best;
       Move runner_up;
       if (opts_.multi_index_eval) {
@@ -58,6 +100,13 @@ class Runner {
         if (opts_.pair_steps) EvaluatePairs(&best, &runner_up);
       }
       if (!best.valid || best.ratio <= opts_.min_ratio) break;
+      ++committed_rounds_;
+      if (best.kind == StepKind::kAppend ||
+          best.kind == StepKind::kAppendPair) {
+        ++append_steps_;
+      } else {
+        ++create_steps_;
+      }
 
       const double objective_before = objective_ + ReconfigTotal();
       if (opts_.multi_index_eval) {
@@ -99,6 +148,21 @@ class Runner {
     result.memory = used_memory_;
     result.runtime_seconds = watch.ElapsedSeconds();
     result.whatif_calls = engine_.stats().calls - calls_before;
+#if defined(IDXSEL_OBS)
+    const SelectorMetrics& metrics = SelectorMetrics::Get();
+    metrics.runs->Add(1);
+    metrics.rounds->Add(committed_rounds_);
+    metrics.steps_create->Add(create_steps_);
+    metrics.steps_append->Add(append_steps_);
+    metrics.steps_prune->Add(prune_steps_);
+    metrics.steps_swap->Add(swap_steps_);
+    metrics.candidate_evals->Add(candidate_evals_);
+    metrics.ratio_ties->Add(ratio_ties_);
+    if (obs::Enabled()) {
+      metrics.run_latency->Record(
+          static_cast<uint64_t>(result.runtime_seconds * 1e9));
+    }
+#endif
     return result;
   }
 
@@ -205,11 +269,16 @@ class Runner {
     return false;
   }
 
-  void Consider(Move move, Move* best, Move* runner_up) const {
+  void Consider(Move move, Move* best, Move* runner_up) {
+    ++candidate_evals_;
     if (!(move.benefit > kEps) || !(move.memory_delta > 0.0)) return;
     if (used_memory_ + move.memory_delta > opts_.budget + kEps) return;
     move.ratio = move.benefit / move.memory_delta;
     move.valid = true;
+    // A ratio tie means the deterministic `after < after` ordering — not
+    // the step criterion — decides the move; worth counting because ties
+    // make the greedy's choice sensitive to index enumeration order.
+    if (best->valid && move.ratio == best->ratio) ++ratio_ties_;
     auto better = [](const Move& a, const Move& b) {
       if (a.ratio != b.ratio) return a.ratio > b.ratio;
       return a.after < b.after;  // deterministic tie-break
@@ -603,6 +672,7 @@ class Runner {
         step.ratio = 0.0;
         result->trace.push_back(step);
         result->frontier.emplace_back(used_memory_, objective_);
+        ++swap_steps_;
         improved = true;
         break;  // re-derive eviction order against the new state
       }
@@ -629,6 +699,7 @@ class Runner {
       step.objective_after = objective_;
       step.memory_delta = -engine_.IndexMemory(selected_[p]);
       result->trace.push_back(step);
+      ++prune_steps_;
       used_memory_ -= engine_.IndexMemory(selected_[p]);
       selected_.erase(selected_.begin() + static_cast<long>(p));
     }
@@ -658,6 +729,15 @@ class Runner {
   double objective_ = 0.0;
   double used_memory_ = 0.0;
   Index replaced_;
+
+  // Run telemetry, published to obs::Registry in one batch (see Run()).
+  uint64_t committed_rounds_ = 0;
+  uint64_t create_steps_ = 0;
+  uint64_t append_steps_ = 0;
+  uint64_t prune_steps_ = 0;
+  uint64_t swap_steps_ = 0;
+  uint64_t candidate_evals_ = 0;
+  uint64_t ratio_ties_ = 0;
 };
 
 }  // namespace

@@ -5,6 +5,29 @@
 #include <limits>
 
 namespace idxsel::costmodel {
+namespace {
+
+#if defined(IDXSEL_OBS)
+/// Times one backend invocation into the latency histogram; a no-op
+/// (single relaxed atomic load) while runtime-disabled.
+class BackendCallTimer {
+ public:
+  explicit BackendCallTimer(obs::Histogram* histogram)
+      : histogram_(obs::Enabled() ? histogram : nullptr),
+        start_ns_(histogram_ != nullptr ? obs::MonotonicNanos() : 0) {}
+  ~BackendCallTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(obs::MonotonicNanos() - start_ns_);
+    }
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  uint64_t start_ns_;
+};
+#endif
+
+}  // namespace
 
 double WhatIfBackend::CostWithConfig(QueryId j,
                                      const IndexConfig& config) const {
@@ -22,6 +45,16 @@ WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
       canonicalize_keys_(canonicalize_keys) {
   IDXSEL_CHECK(workload_ != nullptr);
   IDXSEL_CHECK(backend_ != nullptr);
+#if defined(IDXSEL_OBS)
+  obs::Registry& registry = obs::Registry::Default();
+  obs_calls_ = registry.GetCounter("idxsel.whatif.calls");
+  obs_hits_ = registry.GetCounter("idxsel.whatif.cache_hits");
+  obs_skipped_ = registry.GetCounter("idxsel.whatif.skipped_inapplicable");
+  obs_latency_ = registry.GetHistogram("idxsel.whatif.backend_latency_ns");
+  obs_cost_entries_ = registry.GetGauge("idxsel.whatif.cost_cache_entries");
+  obs_config_entries_ =
+      registry.GetGauge("idxsel.whatif.config_cache_entries");
+#endif
   base_cost_.assign(workload_->num_queries(),
                     std::numeric_limits<double>::quiet_NaN());
   for (QueryId j = 0; j < workload_->num_queries(); ++j) {
@@ -31,13 +64,27 @@ WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
   }
 }
 
+WhatIfEngine::~WhatIfEngine() {
+  // Return this engine's entries to the live cache-size gauges so a
+  // destroyed engine leaves no phantom entries behind.
+  IDXSEL_OBS_ONLY(
+      obs_cost_entries_->Add(-static_cast<int64_t>(cost_cache_.size()));
+      obs_config_entries_->Add(
+          -static_cast<int64_t>(config_cost_cache_.size()));)
+}
+
 double WhatIfEngine::BaseCost(QueryId j) {
   IDXSEL_DCHECK(j < base_cost_.size());
   if (std::isnan(base_cost_[j])) {
-    base_cost_[j] = backend_->BaseCost(j);
+    {
+      IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+      base_cost_[j] = backend_->BaseCost(j);
+    }
     ++stats_.calls;
+    IDXSEL_OBS_ONLY(obs_calls_->Add();)
   } else {
     ++stats_.cache_hits;
+    IDXSEL_OBS_ONLY(obs_hits_->Add();)
   }
   return base_cost_[j];
 }
@@ -52,6 +99,7 @@ bool WhatIfEngine::Applicable(QueryId j, const Index& k) const {
 double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
   if (!Applicable(j, k)) {
     ++stats_.skipped_inapplicable;
+    IDXSEL_OBS_ONLY(obs_skipped_->Add();)
     return BaseCost(j);
   }
   Key key{j, k};
@@ -69,11 +117,18 @@ double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
   auto it = cost_cache_.find(key);
   if (it != cost_cache_.end()) {
     ++stats_.cache_hits;
+    IDXSEL_OBS_ONLY(obs_hits_->Add();)
     return it->second;
   }
-  const double cost = backend_->CostWithIndex(j, k);
+  double cost;
+  {
+    IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+    cost = backend_->CostWithIndex(j, k);
+  }
   ++stats_.calls;
+  IDXSEL_OBS_ONLY(obs_calls_->Add();)
   cost_cache_.emplace(key, cost);
+  IDXSEL_OBS_ONLY(obs_cost_entries_->Add(1);)
   return cost;
 }
 
@@ -130,17 +185,25 @@ double WhatIfEngine::CostWithConfig(QueryId j, const IndexConfig& config) {
   }
   if (relevant.empty()) {
     ++stats_.skipped_inapplicable;
+    IDXSEL_OBS_ONLY(obs_skipped_->Add();)
     return BaseCost(j);
   }
   ConfigKey key{j, std::move(relevant)};
   auto it = config_cost_cache_.find(key);
   if (it != config_cost_cache_.end()) {
     ++stats_.cache_hits;
+    IDXSEL_OBS_ONLY(obs_hits_->Add();)
     return it->second;
   }
-  const double cost = backend_->CostWithConfig(j, key.config);
+  double cost;
+  {
+    IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+    cost = backend_->CostWithConfig(j, key.config);
+  }
   ++stats_.calls;
+  IDXSEL_OBS_ONLY(obs_calls_->Add();)
   config_cost_cache_.emplace(std::move(key), cost);
+  IDXSEL_OBS_ONLY(obs_config_entries_->Add(1);)
   return cost;
 }
 
@@ -154,6 +217,11 @@ double WhatIfEngine::WorkloadCostMultiIndex(const IndexConfig& config) {
 }
 
 void WhatIfEngine::InvalidateCostCache() {
+  // Keep the live-size gauges in lockstep with the caches they describe.
+  IDXSEL_OBS_ONLY(
+      obs_cost_entries_->Add(-static_cast<int64_t>(cost_cache_.size()));
+      obs_config_entries_->Add(
+          -static_cast<int64_t>(config_cost_cache_.size()));)
   cost_cache_.clear();
   config_cost_cache_.clear();
   base_cost_.assign(workload_->num_queries(),

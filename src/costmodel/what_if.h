@@ -17,6 +17,7 @@
 
 #include "costmodel/cost_model.h"
 #include "costmodel/index.h"
+#include "obs/obs.h"
 
 namespace idxsel::costmodel {
 
@@ -77,6 +78,13 @@ class ModelBackend : public WhatIfBackend {
 
 /// Call counters; `calls` counts backend invocations (cache misses), i.e.
 /// what the paper counts as "what-if optimizer calls".
+///
+/// These are the *per-engine* numbers ResetStats() rewinds. When the build
+/// compiles observability in (IDXSEL_OBS), every increment is mirrored
+/// onto process-wide counters in obs::Registry::Default()
+/// ("idxsel.whatif.calls" / ".cache_hits" / ".skipped_inapplicable"),
+/// alongside a backend-latency histogram and live cache-size gauges — see
+/// doc/observability.md.
 struct WhatIfStats {
   uint64_t calls = 0;
   uint64_t cache_hits = 0;
@@ -99,6 +107,12 @@ class WhatIfEngine {
  public:
   WhatIfEngine(const workload::Workload* workload, WhatIfBackend* backend,
                bool canonicalize_keys = true);
+  ~WhatIfEngine();
+
+  // Non-copyable: the engine owes its cached-entry counts to the global
+  // cache-size gauges; a copy would pay them back twice on destruction.
+  WhatIfEngine(const WhatIfEngine&) = delete;
+  WhatIfEngine& operator=(const WhatIfEngine&) = delete;
 
   const workload::Workload& workload() const { return *workload_; }
 
@@ -138,6 +152,12 @@ class WhatIfEngine {
   bool Applicable(QueryId j, const Index& k) const;
 
   const WhatIfStats& stats() const { return stats_; }
+
+  /// Rewinds the per-engine call counters to zero. Deliberately does NOT
+  /// touch the registry: the process-wide call counters are cumulative by
+  /// design (run reports diff snapshots instead), and the cache-size
+  /// gauges mirror the *live* cache contents — zeroing them here would
+  /// desynchronize them from caches that still hold entries.
   void ResetStats() { stats_ = WhatIfStats{}; }
 
   /// Drops all cached costs (sizes are kept); used by tests and by callers
@@ -179,6 +199,15 @@ class WhatIfEngine {
   WhatIfBackend* backend_;
   bool canonicalize_keys_;
   WhatIfStats stats_;
+#if defined(IDXSEL_OBS)
+  // Process-wide mirrors (resolved once; see WhatIfStats docs).
+  obs::Counter* obs_calls_;
+  obs::Counter* obs_hits_;
+  obs::Counter* obs_skipped_;
+  obs::Histogram* obs_latency_;      ///< idxsel.whatif.backend_latency_ns.
+  obs::Gauge* obs_cost_entries_;     ///< idxsel.whatif.cost_cache_entries.
+  obs::Gauge* obs_config_entries_;   ///< idxsel.whatif.config_cache_entries.
+#endif
   std::vector<double> base_cost_;  // NaN = not yet fetched
   std::unordered_map<Key, double, KeyHash> cost_cache_;
   std::unordered_map<ConfigKey, double, ConfigKeyHash> config_cost_cache_;

@@ -49,6 +49,9 @@ struct SolveResult {
   double best_bound = 0.0;         ///< Proven lower bound on the objective.
   double gap = 0.0;                ///< Final relative gap.
   uint64_t nodes = 0;
+  uint64_t bound_cutoffs = 0;      ///< Subtrees pruned by the node bound.
+  uint64_t incumbent_updates = 0;  ///< Strict incumbent improvements.
+  double seconds_to_best = 0.0;    ///< Wall time until the final incumbent.
   double wall_seconds = 0.0;
   bool proven_optimal = false;     ///< gap <= mip_gap achieved.
 };

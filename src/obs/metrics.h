@@ -1,0 +1,186 @@
+// Metrics primitives and the process-wide registry.
+//
+// Counter / Gauge are single relaxed atomics; Histogram is a fixed array of
+// power-of-two ("log-scale") atomic buckets with O(1) lock-free Record().
+// All three are safe to hammer from any thread and never allocate after
+// construction. The Registry interns metrics by name (stable pointers for
+// the object's lifetime) and serializes everything to JSON; hot paths
+// resolve their metric pointers once and increment through them.
+//
+// Naming convention (see doc/observability.md): lowercase dotted paths
+// "idxsel.<component>.<metric>", histograms and durations suffixed "_ns".
+
+#ifndef IDXSEL_OBS_METRICS_H_
+#define IDXSEL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace idxsel::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (cache sizes, last-run values, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale latency/size histogram over uint64 values.
+///
+/// Bucket b holds the values whose bit width is b: bucket 0 is exactly
+/// {0}, bucket b >= 1 covers [2^(b-1), 2^b). Percentiles interpolate
+/// linearly inside the hit bucket, so any reported quantile q satisfies
+/// BucketLowerBound(b) <= q <= BucketUpperBound(b) for the bucket b that
+/// contains the true quantile — a bounded 2x relative error, which is
+/// plenty for latency tails while keeping Record() a single atomic add.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;  // bit widths 0..64
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(min_, value);
+    AtomicMax(max_, value);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t Min() const {
+    const uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == kEmptyMin ? 0 : v;
+  }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  /// Approximate p-th percentile, p in [0, 100]; 0 when empty. p=0 returns
+  /// the lower bound of the first occupied bucket, p=100 the upper bound of
+  /// the last occupied one (clamped to the exact observed max).
+  double Percentile(double p) const;
+
+  void Reset();
+
+  /// Bucket index a value lands in (== std::bit_width(value)).
+  static size_t BucketOf(uint64_t value) {
+    return static_cast<size_t>(std::bit_width(value));
+  }
+  /// Smallest value of bucket b.
+  static uint64_t BucketLowerBound(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  /// Smallest value *above* bucket b (saturates at UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t b) {
+    if (b == 0) return 1;
+    if (b >= 64) return UINT64_MAX;
+    return uint64_t{1} << b;
+  }
+
+ private:
+  static constexpr uint64_t kEmptyMin = UINT64_MAX;
+
+  static void AtomicMin(std::atomic<uint64_t>& slot, uint64_t v) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{kEmptyMin};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time view of a whole registry; also used for run-report deltas.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// {"schema":"idxsel.metrics.v1","counters":{...},...}.
+  std::string ToJson() const;
+};
+
+/// after - before: counter and histogram count/sum deltas (entries whose
+/// delta is zero are dropped), gauges and histogram shape taken from
+/// `after` (instantaneous values have no meaningful difference).
+MetricsSnapshot SnapshotDelta(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+/// Thread-safe name -> metric registry. Get* interns on first use and
+/// returns a pointer that stays valid for the registry's lifetime, so hot
+/// paths pay the map lookup once. Counters, gauges and histograms live in
+/// separate namespaces.
+class Registry {
+ public:
+  /// The process-wide default registry used by all built-in
+  /// instrumentation.
+  static Registry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  /// Zeroes every counter and histogram. Gauges are left untouched: they
+  /// mirror live state (e.g. what-if cache sizes) that a stats reset must
+  /// not desynchronize.
+  void ResetCountersAndHistograms();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace idxsel::obs
+
+#endif  // IDXSEL_OBS_METRICS_H_

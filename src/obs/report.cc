@@ -1,0 +1,94 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace idxsel::obs {
+namespace {
+
+std::string Indent(const std::string& block, const char* prefix) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < block.size()) {
+    size_t end = block.find('\n', pos);
+    if (end == std::string::npos) end = block.size();
+    out += prefix;
+    out.append(block, pos, end - pos);
+    out += '\n';
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  char buf[64];
+  std::string out = "{\n\"schema\": \"idxsel.report.v1\",\n\"name\": \"";
+  for (const char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\",\n";
+  std::snprintf(buf, sizeof(buf), "\"wall_seconds\": %.6f,\n", wall_seconds);
+  out += buf;
+  out += "\"metrics\": " + MetricsJson();
+  out += ",\n\"trace\": " + TraceJson();
+  out += "}\n";
+  return out;
+}
+
+std::string RunReport::Summary() const {
+  char buf[160];
+  std::string out = "=== run report: " + name + " ===\n";
+  std::snprintf(buf, sizeof(buf), "wall time:     %.3f ms\n",
+                wall_seconds * 1e3);
+  out += buf;
+
+  const auto counter = [&](const char* key) -> uint64_t {
+    const auto it = metrics.counters.find(key);
+    return it == metrics.counters.end() ? 0 : it->second;
+  };
+  const uint64_t calls = counter("idxsel.whatif.calls");
+  const uint64_t hits = counter("idxsel.whatif.cache_hits");
+  if (calls + hits > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "what-if calls: %" PRIu64 " (%" PRIu64
+                  " cache hits, %.1f%% hit rate)\n",
+                  calls, hits,
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(calls + hits));
+    out += buf;
+  }
+  if (!metrics.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [key, value] : metrics.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %12" PRIu64 "\n", key.c_str(),
+                    value);
+      out += buf;
+    }
+  }
+  if (!spans.empty()) {
+    out += "phases:\n";
+    out += Indent(Tracer::RenderTree(spans), "  ");
+  }
+  return out;
+}
+
+RunScope::RunScope(std::string name)
+    : name_(std::move(name)),
+      start_ns_(MonotonicNanos()),
+      trace_mark_(Tracer::Default().size()),
+      before_(Registry::Default().Snapshot()) {}
+
+RunReport RunScope::Finish() {
+  RunReport report;
+  report.name = std::move(name_);
+  report.wall_seconds =
+      static_cast<double>(MonotonicNanos() - start_ns_) / 1e9;
+  report.metrics = SnapshotDelta(before_, Registry::Default().Snapshot());
+  report.spans = Tracer::Default().SnapshotSince(trace_mark_);
+  return report;
+}
+
+}  // namespace idxsel::obs

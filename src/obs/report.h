@@ -1,0 +1,57 @@
+// Per-run aggregation: RunScope brackets one advisor/strategy invocation
+// and produces a RunReport combining the metric deltas and the spans
+// recorded while it was open — the "self-describing run" object the
+// benches write next to their CSVs and Recommendation carries back to
+// callers.
+
+#ifndef IDXSEL_OBS_REPORT_H_
+#define IDXSEL_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace idxsel::obs {
+
+/// Everything observed during one bracketed run.
+struct RunReport {
+  std::string name;           ///< Strategy / run label.
+  double wall_seconds = 0.0;  ///< RunScope open -> Finish().
+  MetricsSnapshot metrics;    ///< Counter/histogram deltas, gauge values.
+  std::vector<SpanRecord> spans;  ///< Spans finished during the run.
+
+  /// Metrics JSON (schema idxsel.metrics.v1).
+  std::string MetricsJson() const { return metrics.ToJson(); }
+  /// Chrome trace_event JSON of the run's spans (schema idxsel.trace.v1).
+  std::string TraceJson() const { return Tracer::ToChromeJson(spans); }
+  /// Single combined document (schema idxsel.report.v1).
+  std::string ToJson() const;
+
+  /// Human-readable digest: wall time, what-if call/hit-rate line, key
+  /// counters, and the span tree ("wall time per phase").
+  std::string Summary() const;
+};
+
+/// Brackets a run: construction snapshots the default registry and marks
+/// the default tracer; Finish() returns the delta as a RunReport. Cold
+/// path — two registry snapshots per run, nothing on any hot path.
+class RunScope {
+ public:
+  explicit RunScope(std::string name);
+
+  /// Ends the run and builds the report. Call at most once.
+  RunReport Finish();
+
+ private:
+  std::string name_;
+  uint64_t start_ns_ = 0;
+  size_t trace_mark_ = 0;
+  MetricsSnapshot before_;
+};
+
+}  // namespace idxsel::obs
+
+#endif  // IDXSEL_OBS_REPORT_H_

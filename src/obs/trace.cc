@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idxsel::obs {
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // leaked: outlive everything
+  return *tracer;
+}
+
+void Tracer::Record(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_.push_back(record);
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<SpanRecord> Tracer::SnapshotSince(size_t mark) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mark >= records_.size()) return {};
+  return std::vector<SpanRecord>(
+      records_.begin() + static_cast<ptrdiff_t>(mark), records_.end());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+}
+
+std::string Tracer::ToChromeJson(const std::vector<SpanRecord>& records) {
+  // Chrome/Perfetto ignore unknown top-level keys, so the schema tag can
+  // sit where our other documents put it.
+  std::string out =
+      "{\"schema\": \"idxsel.trace.v1\", \"displayTimeUnit\": \"ms\", "
+      "\"traceEvents\": [";
+  char buf[160];
+  bool first = true;
+  for (const SpanRecord& r : records) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                  r.name, r.category,
+                  static_cast<double>(r.start_ns) / 1e3,
+                  static_cast<double>(r.duration_ns) / 1e3, r.thread_id);
+    out += buf;
+    if (r.arg_name != nullptr) {
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"%s\": %.6g}",
+                    r.arg_name, r.arg_value);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string Tracer::RenderTree(const std::vector<SpanRecord>& records) {
+  // Spans are recorded at *completion*; re-ordering by (thread, start)
+  // recovers the call order, and the recorded depth gives the indent.
+  std::vector<const SpanRecord*> sorted;
+  sorted.reserve(records.size());
+  for (const SpanRecord& r : records) sorted.push_back(&r);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->thread_id != b->thread_id) {
+                       return a->thread_id < b->thread_id;
+                     }
+                     if (a->start_ns != b->start_ns) {
+                       return a->start_ns < b->start_ns;
+                     }
+                     return a->depth < b->depth;
+                   });
+
+  std::string out;
+  char buf[160];
+  uint32_t current_thread = 0;
+  bool multi_thread = false;
+  for (const SpanRecord* r : sorted) {
+    if (r->thread_id != current_thread) {
+      multi_thread = current_thread != 0;
+      current_thread = r->thread_id;
+      if (multi_thread) {
+        std::snprintf(buf, sizeof(buf), "[thread %u]\n", current_thread);
+        out += buf;
+      }
+    }
+    for (uint32_t d = 0; d < r->depth; ++d) out += "  ";
+    std::snprintf(buf, sizeof(buf), "%-*s %10.3f ms", 36 - std::min(
+                      static_cast<int>(r->depth) * 2, 20),
+                  r->name, static_cast<double>(r->duration_ns) / 1e6);
+    out += buf;
+    if (r->arg_name != nullptr) {
+      std::snprintf(buf, sizeof(buf), "  (%s=%.6g)", r->arg_name,
+                    r->arg_value);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace idxsel::obs

@@ -1,0 +1,117 @@
+// Span tracing: RAII scopes recorded into a thread-safe sink, exportable
+// as Chrome trace_event JSON (chrome://tracing, https://ui.perfetto.dev)
+// and as a human-readable tree.
+//
+// Spans carry only static-storage strings (category, name, arg name) so
+// opening and closing a span never allocates; the sink appends one fixed
+// size record per finished span under a mutex. When obs::Enabled() is off,
+// a span is one relaxed atomic load and nothing else — no clock reads, no
+// record, no allocation.
+
+#ifndef IDXSEL_OBS_TRACE_H_
+#define IDXSEL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/runtime.h"
+
+namespace idxsel::obs {
+
+/// One finished span. `category`/`name`/`arg_name` must point to storage
+/// with static lifetime (string literals in practice).
+struct SpanRecord {
+  const char* category = "";
+  const char* name = "";
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t thread_id = 0;
+  uint32_t depth = 0;          ///< Nesting depth within the thread.
+  const char* arg_name = nullptr;  ///< Optional numeric annotation.
+  double arg_value = 0.0;
+};
+
+namespace internal {
+inline thread_local uint32_t tls_span_depth = 0;
+}  // namespace internal
+
+/// Thread-safe sink of finished spans. Bounded: past `capacity` records
+/// new spans are counted as dropped instead of stored, so a runaway loop
+/// cannot eat the heap.
+class Tracer {
+ public:
+  /// The process-wide default sink used by all built-in instrumentation.
+  static Tracer& Default();
+
+  void Record(const SpanRecord& record);
+
+  /// Number of records currently stored; use as a mark for SnapshotSince.
+  size_t size() const;
+
+  /// Copies the records appended at or after `mark` (a previous size()).
+  std::vector<SpanRecord> SnapshotSince(size_t mark) const;
+  std::vector<SpanRecord> Snapshot() const { return SnapshotSince(0); }
+
+  void Clear();
+  void set_capacity(size_t capacity);
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in
+  /// microseconds): load the file via chrome://tracing or Perfetto.
+  static std::string ToChromeJson(const std::vector<SpanRecord>& records);
+
+  /// Indented per-thread tree with durations, for terminals.
+  static std::string RenderTree(const std::vector<SpanRecord>& records);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+  size_t capacity_ = 1u << 20;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+/// RAII span: records [construction, destruction) into Tracer::Default()
+/// when obs::Enabled() was true at construction.
+class Span {
+ public:
+  Span(const char* category, const char* name) {
+    if (!Enabled()) return;
+    active_ = true;
+    record_.category = category;
+    record_.name = name;
+    record_.thread_id = CurrentThreadId();
+    record_.depth = internal::tls_span_depth++;
+    record_.start_ns = MonotonicNanos();
+  }
+
+  ~Span() {
+    if (!active_) return;
+    record_.duration_ns = MonotonicNanos() - record_.start_ns;
+    --internal::tls_span_depth;
+    Tracer::Default().Record(record_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches one numeric annotation shown in the trace viewer's args pane
+  /// (`name` must have static lifetime).
+  void SetArg(const char* name, double value) {
+    if (!active_) return;
+    record_.arg_name = name;
+    record_.arg_value = value;
+  }
+
+ private:
+  SpanRecord record_;
+  bool active_ = false;
+};
+
+}  // namespace idxsel::obs
+
+#endif  // IDXSEL_OBS_TRACE_H_

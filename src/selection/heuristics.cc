@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/obs.h"
 
 namespace idxsel::selection {
 namespace {
@@ -30,6 +31,10 @@ SelectionResult Finish(std::string name, WhatIfEngine& engine,
   result.objective = engine.WorkloadCost(config);
   result.selection = std::move(config);
   result.runtime_seconds = selector_seconds;
+  IDXSEL_OBS_ONLY(
+      obs::Registry::Default()
+          .GetCounter("idxsel.heuristics." + result.name + ".runs")
+          ->Add(1);)
   return result;
 }
 
@@ -51,6 +56,7 @@ double StaticBenefit(WhatIfEngine& engine, const Index& k) {
 SelectionResult SelectRuleBased(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
                                 RuleHeuristic heuristic) {
+  IDXSEL_OBS_SPAN(span, "strategy", "heuristics.rule_based");
   Stopwatch watch;
   const workload::Workload& workload = engine.workload();
 
@@ -93,6 +99,7 @@ SelectionResult SelectRuleBased(WhatIfEngine& engine,
 SelectionResult SelectByBenefit(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
                                 bool use_skyline) {
+  IDXSEL_OBS_SPAN(span, "strategy", "heuristics.by_benefit");
   const CandidateSet* pool = &candidates;
   CandidateSet filtered;
   if (use_skyline) {
@@ -119,6 +126,7 @@ SelectionResult SelectByBenefit(WhatIfEngine& engine,
 SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
                                        const CandidateSet& candidates,
                                        double budget) {
+  IDXSEL_OBS_SPAN(span, "strategy", "heuristics.by_benefit_per_size");
   Stopwatch watch;
   std::vector<std::pair<double, uint32_t>> scored;
   scored.reserve(candidates.size());

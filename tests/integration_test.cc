@@ -25,6 +25,23 @@ using costmodel::IndexConfig;
 using costmodel::ModelBackend;
 using costmodel::WhatIfEngine;
 
+/// Sanitizer instrumentation slows the solver roughly an order of
+/// magnitude, turning wall-clock-bounded Table-I-regime solves into
+/// spurious DNFs; timing-sensitive tests skip themselves there.
+constexpr bool RunningUnderSanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 struct Pipeline {
   workload::Workload w;
   std::unique_ptr<CostModel> model;
@@ -47,6 +64,9 @@ struct Pipeline {
 };
 
 TEST(IntegrationTest, H6NearCophyOptimalAndBeatsSmallCandidateSets) {
+  if (RunningUnderSanitizer()) {
+    GTEST_SKIP() << "60 s paper-budget solve times out under sanitizers";
+  }
   Pipeline p(/*queries_per_table=*/15);
   const double budget = p.model->Budget(0.2);
 

@@ -14,6 +14,7 @@
 #include "costmodel/cost_model.h"
 #include "costmodel/reconfiguration.h"
 #include "engine/measured_cost.h"
+#include "lp/simplex.h"
 #include "mip/branch_and_bound.h"
 #include "selection/shuffle.h"
 #include "workload/scalable_generator.h"

@@ -145,6 +145,49 @@ TEST_F(WhatIfFixture, ResetStatsZeroesCounters) {
   EXPECT_EQ(engine.stats().cache_hits, 0u);
 }
 
+#if defined(IDXSEL_OBS)
+TEST_F(WhatIfFixture, ResetStatsKeepsCacheGaugesInSyncWithLiveCaches) {
+  // Regression: ResetStats() resets *call accounting* only. The cache-size
+  // gauges mirror live cache contents and must survive a stats reset, then
+  // drop when the caches are actually invalidated.
+  obs::Gauge* cost_entries =
+      obs::Registry::Default().GetGauge("idxsel.whatif.cost_cache_entries");
+  obs::Gauge* config_entries =
+      obs::Registry::Default().GetGauge("idxsel.whatif.config_cache_entries");
+  const int64_t cost_before = cost_entries->Value();
+  const int64_t config_before = config_entries->Value();
+  {
+    WhatIfEngine engine(&w_, backend_.get());
+    for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+      for (workload::AttributeId i : w_.query(j).attributes) {
+        engine.CostWithIndex(j, Index(i));
+      }
+    }
+    IndexConfig config;
+    config.Insert(Index(w_.query(0).attributes.front()));
+    engine.CostWithConfig(0, config);
+    const int64_t cost_filled = cost_entries->Value();
+    const int64_t config_filled = config_entries->Value();
+    EXPECT_GT(cost_filled, cost_before);
+    EXPECT_GT(config_filled, config_before);
+
+    engine.ResetStats();
+    EXPECT_EQ(engine.stats().calls, 0u);
+    EXPECT_EQ(cost_entries->Value(), cost_filled)
+        << "ResetStats must not desynchronize the cost-cache gauge";
+    EXPECT_EQ(config_entries->Value(), config_filled)
+        << "ResetStats must not desynchronize the config-cache gauge";
+
+    engine.InvalidateCostCache();
+    EXPECT_EQ(cost_entries->Value(), cost_before);
+    EXPECT_EQ(config_entries->Value(), config_before);
+  }
+  // Engine destruction pays back whatever its caches still held.
+  EXPECT_EQ(cost_entries->Value(), cost_before);
+  EXPECT_EQ(config_entries->Value(), config_before);
+}
+#endif  // defined(IDXSEL_OBS)
+
 TEST_F(WhatIfFixture, ConfigCostMatchesMultiIndexModel) {
   WhatIfEngine engine(&w_, backend_.get());
   IndexConfig config;
