@@ -1,0 +1,85 @@
+// google-benchmark micro-benchmarks of the deadline machinery: the raw
+// cost of Deadline::expired() and DeadlinePoller::Expired(), and the
+// end-to-end overhead the poll sites add to the H6 hot loop. These back
+// the <1% overhead claim in doc/robustness.md: an unbounded deadline
+// reads no clock at all, and a bounded-but-distant one reads it every
+// `stride` (64) units of work, so SelectRecursive with and without a
+// wall-clock budget should be indistinguishable within noise.
+
+#include <benchmark/benchmark.h>
+
+#include "common/deadline.h"
+#include "core/recursive_selector.h"
+#include "costmodel/cost_model.h"
+#include "costmodel/what_if.h"
+#include "workload/scalable_generator.h"
+
+namespace idxsel::rt {
+namespace {
+
+void BM_DeadlineExpiredUnbounded(benchmark::State& state) {
+  const Deadline deadline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deadline.expired());
+  }
+}
+BENCHMARK(BM_DeadlineExpiredUnbounded);
+
+void BM_DeadlineExpiredBounded(benchmark::State& state) {
+  const Deadline deadline = Deadline::After(3600.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deadline.expired());
+  }
+}
+BENCHMARK(BM_DeadlineExpiredBounded);
+
+void BM_PollerExpiredUnbounded(benchmark::State& state) {
+  const Deadline deadline;
+  DeadlinePoller poller(deadline);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poller.Expired());
+  }
+}
+BENCHMARK(BM_PollerExpiredUnbounded);
+
+void BM_PollerExpiredBounded(benchmark::State& state) {
+  const Deadline deadline = Deadline::After(3600.0);
+  DeadlinePoller poller(deadline);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poller.Expired());
+  }
+}
+BENCHMARK(BM_PollerExpiredBounded);
+
+// The H6 hot loop end to end. `bounded` = 0 runs with the default
+// unbounded deadline (poll sites cost increment+mask+branch, no clock);
+// `bounded` = 1 sets a one-hour budget that never fires, so every 64th
+// poll reads the clock. The relative gap between the two is the
+// deadline overhead on real selector work.
+void BM_SelectRecursiveH6(benchmark::State& state) {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 15;
+  params.queries_per_table = 40;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+  const costmodel::CostModel model(&w);
+  costmodel::ModelBackend backend(&model);
+  costmodel::WhatIfEngine engine(&w, &backend);
+
+  core::RecursiveOptions options;
+  options.budget = model.Budget(0.25);
+  if (state.range(0) != 0) options.deadline = Deadline::After(3600.0);
+
+  for (auto _ : state) {
+    const core::RecursiveResult result =
+        core::SelectRecursive(engine, options);
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.SetLabel(state.range(0) != 0 ? "bounded-far-deadline" : "unbounded");
+}
+BENCHMARK(BM_SelectRecursiveH6)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace idxsel::rt
+
+BENCHMARK_MAIN();

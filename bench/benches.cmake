@@ -5,8 +5,9 @@
 function(idxsel_bench name)
   add_executable(${name} bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
-    idxsel_common idxsel_obs idxsel_workload idxsel_costmodel idxsel_candidates
-    idxsel_lp idxsel_mip idxsel_cophy idxsel_selection idxsel_core
+    idxsel_common idxsel_obs idxsel_workload idxsel_costmodel idxsel_rt
+    idxsel_candidates idxsel_lp idxsel_mip idxsel_cophy idxsel_selection
+    idxsel_core
     idxsel_engine idxsel_frontier idxsel_advisor idxsel_analysis)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
@@ -33,3 +34,4 @@ idxsel_bench(bench_robustness)
 idxsel_gbench(bench_engine_micro)
 idxsel_gbench(bench_solver_micro)
 idxsel_gbench(bench_obs_micro)
+idxsel_gbench(bench_deadline)

@@ -2,7 +2,11 @@
 // (Algorithm 1 / H6), and print the chosen indexes with their construction
 // trace.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart [time_limit_ms]
+//
+// The optional argument is a wall-clock budget in milliseconds: the
+// selector then runs as an anytime algorithm and reports whether it
+// finished or returned its best-so-far incumbent (doc/robustness.md).
 //
 // This is the five-minute tour of the public API:
 //   1. Workload       — tables, attributes, query templates
@@ -13,7 +17,9 @@
 //                       wall time per phase)
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "common/deadline.h"
 #include "common/format.h"
 #include "core/recursive_selector.h"
 #include "costmodel/cost_model.h"
@@ -24,7 +30,7 @@
 using idxsel::FormatBytes;
 using idxsel::FormatDouble;
 
-int main() {
+int main(int argc, char** argv) {
   using namespace idxsel;  // NOLINT: example brevity
 
   // 1. A web-shop "orders" table with five columns and four query shapes.
@@ -56,7 +62,15 @@ int main() {
   //    would need, and let it construct a configuration.
   core::RecursiveOptions options;
   options.budget = model.Budget(0.5);
+  if (argc > 1) {
+    const double limit_ms = std::strtod(argv[1], nullptr);
+    options.deadline = rt::Deadline::After(limit_ms / 1000.0);
+    std::printf("time limit: %s ms\n", FormatDouble(limit_ms, 1).c_str());
+  }
   const core::RecursiveResult result = core::SelectRecursive(engine, options);
+  std::printf("status: %s\n", result.status.ok()
+                                  ? "completed"
+                                  : result.status.ToString().c_str());
 
   const char* names[] = {"customer_id", "status", "country", "created_day",
                          "warehouse"};

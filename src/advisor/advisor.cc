@@ -1,6 +1,7 @@
 #include "advisor/advisor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "candidates/candidates.h"
 #include "common/format.h"
@@ -70,6 +71,7 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   }
   Recommendation rec;
   rec.strategy = options.strategy;
+  rec.executed_strategy = options.strategy;
 #if defined(IDXSEL_OBS)
   // Brackets the whole call so rec.report carries the metric deltas and
   // every span the strategies record below. Cold path: two registry
@@ -77,14 +79,29 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   obs::RunScope obs_scope(StrategyName(options.strategy));
 #endif
 
-  // Resolve the budget.
+  // The advisor-wide wall-clock budget; threaded into every stage below.
+  // Unbounded (plus no token) when no limit is configured, in which case
+  // per-stage deadlines the caller set on `recursive`/`solver` still
+  // apply untouched.
+  rt::Deadline deadline = rt::Deadline::After(options.time_limit_seconds);
+  if (options.cancellation != nullptr) {
+    deadline.set_cancellation(options.cancellation);
+  }
+  const bool advisor_bounded =
+      deadline.bounded() || options.cancellation != nullptr;
+
+  // Resolve the budget. Single-attribute indexes whose size the backend
+  // garbled (sanitized to +infinity, see WhatIfEngine) are left out of the
+  // total — one broken size estimate must not blow the budget up to
+  // infinity and admit everything.
   if (options.budget_bytes > 0.0) {
     rec.budget = options.budget_bytes;
   } else {
     double total_single = 0.0;
     for (workload::AttributeId i = 0;
          i < engine.workload().num_attributes(); ++i) {
-      total_single += engine.IndexMemory(Index(i));
+      const double mem = engine.IndexMemory(Index(i));
+      if (std::isfinite(mem)) total_single += mem;
     }
     rec.budget = options.budget_fraction * total_single;
   }
@@ -102,11 +119,11 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   if (NeedsCandidates(options.strategy)) {
     if (options.candidate_limit == 0) {
       candidate_set = candidates::EnumerateAllCandidates(
-          engine.workload(), options.candidate_max_width);
+          engine.workload(), options.candidate_max_width, deadline);
     } else {
       candidate_set = candidates::GenerateCandidates(
           engine.workload(), candidates::CandidateHeuristic::kH1M,
-          options.candidate_limit, options.candidate_max_width);
+          options.candidate_limit, options.candidate_max_width, deadline);
     }
   }
 
@@ -114,9 +131,11 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
     case StrategyKind::kRecursive: {
       core::RecursiveOptions recursive = options.recursive;
       recursive.budget = rec.budget;
+      if (advisor_bounded) recursive.deadline = deadline;
       core::RecursiveResult result = core::SelectRecursive(engine, recursive);
       rec.selection = std::move(result.selection);
       rec.trace = std::move(result.trace);
+      rec.status = std::move(result.status);
       break;
     }
     case StrategyKind::kH1:
@@ -128,36 +147,72 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
               : (options.strategy == StrategyKind::kH2
                      ? selection::RuleHeuristic::kH2
                      : selection::RuleHeuristic::kH3);
-      rec.selection =
-          selection::SelectRuleBased(engine, candidate_set, rec.budget, rule)
-              .selection;
+      selection::SelectionResult result = selection::SelectRuleBased(
+          engine, candidate_set, rec.budget, rule, deadline);
+      rec.selection = std::move(result.selection);
+      rec.status = std::move(result.status);
       break;
     }
     case StrategyKind::kH4:
     case StrategyKind::kH4Skyline: {
-      rec.selection =
-          selection::SelectByBenefit(engine, candidate_set, rec.budget,
-                                     options.strategy ==
-                                         StrategyKind::kH4Skyline)
-              .selection;
+      selection::SelectionResult result = selection::SelectByBenefit(
+          engine, candidate_set, rec.budget,
+          options.strategy == StrategyKind::kH4Skyline, deadline);
+      rec.selection = std::move(result.selection);
+      rec.status = std::move(result.status);
       break;
     }
     case StrategyKind::kH5: {
-      rec.selection = selection::SelectByBenefitPerSize(engine, candidate_set,
-                                                        rec.budget)
-                          .selection;
+      selection::SelectionResult result = selection::SelectByBenefitPerSize(
+          engine, candidate_set, rec.budget, deadline);
+      rec.selection = std::move(result.selection);
+      rec.status = std::move(result.status);
       break;
     }
     case StrategyKind::kCophy: {
-      cophy::CophyResult result = cophy::SolveCophy(
-          engine, candidate_set, rec.budget, options.solver);
+      mip::SolveOptions solver = options.solver;
+      if (advisor_bounded) solver.deadline = deadline;
+      cophy::CophyResult result =
+          cophy::SolveCophy(engine, candidate_set, rec.budget, solver);
       if (!result.status.ok() &&
-          result.status.code() != StatusCode::kTimeout) {
+          result.status.code() != StatusCode::kTimeout &&
+          options.fallback == FallbackPolicy::kNone) {
         return result.status;
       }
       rec.selection = std::move(result.selection);
-      rec.dnf = result.dnf;
+      rec.status = std::move(result.status);
       break;
+    }
+  }
+
+  // A strategy that completed just before the wire still consumed the
+  // whole advisor budget; report it as a DNF like any cut-short run.
+  if (rec.status.ok() && deadline.expired()) {
+    rec.status = Status::Timeout("advisor: deadline expired");
+  }
+  rec.dnf = rec.status.code() == StatusCode::kTimeout;
+
+  // Graceful degradation: if the strategy did not finish cleanly, run the
+  // cheapest always-completing heuristic (H1 ranks without what-if calls)
+  // over single-attribute candidates, and keep whichever feasible
+  // selection is cheaper. The fallback runs *without* the deadline: the
+  // budget is already spent and this pass is O(attributes) on cached
+  // sizes.
+  if (!rec.status.ok() &&
+      options.fallback == FallbackPolicy::kCheapestHeuristic) {
+    candidates::CandidateSet singles;
+    for (workload::AttributeId i = 0;
+         i < engine.workload().num_attributes(); ++i) {
+      singles.Add(Index(i));
+    }
+    selection::SelectionResult fb = selection::SelectRuleBased(
+        engine, singles, rec.budget, selection::RuleHeuristic::kH1);
+    const double primary_cost = engine.WorkloadCost(rec.selection);
+    if (fb.objective < primary_cost) {
+      rec.selection = std::move(fb.selection);
+      rec.trace.clear();
+      rec.fell_back = true;
+      rec.executed_strategy = StrategyKind::kH1;
     }
   }
   }  // recommend_span closes here.
@@ -166,12 +221,15 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   rec.whatif_calls = engine.stats().calls - calls_before;
   rec.memory = engine.ConfigMemory(rec.selection);
   rec.cost_after = engine.WorkloadCost(rec.selection);
+  rec.degraded = !rec.status.ok() || rec.fell_back || !engine.health().ok();
 #if defined(IDXSEL_OBS)
   {
     obs::Registry& registry = obs::Registry::Default();
     const std::string prefix =
         std::string("idxsel.strategy.") + StrategyKey(options.strategy);
     registry.GetCounter(prefix + ".runs")->Add(1);
+    if (rec.dnf) registry.GetCounter("idxsel.rt.timeout")->Add(1);
+    if (rec.fell_back) registry.GetCounter("idxsel.rt.fallback")->Add(1);
     if (obs::Enabled()) {
       registry.GetHistogram(prefix + ".wall_ns")
           ->Record(static_cast<uint64_t>(rec.runtime_seconds * 1e9));
@@ -213,6 +271,14 @@ std::string RenderReport(WhatIfEngine& engine, const Recommendation& rec,
          "% of unindexed)\n";
   out += "runtime:       " + FormatSeconds(rec.runtime_seconds) +
          (rec.dnf ? " (DNF: time limit, incumbent reported)" : "") + "\n";
+  if (rec.fell_back) {
+    out += "note:          fell back to " +
+           std::string(StrategyName(rec.executed_strategy)) +
+           " (primary strategy did not finish cleanly)\n";
+  } else if (rec.degraded) {
+    out += "note:          degraded result (timeout or sanitized what-if "
+           "answers; see status)\n";
+  }
   out += "what-if calls: " + FormatCount(static_cast<int64_t>(
                                  rec.whatif_calls)) +
          "\n\n";

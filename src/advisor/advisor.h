@@ -9,9 +9,12 @@
 #define IDXSEL_ADVISOR_ADVISOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/recursive_selector.h"
 #include "costmodel/index.h"
 #include "costmodel/what_if.h"
@@ -42,6 +45,18 @@ const char* StrategyName(StrategyKind kind);
 /// Stable lowercase key used in metric names ("h6", "h4_skyline", ...).
 const char* StrategyKey(StrategyKind kind);
 
+/// What Recommend() does when the configured strategy does not finish
+/// cleanly (deadline expiry, solver failure) — see doc/robustness.md.
+enum class FallbackPolicy {
+  /// Return the primary strategy's best-so-far incumbent as-is.
+  kNone,
+  /// Additionally run the cheapest heuristic that can always complete —
+  /// H1 over single-attribute candidates, whose ranking needs no what-if
+  /// calls — and return whichever feasible selection has the lower
+  /// workload cost. The primary's incumbent still wins when it is better.
+  kCheapestHeuristic,
+};
+
 /// Advisor configuration.
 struct AdvisorOptions {
   /// Budget as a share w of total single-attribute index memory (eq. 10);
@@ -56,6 +71,19 @@ struct AdvisorOptions {
   mip::SolveOptions solver;             ///< CoPhy solver knobs.
   core::RecursiveOptions recursive;     ///< H6 extensions (budget is set
                                         ///< by the advisor).
+
+  /// Wall-clock budget for the whole Recommend() call (candidate
+  /// generation + strategy + fallback bookkeeping); infinity = unbounded.
+  /// When bounded, the derived rt::Deadline is threaded into every stage
+  /// (overriding any deadline set on `recursive`/`solver`), making each
+  /// strategy anytime: on expiry Recommend() still returns ok() with the
+  /// best-so-far incumbent and Recommendation::status == kTimeout.
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Optional cancellation observed by every deadline poll (not owned;
+  /// must outlive the call). Works with or without a time limit.
+  const rt::CancellationToken* cancellation = nullptr;
+  /// Degradation behaviour when the strategy misses its deadline/fails.
+  FallbackPolicy fallback = FallbackPolicy::kCheapestHeuristic;
 };
 
 /// What the advisor recommends, with enough context to act on it.
@@ -68,7 +96,25 @@ struct Recommendation {
   double cost_after = 0.0;   ///< F(selection), incl. maintenance.
   double runtime_seconds = 0.0;
   uint64_t whatif_calls = 0;
-  bool dnf = false;  ///< CoPhy hit its time limit (incumbent returned).
+  /// How the *primary* strategy terminated: OK, kTimeout (anytime
+  /// incumbent returned — any strategy, not just CoPhy), or the solver's
+  /// error when the fallback absorbed it. Recommend() itself stays ok()
+  /// in all these cases; its own error Results are reserved for unusable
+  /// inputs.
+  Status status;
+  /// Any strategy hit its deadline/limit and returned an incumbent (the
+  /// paper's "DNF" generalized beyond CoPhy).
+  bool dnf = false;
+  /// The recommendation is best-effort rather than the configured
+  /// strategy's clean answer: it timed out, fell back, or was computed
+  /// against a backend that returned garbage (see WhatIfEngine::health).
+  bool degraded = false;
+  /// FallbackPolicy replaced the primary's incumbent with the fallback
+  /// heuristic's selection (only when the latter was strictly cheaper).
+  bool fell_back = false;
+  /// Strategy whose selection this actually is: `strategy` normally, the
+  /// fallback heuristic when `fell_back`.
+  StrategyKind executed_strategy = StrategyKind::kRecursive;
   /// H6 only: the committed construction steps.
   std::vector<core::ConstructionStep> trace;
   /// Observability digest of this run: metric deltas and spans recorded

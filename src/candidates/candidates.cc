@@ -26,20 +26,24 @@ Index RepresentativeOrder(const Workload& workload,
 /// Enumerates all attribute combinations (as sorted id vectors) of sizes
 /// 1..max_width that co-occur in at least one query, with their
 /// frequency-weighted occurrence counts sum_{j: combo subset of q_j} b_j.
+/// The m-subset enumeration is the combinatorial hot spot of candidate
+/// generation, so it polls per emitted subset; expiry truncates the map.
 std::unordered_map<Index, double, costmodel::IndexHash>
-CollectCooccurringCombos(const Workload& workload, uint32_t max_width) {
+CollectCooccurringCombos(const Workload& workload, uint32_t max_width,
+                         rt::DeadlinePoller& poller) {
   std::unordered_map<Index, double, costmodel::IndexHash> combos;
   std::vector<size_t> pick;
   for (QueryId j = 0; j < workload.num_queries(); ++j) {
+    if (poller.expired()) break;
     const auto& attrs = workload.query(j).attributes;  // sorted unique
     const double freq = workload.query(j).frequency;
     const size_t width_cap =
         std::min<size_t>(max_width, attrs.size());
-    for (size_t m = 1; m <= width_cap; ++m) {
+    for (size_t m = 1; m <= width_cap && !poller.Expired(); ++m) {
       // Iterate all m-subsets of attrs via combination indices.
       pick.resize(m);
       for (size_t u = 0; u < m; ++u) pick[u] = u;
-      while (true) {
+      while (!poller.Expired()) {
         std::vector<AttributeId> combo(m);
         for (size_t u = 0; u < m; ++u) combo[u] = attrs[pick[u]];
         combos[Index(std::move(combo))] += freq;
@@ -92,8 +96,10 @@ void CandidateSet::Merge(const CandidateSet& other) {
 }
 
 CandidateSet EnumerateAllCandidates(const Workload& workload,
-                                    uint32_t max_width) {
-  auto combos = CollectCooccurringCombos(workload, max_width);
+                                    uint32_t max_width,
+                                    const rt::Deadline& deadline) {
+  rt::DeadlinePoller poller(deadline);
+  auto combos = CollectCooccurringCombos(workload, max_width, poller);
   std::vector<Index> result;
   result.reserve(combos.size());
   for (const auto& [combo, freq] : combos) {
@@ -110,9 +116,11 @@ CandidateSet EnumerateAllCandidates(const Workload& workload,
 
 CandidateSet GenerateCandidates(const Workload& workload,
                                 CandidateHeuristic heuristic, size_t total,
-                                uint32_t max_width) {
+                                uint32_t max_width,
+                                const rt::Deadline& deadline) {
   IDXSEL_CHECK_GT(max_width, 0u);
-  auto combos = CollectCooccurringCombos(workload, max_width);
+  rt::DeadlinePoller poller(deadline);
+  auto combos = CollectCooccurringCombos(workload, max_width, poller);
 
   // Bucket combos by width with their heuristic score (lower = better).
   struct Scored {
@@ -154,7 +162,9 @@ CandidateSet GenerateCandidates(const Workload& workload,
 }
 
 CandidateSet SkylineFilter(const CandidateSet& candidates,
-                           WhatIfEngine& engine) {
+                           WhatIfEngine& engine,
+                           const rt::Deadline& deadline) {
+  rt::DeadlinePoller poller(deadline);
   const Workload& workload = engine.workload();
   const auto applicability = ComputeApplicability(workload, candidates);
 
@@ -166,6 +176,10 @@ CandidateSet SkylineFilter(const CandidateSet& candidates,
     uint32_t candidate;
   };
   for (QueryId j = 0; j < workload.num_queries(); ++j) {
+    // A half-swept skyline cannot tell "dominated" from "never examined";
+    // degrade to the identity filter instead of dropping unjudged
+    // candidates (see header).
+    if (poller.Expired()) return candidates;
     std::vector<Entry> entries;
     entries.reserve(applicability[j].size());
     for (uint32_t c : applicability[j]) {

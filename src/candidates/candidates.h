@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/deadline.h"
 #include "costmodel/index.h"
 #include "costmodel/what_if.h"
 #include "workload/workload.h"
@@ -68,21 +69,33 @@ enum class CandidateHeuristic {
 
 /// IC_max: the exhaustive candidate set (see file comment). `max_width`
 /// defaults to 4, matching the m = 1..4 cap of the paper's candidate
-/// heuristics.
+/// heuristics. The subset enumeration polls `deadline`; on expiry the set
+/// built so far is returned (a truncated but valid candidate pool — every
+/// member still co-occurs in some query).
 CandidateSet EnumerateAllCandidates(const Workload& workload,
-                                    uint32_t max_width = 4);
+                                    uint32_t max_width = 4,
+                                    const rt::Deadline& deadline =
+                                        rt::Deadline());
 
 /// Scalable candidate set of (at most) `total` candidates using the given
 /// heuristic: h = total/4 combinations for each width m = 1..max_width.
 /// Combinations are drawn from those actually co-occurring in queries.
+/// Deadline expiry truncates the co-occurrence scan, so the heuristic
+/// ranks (and the result draws from) the combinations seen so far.
 CandidateSet GenerateCandidates(const Workload& workload,
                                 CandidateHeuristic heuristic, size_t total,
-                                uint32_t max_width = 4);
+                                uint32_t max_width = 4,
+                                const rt::Deadline& deadline = rt::Deadline());
 
 /// Skyline filter (cf. H4 / Kimura et al.): keeps a candidate iff it lies on
 /// the (cost, memory) skyline of at least one query it is applicable to.
+/// All-or-nothing under a deadline: a partial sweep cannot distinguish
+/// "dominated" from "not yet examined", so expiry degrades to the identity
+/// filter (returns `candidates` unchanged) rather than dropping candidates
+/// it never judged.
 CandidateSet SkylineFilter(const CandidateSet& candidates,
-                           WhatIfEngine& engine);
+                           WhatIfEngine& engine,
+                           const rt::Deadline& deadline = rt::Deadline());
 
 /// Per-query applicability sets I_j (candidate positions into
 /// `candidates.indexes()`): k is applicable to q_j iff l(k) is in q_j.

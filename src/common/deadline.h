@@ -1,0 +1,138 @@
+// idxsel::rt — cooperative deadlines and cancellation.
+//
+// The paper's scalability story is really a story about *time budgets*:
+// CoPhy runs are reported as "DNF" when the solver hits its wall clock,
+// and Algorithm 1 is valued because it degrades gracefully. rt::Deadline
+// generalizes the MIP solver's private time limit into a budget every
+// stage of the pipeline (candidate enumeration, H1-H6, CoPhy, the advisor
+// facade) polls cooperatively: when it expires, each stage stops issuing
+// new work and returns its best-so-far incumbent with Status::Timeout —
+// every strategy becomes an anytime algorithm.
+//
+// Polling discipline: Deadline::expired() costs one steady_clock read (and
+// nothing at all when the deadline is unbounded and has no cancellation
+// token). Hot loops wrap it in a DeadlinePoller, which consults the clock
+// only every `stride` calls — the same amortization the branch-and-bound
+// already used for its time limit. See doc/robustness.md for the contract
+// (which loops poll, at what granularity) and bench/bench_deadline.cc for
+// the measured overhead.
+
+#ifndef IDXSEL_COMMON_DEADLINE_H_
+#define IDXSEL_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace idxsel::rt {
+
+/// Thread-safe cancellation flag, shared by reference. A caller that wants
+/// to abort a running selection (interactive advisor, shutting-down
+/// service) sets it; every deadline poll observes it. One-way: once set it
+/// stays set until Reset().
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token (tests and pooled advisors).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock budget plus an optional cancellation token; cheap to copy
+/// and pass by value. Default-constructed deadlines are unbounded and cost
+/// two pointer-sized compares per poll — no clock read.
+class Deadline {
+ public:
+  /// Unbounded: never expires (unless a cancellation token fires).
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `seconds` from now. Non-positive budgets expire immediately;
+  /// an infinite budget yields an unbounded deadline.
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds == std::numeric_limits<double>::infinity()) return d;
+    d.at_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds < 0.0 ? 0.0 : seconds));
+    d.bounded_ = true;
+    return d;
+  }
+
+  /// Attaches a cancellation token (not owned; must outlive the deadline's
+  /// use). expired() then also reports true once the token is cancelled.
+  void set_cancellation(const CancellationToken* token) { token_ = token; }
+  const CancellationToken* cancellation() const { return token_; }
+
+  /// True iff there is a wall-clock limit (cancellation aside).
+  bool bounded() const { return bounded_; }
+
+  /// True once the wall-clock budget is exhausted or the attached token is
+  /// cancelled. One clock read when bounded; no clock read otherwise.
+  bool expired() const {
+    if (token_ != nullptr && token_->cancelled()) return true;
+    return bounded_ && Clock::now() >= at_;
+  }
+
+  /// Seconds until expiry; +infinity when unbounded, 0 when expired.
+  double remaining_seconds() const {
+    if (token_ != nullptr && token_->cancelled()) return 0.0;
+    if (!bounded_) return std::numeric_limits<double>::infinity();
+    const double left =
+        std::chrono::duration<double>(at_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point at_{};
+  const CancellationToken* token_ = nullptr;
+  bool bounded_ = false;
+};
+
+/// Amortized deadline polling for hot loops: consults the Deadline only
+/// every `stride` calls and latches the result, so the steady-state cost
+/// of a poll site is one increment, one mask, and one predictable branch.
+class DeadlinePoller {
+ public:
+  /// `stride` must be a power of two. The referenced deadline must outlive
+  /// the poller.
+  explicit DeadlinePoller(const Deadline& deadline, uint32_t stride = 64)
+      : deadline_(&deadline), mask_(stride - 1) {}
+
+  /// Counts one unit of work; every `stride` calls checks the deadline.
+  /// Once expired, stays expired (and stops consulting the clock).
+  bool Expired() {
+    if (expired_) return true;
+    if ((++calls_ & mask_) != 0) return false;
+    expired_ = deadline_->expired();
+    return expired_;
+  }
+
+  /// The latched verdict, without counting work. Note: unlike Expired(),
+  /// this never consults the clock, so it can lag by up to one stride.
+  bool expired() const { return expired_; }
+
+  const Deadline& deadline() const { return *deadline_; }
+
+ private:
+  const Deadline* deadline_;
+  uint32_t mask_;
+  uint32_t calls_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace idxsel::rt
+
+#endif  // IDXSEL_COMMON_DEADLINE_H_

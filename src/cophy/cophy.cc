@@ -28,8 +28,9 @@ LpStatistics ComputeLpStatistics(const workload::Workload& workload,
 }
 
 mip::Problem BuildProblem(WhatIfEngine& engine, const CandidateSet& candidates,
-                          double budget) {
+                          double budget, const rt::Deadline& deadline) {
   IDXSEL_OBS_SPAN(span, "cophy", "cophy.build_problem");
+  rt::DeadlinePoller poller(deadline);
   const workload::Workload& workload = engine.workload();
   mip::Problem problem;
   problem.budget = budget;
@@ -45,6 +46,13 @@ mip::Problem BuildProblem(WhatIfEngine& engine, const CandidateSet& candidates,
   std::vector<double> penalties(candidates.size(), 0.0);
   for (uint32_t c = 0; c < candidates.size(); ++c) {
     const Index& k = candidates[c];
+    if (poller.Expired()) {
+      // Unpriced candidates get infinite memory: Canonicalize() drops
+      // them, and no finite budget could ever admit one — the truncated
+      // problem's feasible set only contains fully-priced candidates.
+      problem.candidate_memory[c] = std::numeric_limits<double>::infinity();
+      continue;
+    }
     problem.candidate_memory[c] = engine.IndexMemory(k);
     penalties[c] = engine.MaintenancePenalty(k);
     any_penalty = any_penalty || penalties[c] > 0.0;
@@ -122,6 +130,14 @@ CophyResult SolveProblem(mip::Problem problem, const CandidateSet& candidates,
   const mip::SolveResult solved = mip::Solve(problem, options);
   result.status = solved.status;
   result.dnf = solved.status.code() == StatusCode::kTimeout;
+  // The pipeline deadline covers the whole CoPhy run (problem assembly
+  // included). A solver that "finished" on a build-truncated problem, or
+  // right after expiry, is still a DNF: what it solved is not the full
+  // instance the caller asked for.
+  if (!result.dnf && result.status.ok() && options.deadline.expired()) {
+    result.status = Status::Timeout("cophy: deadline expired");
+    result.dnf = true;
+  }
   result.objective = solved.objective;
   result.best_bound = solved.best_bound;
   result.gap = solved.gap;
@@ -139,9 +155,9 @@ CophyResult SolveProblem(mip::Problem problem, const CandidateSet& candidates,
 
 CophyResult SolveCophy(WhatIfEngine& engine, const CandidateSet& candidates,
                        double budget, const mip::SolveOptions& options) {
-  return SolveProblem(BuildProblem(engine, candidates, budget), candidates,
-                      options,
-                      ComputeLpStatistics(engine.workload(), candidates));
+  return SolveProblem(
+      BuildProblem(engine, candidates, budget, options.deadline), candidates,
+      options, ComputeLpStatistics(engine.workload(), candidates));
 }
 
 PreparedCophy::PreparedCophy(WhatIfEngine& engine,

@@ -49,8 +49,14 @@ LpStatistics ComputeLpStatistics(const workload::Workload& workload,
 /// f_j(0) / f_j(k) what-if calls for every applicable (query, candidate)
 /// pair — this is exactly the ~Q * I-bar_q call volume the paper attributes
 /// to CoPhy. The problem is returned un-canonicalized.
+///
+/// The per-candidate what-if loop polls `deadline`; candidates whose calls
+/// were cut short are given +infinite memory (and no cost entries), so a
+/// truncated build still yields a well-formed problem whose solutions can
+/// only use fully-priced candidates.
 mip::Problem BuildProblem(WhatIfEngine& engine, const CandidateSet& candidates,
-                          double budget);
+                          double budget,
+                          const rt::Deadline& deadline = rt::Deadline());
 
 /// Builds the full explicit LP relaxation (eqs. 5-8 with 0 <= x, z <= 1).
 /// `x_vars` (optional) receives the column id of each candidate's x_k.
@@ -73,6 +79,9 @@ struct CophyResult {
 
 /// Runs CoPhy end to end on a candidate set: builds the program (what-if
 /// calls), solves it, and maps the solution back to indexes.
+/// `options.deadline` governs the whole run — problem assembly (see
+/// BuildProblem) as well as the branch-and-bound; a run that overran its
+/// deadline reports kTimeout/dnf even if the solver itself finished.
 CophyResult SolveCophy(WhatIfEngine& engine, const CandidateSet& candidates,
                        double budget, const mip::SolveOptions& options = {});
 

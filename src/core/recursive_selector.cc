@@ -63,11 +63,24 @@ struct Move {
 class Runner {
  public:
   Runner(WhatIfEngine& engine, const RecursiveOptions& opts)
-      : engine_(engine), w_(engine.workload()), opts_(opts) {}
+      : engine_(engine),
+        w_(engine.workload()),
+        opts_(opts),
+        poller_(opts.deadline) {}
 
   RecursiveResult Run() {
     IDXSEL_OBS_SPAN(run_span, "selector", "h6.run");
     Stopwatch watch;
+
+    // Dead-on-arrival budgets (advisor spent it all upstream) return the
+    // empty — trivially feasible — incumbent without touching the engine.
+    if (opts_.deadline.expired()) {
+      RecursiveResult result;
+      result.status = Status::Timeout("recursive selector: deadline expired");
+      result.runtime_seconds = watch.ElapsedSeconds();
+      return result;
+    }
+
     const uint64_t calls_before = engine_.stats().calls;
 
     best_cost_.resize(w_.num_queries());
@@ -85,7 +98,7 @@ class Runner {
     RankSingles();
 
     RecursiveResult result;
-    while (result.trace.size() < opts_.max_steps) {
+    while (result.trace.size() < opts_.max_steps && !poller_.Expired()) {
       IDXSEL_OBS_SPAN(round_span, "selector", "h6.round");
       IDXSEL_OBS_ONLY(round_span.SetArg(
           "round", static_cast<double>(result.trace.size()));)
@@ -99,6 +112,10 @@ class Runner {
         EvaluateAppends(&best, &runner_up);
         if (opts_.pair_steps) EvaluatePairs(&best, &runner_up);
       }
+      // A round cut short by the deadline saw only a prefix of the moves;
+      // committing its "best" would bias construction toward whatever the
+      // enumeration happened to visit first. Keep the pre-round incumbent.
+      if (poller_.expired()) break;
       if (!best.valid || best.ratio <= opts_.min_ratio) break;
       ++committed_rounds_;
       if (best.kind == StepKind::kAppend ||
@@ -148,6 +165,10 @@ class Runner {
     result.memory = used_memory_;
     result.runtime_seconds = watch.ElapsedSeconds();
     result.whatif_calls = engine_.stats().calls - calls_before;
+    result.status =
+        poller_.expired()
+            ? Status::Timeout("recursive selector: deadline expired")
+            : Status::Ok();
 #if defined(IDXSEL_OBS)
     const SelectorMetrics& metrics = SelectorMetrics::Get();
     metrics.runs->Add(1);
@@ -303,10 +324,14 @@ class Runner {
   }
 
   /// Step 2's ranking of single-attribute indexes, reused for Remark 1(1).
+  /// Deadline expiry truncates the ranking; the main loop then observes the
+  /// latched expiry before running a round, so a partial ranking is never
+  /// acted on.
   void RankSingles() {
     std::vector<std::pair<double, workload::AttributeId>> ranked;
     ranked.reserve(w_.num_attributes());
     for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
+      if (poller_.Expired()) break;
       const double mem = engine_.IndexMemory(Index(i));
       const double ratio = SingleBenefit(i) / std::max(1.0, mem);
       ranked.emplace_back(-ratio, i);
@@ -323,6 +348,7 @@ class Runner {
 
   void EvaluateNewSingles(Move* best, Move* runner_up) {
     for (workload::AttributeId i : eligible_singles_) {
+      if (poller_.Expired()) return;
       if (SingleSelected(i)) continue;  // step (3a): I and {i} disjoint
       const Index k(i);
       Move move;
@@ -337,6 +363,7 @@ class Runner {
 
   void EvaluateAppends(Move* best, Move* runner_up) {
     for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      if (poller_.Expired()) return;
       const Index& k = selected_[pos];
       if (k.width() >= opts_.max_index_width) continue;
       const double base_mem = engine_.IndexMemory(k);
@@ -379,6 +406,7 @@ class Runner {
   void EvaluatePairs(Move* best, Move* runner_up) {
     // New two-attribute indexes {a, b} for co-occurring (a, b).
     for (workload::AttributeId a : eligible_singles_) {
+      if (poller_.Expired()) return;
       std::unordered_map<workload::AttributeId, double> benefit;
       std::unordered_map<workload::AttributeId, Index> pair_index;
       for (workload::QueryId j : w_.queries_with(a)) {
@@ -404,6 +432,7 @@ class Runner {
     }
     // Append pairs k -> k ++ a ++ b.
     for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      if (poller_.Expired()) return;
       const Index& k = selected_[pos];
       if (k.width() + 2 > opts_.max_index_width) continue;
       const double base_mem = engine_.IndexMemory(k);
@@ -453,6 +482,7 @@ class Runner {
   void EvaluateNewSinglesMulti(Move* best, Move* runner_up) {
     const costmodel::IndexConfig current = CurrentConfig();
     for (workload::AttributeId i : eligible_singles_) {
+      if (poller_.Expired()) return;
       if (SingleSelected(i)) continue;
       const Index k(i);
       costmodel::IndexConfig hypothetical = current;
@@ -475,6 +505,7 @@ class Runner {
   void EvaluateAppendsMulti(Move* best, Move* runner_up) {
     const costmodel::IndexConfig current = CurrentConfig();
     for (size_t pos = 0; pos < selected_.size(); ++pos) {
+      if (poller_.Expired()) return;
       const Index& k = selected_[pos];
       if (k.width() >= opts_.max_index_width) continue;
       const double base_mem = engine_.IndexMemory(k);
@@ -609,7 +640,7 @@ class Runner {
   /// ran out of budget; commit only exact improvements.
   void SwapRepair(RecursiveResult* result) {
     bool improved = true;
-    while (improved) {
+    while (improved && !poller_.Expired()) {
       improved = false;
       // Objective increase if selected index p were removed (its owned
       // queries fall back to their second-best plan), net of its freed
@@ -631,6 +662,7 @@ class Runner {
                 });
 
       for (workload::AttributeId i : eligible_singles_) {
+        if (poller_.Expired()) return;  // committed swaps already improved
         if (SingleSelected(i)) continue;
         const Index k(i);
         const double gain =
@@ -714,6 +746,9 @@ class Runner {
   WhatIfEngine& engine_;
   const workload::Workload& w_;
   const RecursiveOptions& opts_;
+  // Amortized view of opts_.deadline, shared by every poll site so the
+  // latched expiry is visible across evaluation/repair phases.
+  rt::DeadlinePoller poller_;
 
   std::vector<Index> selected_;
   // Per query: cheapest cost over {f_j(0)} + selected indexes, the position

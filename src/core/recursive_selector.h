@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/index.h"
 #include "costmodel/reconfiguration.h"
@@ -106,6 +108,14 @@ struct RecursiveOptions {
   /// step criterion uses F + R instead of F (eq. 3).
   const IndexConfig* existing = nullptr;
   const ReconfigurationModel* reconfiguration = nullptr;
+  /// Wall-clock budget / cancellation (default: unbounded). Polled between
+  /// units of work — per single-attribute ranking, per candidate move, per
+  /// construction round — so the construction loop never commits a
+  /// half-evaluated step. On expiry the run stops and returns the
+  /// incumbent built so far with Status::Timeout: Algorithm 1 is naturally
+  /// anytime because every committed prefix of the trace is a feasible,
+  /// budget-respecting selection. See doc/robustness.md.
+  rt::Deadline deadline;
 };
 
 /// Result of one run.
@@ -120,6 +130,10 @@ struct RecursiveResult {
   /// (memory, F) after every committed step — the H6 frontier curve.
   std::vector<std::pair<double, double>> frontier;
   uint64_t whatif_calls = 0;  ///< Backend calls issued during this run.
+  /// OK on natural termination; Timeout when the deadline cut construction
+  /// short (selection/objective/memory then describe the best-so-far
+  /// incumbent, which is still budget-feasible).
+  Status status;
 };
 
 /// Runs Algorithm 1 against `engine` (one-index-per-query evaluation,

@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 namespace idxsel::costmodel {
 namespace {
+
+/// A cost or size the selection layers can safely consume: finite and
+/// non-negative. Everything else (NaN, +/-Inf, negative) is backend
+/// garbage — see WhatIfEngine's validation contract.
+bool WellFormed(double v) { return std::isfinite(v) && v >= 0.0; }
 
 #if defined(IDXSEL_OBS)
 /// Times one backend invocation into the latency histogram; a no-op
@@ -50,6 +56,7 @@ WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
   obs_calls_ = registry.GetCounter("idxsel.whatif.calls");
   obs_hits_ = registry.GetCounter("idxsel.whatif.cache_hits");
   obs_skipped_ = registry.GetCounter("idxsel.whatif.skipped_inapplicable");
+  obs_sanitized_ = registry.GetCounter("idxsel.rt.sanitized");
   obs_latency_ = registry.GetHistogram("idxsel.whatif.backend_latency_ns");
   obs_cost_entries_ = registry.GetGauge("idxsel.whatif.cost_cache_entries");
   obs_config_entries_ =
@@ -73,13 +80,33 @@ WhatIfEngine::~WhatIfEngine() {
           -static_cast<int64_t>(config_cost_cache_.size()));)
 }
 
+double WhatIfEngine::Sanitize(double value, double fallback,
+                              const char* what) {
+  if (WellFormed(value)) return value;
+  ++stats_.sanitized;
+  IDXSEL_OBS_ONLY(obs_sanitized_->Add();)
+  if (health_.ok()) {
+    health_ = Status::Internal(std::string("what-if backend returned ") +
+                               (std::isnan(value)      ? "NaN"
+                                : std::isinf(value)    ? "infinite"
+                                                       : "negative") +
+                               " value from " + what);
+  }
+  return fallback;
+}
+
 double WhatIfEngine::BaseCost(QueryId j) {
   IDXSEL_DCHECK(j < base_cost_.size());
   if (std::isnan(base_cost_[j])) {
+    double cost;
     {
       IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
-      base_cost_[j] = backend_->BaseCost(j);
+      cost = backend_->BaseCost(j);
     }
+    // No better estimate exists when f_j(0) itself is garbage; clamp to 0
+    // so the query can never fabricate benefit (any index looks useless
+    // against a free query).
+    base_cost_[j] = Sanitize(cost, 0.0, "BaseCost");
     ++stats_.calls;
     IDXSEL_OBS_ONLY(obs_calls_->Add();)
   } else {
@@ -125,6 +152,12 @@ double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
     IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
     cost = backend_->CostWithIndex(j, k);
   }
+  // Garbage f_j(k) falls back to f_j(0): the index looks useless for the
+  // query, never harmful and never spuriously beneficial. (Guarded so the
+  // healthy path never issues the extra BaseCost lookup.)
+  if (!WellFormed(cost)) {
+    cost = Sanitize(cost, BaseCost(j), "CostWithIndex");
+  }
   ++stats_.calls;
   IDXSEL_OBS_ONLY(obs_calls_->Add();)
   cost_cache_.emplace(key, cost);
@@ -135,7 +168,12 @@ double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
 double WhatIfEngine::IndexMemory(const Index& k) {
   auto it = memory_cache_.find(k);
   if (it != memory_cache_.end()) return it->second;
-  const double mem = backend_->IndexMemory(k);
+  // Garbage p_k becomes +infinity: an index of unknown size can never be
+  // admitted under a finite budget (the conservative direction for a
+  // feasibility check). Cached, so every feasibility test agrees.
+  const double mem =
+      Sanitize(backend_->IndexMemory(k),
+               std::numeric_limits<double>::infinity(), "IndexMemory");
   memory_cache_.emplace(k, mem);
   return mem;
 }
@@ -146,8 +184,12 @@ double WhatIfEngine::MaintenancePenalty(const Index& k) {
   if (it != maintenance_cache_.end()) return it->second;
   double penalty = 0.0;
   for (QueryId j : write_queries_) {
-    penalty +=
-        workload_->query(j).frequency * backend_->MaintenanceCost(j, k);
+    // Garbage maintenance estimates are dropped (0): negative ones would
+    // fabricate benefit, non-finite ones would poison every WorkloadCost
+    // total the index participates in.
+    penalty += workload_->query(j).frequency *
+               Sanitize(backend_->MaintenanceCost(j, k), 0.0,
+                        "MaintenanceCost");
   }
   maintenance_cache_.emplace(k, penalty);
   return penalty;
@@ -199,6 +241,11 @@ double WhatIfEngine::CostWithConfig(QueryId j, const IndexConfig& config) {
   {
     IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
     cost = backend_->CostWithConfig(j, key.config);
+  }
+  // Same fallback as CostWithIndex: a garbage f_j(I*) degrades to "the
+  // configuration does not help query j".
+  if (!WellFormed(cost)) {
+    cost = Sanitize(cost, BaseCost(j), "CostWithConfig");
   }
   ++stats_.calls;
   IDXSEL_OBS_ONLY(obs_calls_->Add();)

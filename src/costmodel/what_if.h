@@ -15,6 +15,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/status.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/index.h"
 #include "obs/obs.h"
@@ -82,20 +83,31 @@ class ModelBackend : public WhatIfBackend {
 /// These are the *per-engine* numbers ResetStats() rewinds. When the build
 /// compiles observability in (IDXSEL_OBS), every increment is mirrored
 /// onto process-wide counters in obs::Registry::Default()
-/// ("idxsel.whatif.calls" / ".cache_hits" / ".skipped_inapplicable"),
-/// alongside a backend-latency histogram and live cache-size gauges — see
-/// doc/observability.md.
+/// ("idxsel.whatif.calls" / ".cache_hits" / ".skipped_inapplicable",
+/// "idxsel.rt.sanitized"), alongside a backend-latency histogram and live
+/// cache-size gauges — see doc/observability.md.
 struct WhatIfStats {
   uint64_t calls = 0;
   uint64_t cache_hits = 0;
   uint64_t skipped_inapplicable = 0;
+  /// Backend answers rejected by the validating wrapper (non-finite or
+  /// negative) and replaced by a safe fallback — see doc/robustness.md.
+  uint64_t sanitized = 0;
 };
 
-/// Caching, call-counting facade over a WhatIfBackend.
+/// Caching, call-counting, *validating* facade over a WhatIfBackend.
 ///
 /// Inapplicable (query, index) pairs are answered with f_j(0) without
 /// consulting the backend — a real advisor would not issue a what-if call
 /// for an index whose leading attribute the query does not touch.
+///
+/// Validation: a hostile or broken backend (NaN/Inf/negative costs — see
+/// rt::FaultInjectingBackend) must not corrupt benefit ratios, knapsack
+/// bounds, or budgets. Every backend answer is checked; garbage is
+/// replaced with a safe fallback (costs: f_j(0), itself clamped to 0 when
+/// garbage; sizes: +infinity, so the index can never be selected under a
+/// finite budget), counted in stats().sanitized, and recorded once in
+/// health() as a non-OK Status instead of propagating into selections.
 ///
 /// Cache keys are canonicalized to (query, coverable-prefix-attribute-set):
 /// the cost of q_j under k only depends on the prefix of k the query can
@@ -153,6 +165,12 @@ class WhatIfEngine {
 
   const WhatIfStats& stats() const { return stats_; }
 
+  /// OK while the backend has only ever returned well-formed answers;
+  /// after the first rejected value, the Status describing that first
+  /// failure (the engine keeps serving sanitized fallbacks either way).
+  /// Strategies keep running; the advisor surfaces this as `degraded`.
+  const Status& health() const { return health_; }
+
   /// Rewinds the per-engine call counters to zero. Deliberately does NOT
   /// touch the registry: the process-wide call counters are cumulative by
   /// design (run reports diff snapshots instead), and the cache-size
@@ -165,6 +183,12 @@ class WhatIfEngine {
   void InvalidateCostCache();
 
  private:
+  /// Returns `value` if it is a well-formed cost/size (finite, >= 0);
+  /// otherwise counts the rejection, records the first failure in
+  /// health_, and returns `fallback`. `what` names the backend method for
+  /// the health message.
+  double Sanitize(double value, double fallback, const char* what);
+
   struct Key {
     QueryId query;
     Index index;
@@ -199,11 +223,13 @@ class WhatIfEngine {
   WhatIfBackend* backend_;
   bool canonicalize_keys_;
   WhatIfStats stats_;
+  Status health_;  // first backend misbehaviour, or OK
 #if defined(IDXSEL_OBS)
   // Process-wide mirrors (resolved once; see WhatIfStats docs).
   obs::Counter* obs_calls_;
   obs::Counter* obs_hits_;
   obs::Counter* obs_skipped_;
+  obs::Counter* obs_sanitized_;      ///< idxsel.rt.sanitized.
   obs::Histogram* obs_latency_;      ///< idxsel.whatif.backend_latency_ns.
   obs::Gauge* obs_cost_entries_;     ///< idxsel.whatif.cost_cache_entries.
   obs::Gauge* obs_config_entries_;   ///< idxsel.whatif.config_cache_entries.

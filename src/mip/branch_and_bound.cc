@@ -153,7 +153,8 @@ class Engine {
       return true;
     }
     if ((nodes_ & 0x3f) == 0 &&
-        watch_.ElapsedSeconds() > opts_.time_limit_seconds) {
+        (watch_.ElapsedSeconds() > opts_.time_limit_seconds ||
+         opts_.deadline.expired())) {
       stopped_ = true;
       timeout_ = true;
       return true;

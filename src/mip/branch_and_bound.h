@@ -24,6 +24,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "mip/problem.h"
 
@@ -38,6 +39,11 @@ struct SolveOptions {
   double time_limit_seconds = std::numeric_limits<double>::infinity();
   /// Hard cap on explored nodes; exceeded => kResourceLimit with incumbent.
   uint64_t max_nodes = std::numeric_limits<uint64_t>::max();
+  /// Absolute deadline / cancellation shared with the rest of the pipeline
+  /// (rt layer); checked at the same amortized cadence as
+  /// `time_limit_seconds` and likewise reports kTimeout with the incumbent.
+  /// Both limits apply; whichever fires first stops the search.
+  rt::Deadline deadline;
 };
 
 /// Solver output. `status` is Ok when the gap target was proven, kTimeout /

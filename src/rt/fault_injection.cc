@@ -1,0 +1,98 @@
+#include "rt/fault_injection.h"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace idxsel::rt {
+namespace {
+
+#if defined(IDXSEL_OBS)
+obs::Counter* InjectedCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Default().GetCounter("idxsel.rt.fault_injected");
+  return counter;
+}
+#endif
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(
+    const costmodel::WhatIfBackend* inner,
+    const FaultInjectionOptions& options)
+    : inner_(inner), opts_(options), rng_(options.seed) {
+  IDXSEL_CHECK(inner != nullptr);
+}
+
+double FaultInjectingBackend::Corrupt(double truthful) const {
+  const uint64_t call = stats_.calls++;
+  if (call < opts_.healthy_calls) return truthful;
+
+  // Transient outage window dominates every probabilistic draw.
+  if (opts_.fail_burst > 0 && call >= opts_.fail_after_calls &&
+      call < opts_.fail_after_calls + opts_.fail_burst) {
+    ++stats_.injected_outage;
+    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  if (opts_.latency_probability > 0.0 &&
+      rng_.NextDouble() < opts_.latency_probability) {
+    ++stats_.injected_latency;
+    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts_.latency_seconds));
+  }
+
+  // Value corruptions are mutually exclusive: one draw, first band wins —
+  // keeps the draw count per call fixed so seeds stay comparable across
+  // option changes.
+  const double draw = rng_.NextDouble();
+  double band = opts_.nan_probability;
+  if (draw < band) {
+    ++stats_.injected_nan;
+    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  band += opts_.inf_probability;
+  if (draw < band) {
+    ++stats_.injected_inf;
+    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+    return std::numeric_limits<double>::infinity();
+  }
+  band += opts_.negative_probability;
+  if (draw < band) {
+    ++stats_.injected_negative;
+    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+    return truthful != 0.0 ? -truthful : -1.0;
+  }
+  return truthful;
+}
+
+double FaultInjectingBackend::BaseCost(costmodel::QueryId j) const {
+  return Corrupt(inner_->BaseCost(j));
+}
+
+double FaultInjectingBackend::CostWithIndex(costmodel::QueryId j,
+                                            const costmodel::Index& k) const {
+  return Corrupt(inner_->CostWithIndex(j, k));
+}
+
+double FaultInjectingBackend::CostWithConfig(
+    costmodel::QueryId j, const costmodel::IndexConfig& config) const {
+  return Corrupt(inner_->CostWithConfig(j, config));
+}
+
+double FaultInjectingBackend::IndexMemory(const costmodel::Index& k) const {
+  return Corrupt(inner_->IndexMemory(k));
+}
+
+double FaultInjectingBackend::MaintenanceCost(costmodel::QueryId j,
+                                              const costmodel::Index& k) const {
+  return Corrupt(inner_->MaintenanceCost(j, k));
+}
+
+}  // namespace idxsel::rt

@@ -1,0 +1,103 @@
+// Fault-injecting what-if backend — the chaos half of idxsel::rt.
+//
+// Production what-if optimizers misbehave: they return garbage estimates
+// (NaN/Inf after arithmetic overflow, negative costs from broken
+// statistics), stall under load, and fail transiently. A selection
+// pipeline that feeds such values into benefit ratios or branch-and-bound
+// bounds corrupts its output silently. FaultInjectingBackend decorates any
+// costmodel::WhatIfBackend with deterministic, seeded injection of exactly
+// these failure modes so tests and benches can prove the pipeline
+// tolerates them (WhatIfEngine sanitizes; see doc/robustness.md).
+//
+// Injection is reproducible: the same seed and call sequence produce the
+// same faults, independent of wall-clock time or platform (common/random.h
+// xoshiro streams). Every injected fault is counted per kind and mirrored
+// onto the process-wide "idxsel.rt.fault_injected" counter in IDXSEL_OBS
+// builds.
+
+#ifndef IDXSEL_RT_FAULT_INJECTION_H_
+#define IDXSEL_RT_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "costmodel/what_if.h"
+
+namespace idxsel::rt {
+
+/// Knobs of the chaos backend. All probabilities are per backend call and
+/// independent; value corruptions are mutually exclusive per call (first
+/// matching draw wins).
+struct FaultInjectionOptions {
+  uint64_t seed = 1;  ///< Same seed + call order => same fault sequence.
+
+  // Value corruption (applies to costs and index sizes).
+  double nan_probability = 0.0;       ///< Return quiet NaN.
+  double inf_probability = 0.0;       ///< Return +infinity.
+  double negative_probability = 0.0;  ///< Negate the true value (or -1).
+
+  // Spurious latency: with `latency_probability`, sleep `latency_seconds`
+  // before answering — a stalled optimizer under load.
+  double latency_probability = 0.0;
+  double latency_seconds = 0.0;
+
+  /// Transient outage: calls [fail_after_calls, fail_after_calls +
+  /// fail_burst) return NaN regardless of the probabilistic draws, then
+  /// the backend recovers. 0 burst = no outage.
+  uint64_t fail_after_calls = 0;
+  uint64_t fail_burst = 0;
+
+  /// The first `healthy_calls` calls are never corrupted (lets tests warm
+  /// caches with truthful values before the chaos starts).
+  uint64_t healthy_calls = 0;
+};
+
+/// Per-kind injection counters.
+struct FaultInjectionStats {
+  uint64_t calls = 0;
+  uint64_t injected_nan = 0;
+  uint64_t injected_inf = 0;
+  uint64_t injected_negative = 0;
+  uint64_t injected_latency = 0;
+  uint64_t injected_outage = 0;
+
+  uint64_t total_injected() const {
+    return injected_nan + injected_inf + injected_negative +
+           injected_latency + injected_outage;
+  }
+};
+
+/// Decorator over any WhatIfBackend. Not thread-safe (the decorated
+/// pipeline is single-threaded today; the PRNG draw is the shared state).
+class FaultInjectingBackend : public costmodel::WhatIfBackend {
+ public:
+  /// `inner` is not owned and must outlive the decorator.
+  FaultInjectingBackend(const costmodel::WhatIfBackend* inner,
+                        const FaultInjectionOptions& options);
+
+  double BaseCost(costmodel::QueryId j) const override;
+  double CostWithIndex(costmodel::QueryId j,
+                       const costmodel::Index& k) const override;
+  double CostWithConfig(costmodel::QueryId j,
+                        const costmodel::IndexConfig& config) const override;
+  double IndexMemory(const costmodel::Index& k) const override;
+  double MaintenanceCost(costmodel::QueryId j,
+                         const costmodel::Index& k) const override;
+
+  const FaultInjectionStats& stats() const { return stats_; }
+
+ private:
+  /// Applies latency + value corruption to one truthful answer.
+  double Corrupt(double truthful) const;
+
+  const costmodel::WhatIfBackend* inner_;
+  FaultInjectionOptions opts_;
+  // WhatIfBackend's interface is const; the chaos state (PRNG position,
+  // call counter, stats) is the decorator's own business.
+  mutable Rng rng_;
+  mutable FaultInjectionStats stats_;
+};
+
+}  // namespace idxsel::rt
+
+#endif  // IDXSEL_RT_FAULT_INJECTION_H_

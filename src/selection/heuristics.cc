@@ -10,12 +10,15 @@ namespace idxsel::selection {
 namespace {
 
 /// Walks `ranking` (already ordered best-first) and takes every candidate
-/// that still fits the budget.
+/// that still fits the budget. Expiry stops the walk: every candidate
+/// accepted before the cut stays — the fill is anytime.
 IndexConfig GreedyFill(WhatIfEngine& engine, const CandidateSet& candidates,
-                       const std::vector<uint32_t>& ranking, double budget) {
+                       const std::vector<uint32_t>& ranking, double budget,
+                       rt::DeadlinePoller& poller) {
   IndexConfig config;
   double used = 0.0;
   for (uint32_t c : ranking) {
+    if (poller.Expired()) break;
     const double mem = engine.IndexMemory(candidates[c]);
     if (used + mem > budget) continue;
     if (config.Insert(candidates[c])) used += mem;
@@ -24,13 +27,17 @@ IndexConfig GreedyFill(WhatIfEngine& engine, const CandidateSet& candidates,
 }
 
 SelectionResult Finish(std::string name, WhatIfEngine& engine,
-                       IndexConfig config, double selector_seconds) {
+                       IndexConfig config, double selector_seconds,
+                       bool timed_out) {
   SelectionResult result;
   result.name = std::move(name);
   result.memory = engine.ConfigMemory(config);
   result.objective = engine.WorkloadCost(config);
   result.selection = std::move(config);
   result.runtime_seconds = selector_seconds;
+  result.status = timed_out
+                      ? Status::Timeout(result.name + ": deadline expired")
+                      : Status::Ok();
   IDXSEL_OBS_ONLY(
       obs::Registry::Default()
           .GetCounter("idxsel.heuristics." + result.name + ".runs")
@@ -55,9 +62,11 @@ double StaticBenefit(WhatIfEngine& engine, const Index& k) {
 
 SelectionResult SelectRuleBased(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
-                                RuleHeuristic heuristic) {
+                                RuleHeuristic heuristic,
+                                const rt::Deadline& deadline) {
   IDXSEL_OBS_SPAN(span, "strategy", "heuristics.rule_based");
   Stopwatch watch;
+  rt::DeadlinePoller poller(deadline);
   const workload::Workload& workload = engine.workload();
 
   // Lower score = better.
@@ -80,36 +89,41 @@ SelectionResult SelectRuleBased(WhatIfEngine& engine,
     return 0.0;
   };
 
-  std::vector<std::pair<double, uint32_t>> scored(candidates.size());
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(candidates.size());
   for (uint32_t c = 0; c < candidates.size(); ++c) {
-    scored[c] = {score_of(candidates[c]), c};
+    if (poller.Expired()) break;  // rank (and fill from) what was scored
+    scored.emplace_back(score_of(candidates[c]), c);
   }
   std::sort(scored.begin(), scored.end());
   std::vector<uint32_t> ranking(scored.size());
   for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, candidates, ranking, budget);
+  IndexConfig config = GreedyFill(engine, candidates, ranking, budget, poller);
   const double seconds = watch.ElapsedSeconds();
   const char* name = heuristic == RuleHeuristic::kH1
                          ? "H1"
                          : (heuristic == RuleHeuristic::kH2 ? "H2" : "H3");
-  return Finish(name, engine, std::move(config), seconds);
+  return Finish(name, engine, std::move(config), seconds, poller.expired());
 }
 
 SelectionResult SelectByBenefit(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
-                                bool use_skyline) {
+                                bool use_skyline,
+                                const rt::Deadline& deadline) {
   IDXSEL_OBS_SPAN(span, "strategy", "heuristics.by_benefit");
+  rt::DeadlinePoller poller(deadline);
   const CandidateSet* pool = &candidates;
   CandidateSet filtered;
   if (use_skyline) {
-    filtered = candidates::SkylineFilter(candidates, engine);
+    filtered = candidates::SkylineFilter(candidates, engine, deadline);
     pool = &filtered;
   }
   Stopwatch watch;
   std::vector<std::pair<double, uint32_t>> scored;
   scored.reserve(pool->size());
   for (uint32_t c = 0; c < pool->size(); ++c) {
+    if (poller.Expired()) break;
     const double benefit = StaticBenefit(engine, (*pool)[c]);
     if (benefit > 0.0) scored.emplace_back(-benefit, c);
   }
@@ -117,20 +131,23 @@ SelectionResult SelectByBenefit(WhatIfEngine& engine,
   std::vector<uint32_t> ranking(scored.size());
   for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, *pool, ranking, budget);
+  IndexConfig config = GreedyFill(engine, *pool, ranking, budget, poller);
   const double seconds = watch.ElapsedSeconds();
   return Finish(use_skyline ? "H4+skyline" : "H4", engine, std::move(config),
-                seconds);
+                seconds, poller.expired());
 }
 
 SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
                                        const CandidateSet& candidates,
-                                       double budget) {
+                                       double budget,
+                                       const rt::Deadline& deadline) {
   IDXSEL_OBS_SPAN(span, "strategy", "heuristics.by_benefit_per_size");
   Stopwatch watch;
+  rt::DeadlinePoller poller(deadline);
   std::vector<std::pair<double, uint32_t>> scored;
   scored.reserve(candidates.size());
   for (uint32_t c = 0; c < candidates.size(); ++c) {
+    if (poller.Expired()) break;
     const double benefit = StaticBenefit(engine, candidates[c]);
     if (benefit <= 0.0) continue;
     const double mem = engine.IndexMemory(candidates[c]);
@@ -140,9 +157,9 @@ SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
   std::vector<uint32_t> ranking(scored.size());
   for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, candidates, ranking, budget);
+  IndexConfig config = GreedyFill(engine, candidates, ranking, budget, poller);
   const double seconds = watch.ElapsedSeconds();
-  return Finish("H5", engine, std::move(config), seconds);
+  return Finish("H5", engine, std::move(config), seconds, poller.expired());
 }
 
 }  // namespace idxsel::selection

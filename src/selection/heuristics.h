@@ -23,6 +23,8 @@
 #include <string>
 
 #include "candidates/candidates.h"
+#include "common/deadline.h"
+#include "common/status.h"
 #include "costmodel/index.h"
 #include "costmodel/what_if.h"
 
@@ -41,26 +43,35 @@ struct SelectionResult {
   double memory = 0.0;     ///< P(selection) in bytes.
   double runtime_seconds = 0.0;  ///< Selector time excluding what-if calls
                                  ///< issued for the final objective.
+  /// OK on natural termination; Timeout when the deadline cut the run
+  /// short. The greedy fills are anytime: on timeout the selection holds
+  /// every candidate accepted so far — feasible under the budget, just
+  /// ranked/filled from a truncated scoring pass.
+  Status status;
 };
 
 /// Enumerates the heuristics for table-driven benches/tests.
 enum class RuleHeuristic { kH1, kH2, kH3 };
 
 /// (H1)-(H3): rule-based scores; no what-if calls are needed to rank.
+/// All selectors poll `deadline` per candidate (scoring and fill); the
+/// default is unbounded, preserving the original exhaustive behaviour.
 SelectionResult SelectRuleBased(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
-                                RuleHeuristic heuristic);
+                                RuleHeuristic heuristic,
+                                const rt::Deadline& deadline = rt::Deadline());
 
 /// (H4): greedy by individually-measured benefit. When `use_skyline` is
 /// set, dominated candidates are removed first (the skyline method).
 SelectionResult SelectByBenefit(WhatIfEngine& engine,
                                 const CandidateSet& candidates, double budget,
-                                bool use_skyline);
+                                bool use_skyline,
+                                const rt::Deadline& deadline = rt::Deadline());
 
 /// (H5): greedy by individually-measured benefit per byte.
-SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
-                                       const CandidateSet& candidates,
-                                       double budget);
+SelectionResult SelectByBenefitPerSize(
+    WhatIfEngine& engine, const CandidateSet& candidates, double budget,
+    const rt::Deadline& deadline = rt::Deadline());
 
 }  // namespace idxsel::selection
 

@@ -195,6 +195,10 @@ Result<NamedWorkload> ParseWorkload(const std::string& text) {
     }
   }
 
+  if (!have_table) {
+    return Status::InvalidArgument(
+        "workload defines no tables (empty or comment-only input)");
+  }
   w.Finalize();
   const Status valid = w.Validate();
   if (!valid.ok()) return valid;
@@ -209,9 +213,14 @@ Result<NamedWorkload> LoadWorkloadFile(const std::string& path) {
   return ParseWorkload(buffer.str());
 }
 
-std::string FormatWorkload(const Workload& workload,
-                           const std::vector<std::string>& names) {
-  IDXSEL_CHECK_EQ(names.size(), workload.num_attributes());
+Result<std::string> FormatWorkload(const Workload& workload,
+                                   const std::vector<std::string>& names) {
+  if (names.size() != workload.num_attributes()) {
+    return Status::InvalidArgument(
+        "attribute name count (" + std::to_string(names.size()) +
+        ") does not match workload attributes (" +
+        std::to_string(workload.num_attributes()) + ")");
+  }
   auto local_name = [&](AttributeId a) {
     const std::string& full = names[a];
     const size_t dot = full.find('.');

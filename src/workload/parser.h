@@ -23,16 +23,20 @@
 namespace idxsel::workload {
 
 /// Parses a workload description; the result is finalized and validated.
+/// Inputs that define no table at all (empty file, comments only) are
+/// rejected with kInvalidArgument — a tuning problem needs a schema.
 Result<NamedWorkload> ParseWorkload(const std::string& text);
 
 /// Reads `path` and parses it.
 Result<NamedWorkload> LoadWorkloadFile(const std::string& path);
 
 /// Renders `workload` back into the textual format (round-trips through
-/// ParseWorkload). `names` must be indexed by AttributeId; pass the names
-/// from a NamedWorkload or synthesize them.
-std::string FormatWorkload(const Workload& workload,
-                           const std::vector<std::string>& names);
+/// ParseWorkload). `names` must be indexed by AttributeId (pass the names
+/// from a NamedWorkload or synthesize them); a mismatched name count is
+/// reported as kInvalidArgument, not a process abort — callers feeding
+/// user-assembled names get an error they can handle.
+Result<std::string> FormatWorkload(const Workload& workload,
+                                   const std::vector<std::string>& names);
 
 }  // namespace idxsel::workload
 

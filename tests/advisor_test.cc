@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "advisor/advisor.h"
+#include "common/deadline.h"
 #include "costmodel/cost_model.h"
 #include "workload/scalable_generator.h"
 
@@ -131,6 +134,84 @@ TEST(AdvisorTest, ReportUsesAttributeNames) {
   ASSERT_FALSE(rec->selection.empty());
   const std::string report = RenderReport(*env.engine, *rec, &names);
   EXPECT_NE(report.find("col_"), std::string::npos);
+}
+
+// -- Deadline / anytime semantics --------------------------------------------
+
+class AdvisorDeadlineTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AdvisorDeadlineTest, ZeroTimeLimitReturnsIncumbentWithTimeout) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.strategy = GetParam();
+  options.budget_fraction = 0.25;
+  options.time_limit_seconds = 0.0;
+  auto rec = Recommend(*env.engine, options);
+  // Anytime contract: Recommend() stays ok() and reports the DNF in-band.
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->status.code(), StatusCode::kTimeout)
+      << StrategyName(GetParam());
+  EXPECT_TRUE(rec->dnf);
+  EXPECT_TRUE(rec->degraded);
+  // The incumbent is feasible and cost_after reflects it.
+  EXPECT_LE(rec->memory, rec->budget + 1e-6);
+  EXPECT_NEAR(rec->cost_after, env.engine->WorkloadCost(rec->selection),
+              rec->cost_after * 1e-9 + 1e-9);
+  EXPECT_TRUE(std::isfinite(rec->cost_after));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, AdvisorDeadlineTest,
+    ::testing::Values(StrategyKind::kRecursive, StrategyKind::kH1,
+                      StrategyKind::kH2, StrategyKind::kH3,
+                      StrategyKind::kH4, StrategyKind::kH4Skyline,
+                      StrategyKind::kH5, StrategyKind::kCophy));
+
+TEST(AdvisorTest, CancellationTokenTriggersTimeout) {
+  TestEnv env;
+  rt::CancellationToken token;
+  token.RequestCancel();
+  AdvisorOptions options;
+  options.cancellation = &token;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->status.code(), StatusCode::kTimeout);
+  EXPECT_TRUE(rec->dnf);
+  EXPECT_LE(rec->memory, rec->budget + 1e-6);
+}
+
+TEST(AdvisorTest, FallbackPolicyNoneKeepsPrimaryIncumbent) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.time_limit_seconds = 0.0;
+  options.fallback = FallbackPolicy::kNone;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->status.code(), StatusCode::kTimeout);
+  EXPECT_FALSE(rec->fell_back);
+  EXPECT_EQ(rec->executed_strategy, StrategyKind::kRecursive);
+}
+
+TEST(AdvisorTest, GenerousDeadlineDoesNotDegrade) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.time_limit_seconds = 300.0;  // plenty for this tiny workload
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->status.ok()) << rec->status.ToString();
+  EXPECT_FALSE(rec->dnf);
+  EXPECT_FALSE(rec->degraded);
+  EXPECT_FALSE(rec->fell_back);
+}
+
+TEST(AdvisorTest, TimedOutReportMentionsDnf) {
+  TestEnv env;
+  AdvisorOptions options;
+  options.time_limit_seconds = 0.0;
+  auto rec = Recommend(*env.engine, options);
+  ASSERT_TRUE(rec.ok());
+  const std::string report = RenderReport(*env.engine, *rec);
+  EXPECT_NE(report.find("DNF"), std::string::npos);
 }
 
 TEST(AdvisorTest, StrategyNamesAreDistinct) {

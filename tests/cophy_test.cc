@@ -156,6 +156,21 @@ TEST(SolveCophyTest, DnfOnImpossibleDeadline) {
             s.model->Budget(0.3) + 1e-6);
 }
 
+TEST(SolveCophyTest, DnfOnExpiredAdvisorDeadline) {
+  // An rt::Deadline that is already expired (the advisor's global budget
+  // running out mid-pipeline) must yield a DNF with a feasible incumbent,
+  // even though branch-and-bound "finishes" the truncated instance.
+  TestEnv s(40, 16);
+  const CandidateSet cands = EnumerateAllCandidates(s.w, 4);
+  mip::SolveOptions opts;
+  opts.deadline = rt::Deadline::After(0.0);
+  const double budget = s.model->Budget(0.3);
+  const CophyResult result = SolveCophy(*s.engine, cands, budget, opts);
+  EXPECT_TRUE(result.dnf);
+  EXPECT_EQ(result.status.code(), StatusCode::kTimeout);
+  EXPECT_LE(s.engine->ConfigMemory(result.selection), budget + 1e-6);
+}
+
 // The explicit LP relaxation must lower-bound the integer optimum, and the
 // integer optimum must be achievable by an integral LP point.
 TEST(LpRelaxationTest, LowerBoundsIntegerOptimum) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.h"
 #include "common/random.h"
 #include "mip/branch_and_bound.h"
 #include "mip/problem.h"
@@ -181,6 +182,32 @@ TEST(BranchAndBoundTest, TimeLimitReportsTimeoutWithIncumbent) {
   EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
   EXPECT_FALSE(r.proven_optimal);
   // Incumbent from the root greedy is still a valid selection.
+  EXPECT_LE(Memory(p, r.selected), p.budget + 1e-9);
+  EXPECT_NEAR(Evaluate(p, r.selected), r.objective, 1e-6);
+}
+
+TEST(BranchAndBoundTest, ExpiredDeadlineReportsTimeoutWithIncumbent) {
+  Problem p = RandomProblem(5, 60, 40);
+  p.Canonicalize();
+  SolveOptions opts;
+  opts.deadline = rt::Deadline::After(0.0);  // expired on arrival
+  const SolveResult r = Solve(p, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
+  EXPECT_FALSE(r.proven_optimal);
+  // The greedy root incumbent survives the cut and is feasible.
+  EXPECT_LE(Memory(p, r.selected), p.budget + 1e-9);
+  EXPECT_NEAR(Evaluate(p, r.selected), r.objective, 1e-6);
+}
+
+TEST(BranchAndBoundTest, CancellationStopsSearchWithIncumbent) {
+  Problem p = RandomProblem(6, 60, 40);
+  p.Canonicalize();
+  rt::CancellationToken token;
+  token.RequestCancel();
+  SolveOptions opts;
+  opts.deadline.set_cancellation(&token);
+  const SolveResult r = Solve(p, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kTimeout);
   EXPECT_LE(Memory(p, r.selected), p.budget + 1e-9);
   EXPECT_NEAR(Evaluate(p, r.selected), r.objective, 1e-6);
 }

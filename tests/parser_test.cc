@@ -111,9 +111,9 @@ TEST(ParserTest, ErrorsCarryLineNumbers) {
 TEST(ParserTest, RoundTripsThroughFormat) {
   auto parsed = ParseWorkload(kValid);
   ASSERT_TRUE(parsed.ok());
-  const std::string formatted =
-      FormatWorkload(parsed->workload, parsed->attribute_names);
-  auto reparsed = ParseWorkload(formatted);
+  auto formatted = FormatWorkload(parsed->workload, parsed->attribute_names);
+  ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+  auto reparsed = ParseWorkload(*formatted);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   const Workload& a = parsed->workload;
   const Workload& b = reparsed->workload;
@@ -127,9 +127,9 @@ TEST(ParserTest, RoundTripsThroughFormat) {
 
 TEST(ParserTest, TpccRoundTrip) {
   const NamedWorkload tpcc = MakeTpccWorkload(10);
-  const std::string formatted =
-      FormatWorkload(tpcc.workload, tpcc.attribute_names);
-  auto reparsed = ParseWorkload(formatted);
+  auto formatted = FormatWorkload(tpcc.workload, tpcc.attribute_names);
+  ASSERT_TRUE(formatted.ok()) << formatted.status().ToString();
+  auto reparsed = ParseWorkload(*formatted);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
   EXPECT_EQ(reparsed->workload.num_queries(), tpcc.workload.num_queries());
   EXPECT_EQ(reparsed->workload.num_attributes(),
@@ -151,6 +151,48 @@ TEST(ParserTest, MissingFileIsNotFound) {
   auto parsed = LoadWorkloadFile("/nonexistent/idxsel.wl");
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+// -- Malformed-input robustness (no aborts, typed errors) --------------------
+
+TEST(ParserTest, EmptyInputIsInvalidArgument) {
+  auto parsed = ParseWorkload("");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("no tables"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ParserTest, CommentOnlyInputIsInvalidArgument) {
+  auto parsed = ParseWorkload("# just a comment\n\n   \n# another\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, TruncatedHeaderIsInvalidArgument) {
+  // A file cut off mid-header: the table line survives, its rows= did not.
+  auto parsed = ParseWorkload("table orders ro");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, FormatRejectsAttributeCountMismatch) {
+  auto parsed = ParseWorkload(kValid);
+  ASSERT_TRUE(parsed.ok());
+
+  std::vector<std::string> too_few(parsed->attribute_names.begin(),
+                                   parsed->attribute_names.end() - 1);
+  auto formatted = FormatWorkload(parsed->workload, too_few);
+  ASSERT_FALSE(formatted.ok());
+  EXPECT_EQ(formatted.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(formatted.status().message().find("does not match"),
+            std::string::npos)
+      << formatted.status().ToString();
+
+  auto empty = FormatWorkload(parsed->workload, {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -174,8 +174,9 @@ TEST_P(CrossSeedTest, FormatParseRoundTripPreservesSelectionBehaviour) {
     names.push_back(env.w.table(env.w.attribute(i).table).name + ".c" +
                     std::to_string(i));
   }
-  const std::string text = workload::FormatWorkload(env.w, names);
-  auto reparsed = workload::ParseWorkload(text);
+  auto text = workload::FormatWorkload(env.w, names);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto reparsed = workload::ParseWorkload(*text);
   ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
 
   const CostModel model2(&reparsed->workload);
