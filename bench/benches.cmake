@@ -5,7 +5,8 @@
 function(idxsel_bench name)
   add_executable(${name} bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
-    idxsel_common idxsel_obs idxsel_workload idxsel_costmodel idxsel_rt
+    idxsel_common idxsel_obs idxsel_exec idxsel_workload idxsel_costmodel
+    idxsel_rt
     idxsel_candidates idxsel_lp idxsel_mip idxsel_cophy idxsel_selection
     idxsel_core
     idxsel_engine idxsel_frontier idxsel_advisor idxsel_analysis)
@@ -31,6 +32,7 @@ idxsel_bench(bench_compression)
 idxsel_bench(bench_updates)
 idxsel_bench(bench_shuffle)
 idxsel_bench(bench_robustness)
+idxsel_bench(bench_parallel)
 idxsel_gbench(bench_engine_micro)
 idxsel_gbench(bench_solver_micro)
 idxsel_gbench(bench_obs_micro)

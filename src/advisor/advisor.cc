@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "candidates/candidates.h"
 #include "common/format.h"
 #include "common/stopwatch.h"
 #include "cophy/cophy.h"
 #include "costmodel/ddl.h"
+#include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "selection/heuristics.h"
 
@@ -16,6 +19,84 @@ namespace {
 
 bool NeedsCandidates(StrategyKind kind) {
   return kind != StrategyKind::kRecursive;
+}
+
+/// What one strategy lane produced. `hard_error` marks a failure that is
+/// neither a clean finish nor an anytime timeout (e.g. solver breakdown):
+/// in single-strategy mode it may surface as Recommend()'s error; in a
+/// portfolio race the lane simply cannot win.
+struct StrategyOutcome {
+  IndexConfig selection;
+  Status status;
+  std::vector<core::ConstructionStep> trace;
+  bool hard_error = false;
+};
+
+/// Runs one strategy to completion. Thread-safe: WhatIfEngine is
+/// concurrency-safe and each lane owns its outcome; `candidate_set` is
+/// shared read-only.
+StrategyOutcome RunStrategy(WhatIfEngine& engine, StrategyKind kind,
+                            const AdvisorOptions& options, double budget,
+                            const candidates::CandidateSet& candidate_set,
+                            const rt::Deadline& deadline,
+                            bool advisor_bounded, size_t threads) {
+  StrategyOutcome out;
+  switch (kind) {
+    case StrategyKind::kRecursive: {
+      core::RecursiveOptions recursive = options.recursive;
+      recursive.budget = budget;
+      recursive.threads = threads;
+      if (advisor_bounded) recursive.deadline = deadline;
+      core::RecursiveResult result = core::SelectRecursive(engine, recursive);
+      out.selection = std::move(result.selection);
+      out.trace = std::move(result.trace);
+      out.status = std::move(result.status);
+      break;
+    }
+    case StrategyKind::kH1:
+    case StrategyKind::kH2:
+    case StrategyKind::kH3: {
+      const selection::RuleHeuristic rule =
+          kind == StrategyKind::kH1
+              ? selection::RuleHeuristic::kH1
+              : (kind == StrategyKind::kH2 ? selection::RuleHeuristic::kH2
+                                           : selection::RuleHeuristic::kH3);
+      selection::SelectionResult result = selection::SelectRuleBased(
+          engine, candidate_set, budget, rule, deadline);
+      out.selection = std::move(result.selection);
+      out.status = std::move(result.status);
+      break;
+    }
+    case StrategyKind::kH4:
+    case StrategyKind::kH4Skyline: {
+      selection::SelectionResult result = selection::SelectByBenefit(
+          engine, candidate_set, budget,
+          kind == StrategyKind::kH4Skyline, deadline);
+      out.selection = std::move(result.selection);
+      out.status = std::move(result.status);
+      break;
+    }
+    case StrategyKind::kH5: {
+      selection::SelectionResult result = selection::SelectByBenefitPerSize(
+          engine, candidate_set, budget, deadline);
+      out.selection = std::move(result.selection);
+      out.status = std::move(result.status);
+      break;
+    }
+    case StrategyKind::kCophy: {
+      mip::SolveOptions solver = options.solver;
+      solver.threads = threads;
+      if (advisor_bounded) solver.deadline = deadline;
+      cophy::CophyResult result =
+          cophy::SolveCophy(engine, candidate_set, budget, solver);
+      out.hard_error = !result.status.ok() &&
+                       result.status.code() != StatusCode::kTimeout;
+      out.selection = std::move(result.selection);
+      out.status = std::move(result.status);
+      break;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -115,8 +196,23 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   {
   IDXSEL_OBS_SPAN(recommend_span, "advisor", "advisor.recommend");
 
+  // The race list: the primary strategy first, then each distinct
+  // portfolio entry in the order given — the deterministic tie-break
+  // order of the race.
+  std::vector<StrategyKind> lanes{options.strategy};
+  for (StrategyKind extra : options.portfolio) {
+    if (std::find(lanes.begin(), lanes.end(), extra) == lanes.end()) {
+      lanes.push_back(extra);
+    }
+  }
+  const size_t threads = exec::ResolveThreads(options.threads);
+
   candidates::CandidateSet candidate_set;
-  if (NeedsCandidates(options.strategy)) {
+  bool need_candidates = false;
+  for (StrategyKind lane : lanes) {
+    need_candidates = need_candidates || NeedsCandidates(lane);
+  }
+  if (need_candidates) {
     if (options.candidate_limit == 0) {
       candidate_set = candidates::EnumerateAllCandidates(
           engine.workload(), options.candidate_max_width, deadline);
@@ -127,62 +223,82 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
     }
   }
 
-  switch (options.strategy) {
-    case StrategyKind::kRecursive: {
-      core::RecursiveOptions recursive = options.recursive;
-      recursive.budget = rec.budget;
-      if (advisor_bounded) recursive.deadline = deadline;
-      core::RecursiveResult result = core::SelectRecursive(engine, recursive);
-      rec.selection = std::move(result.selection);
-      rec.trace = std::move(result.trace);
-      rec.status = std::move(result.status);
-      break;
+  if (lanes.size() == 1) {
+    StrategyOutcome out =
+        RunStrategy(engine, options.strategy, options, rec.budget,
+                    candidate_set, deadline, advisor_bounded, threads);
+    if (out.hard_error && options.fallback == FallbackPolicy::kNone) {
+      return out.status;
     }
-    case StrategyKind::kH1:
-    case StrategyKind::kH2:
-    case StrategyKind::kH3: {
-      const selection::RuleHeuristic rule =
-          options.strategy == StrategyKind::kH1
-              ? selection::RuleHeuristic::kH1
-              : (options.strategy == StrategyKind::kH2
-                     ? selection::RuleHeuristic::kH2
-                     : selection::RuleHeuristic::kH3);
-      selection::SelectionResult result = selection::SelectRuleBased(
-          engine, candidate_set, rec.budget, rule, deadline);
-      rec.selection = std::move(result.selection);
-      rec.status = std::move(result.status);
-      break;
+    rec.selection = std::move(out.selection);
+    rec.trace = std::move(out.trace);
+    rec.status = std::move(out.status);
+  } else {
+    // Portfolio race. Lanes share the WhatIfEngine (concurrency-safe, so
+    // one lane's what-if work warms the others' caches) and split the
+    // thread budget evenly for their own inner parallelism. The winner is
+    // chosen by inspection after all lanes return — never by finish
+    // order — so the recommendation is deterministic.
+    IDXSEL_OBS_SPAN(portfolio_span, "advisor", "advisor.portfolio");
+    const size_t inner_threads = std::max<size_t>(1, threads / lanes.size());
+    std::vector<StrategyOutcome> outcomes(lanes.size());
+    auto run_lane = [&](size_t i) {
+      outcomes[i] =
+          RunStrategy(engine, lanes[i], options, rec.budget, candidate_set,
+                      deadline, advisor_bounded, inner_threads);
+    };
+    if (threads > 1) {
+      exec::ThreadPool pool(std::min(threads, lanes.size()));
+      pool.ParallelFor(lanes.size(), run_lane, /*grain=*/1);
+    } else {
+      for (size_t i = 0; i < lanes.size(); ++i) run_lane(i);
     }
-    case StrategyKind::kH4:
-    case StrategyKind::kH4Skyline: {
-      selection::SelectionResult result = selection::SelectByBenefit(
-          engine, candidate_set, rec.budget,
-          options.strategy == StrategyKind::kH4Skyline, deadline);
-      rec.selection = std::move(result.selection);
-      rec.status = std::move(result.status);
-      break;
-    }
-    case StrategyKind::kH5: {
-      selection::SelectionResult result = selection::SelectByBenefitPerSize(
-          engine, candidate_set, rec.budget, deadline);
-      rec.selection = std::move(result.selection);
-      rec.status = std::move(result.status);
-      break;
-    }
-    case StrategyKind::kCophy: {
-      mip::SolveOptions solver = options.solver;
-      if (advisor_bounded) solver.deadline = deadline;
-      cophy::CophyResult result =
-          cophy::SolveCophy(engine, candidate_set, rec.budget, solver);
-      if (!result.status.ok() &&
-          result.status.code() != StatusCode::kTimeout &&
-          options.fallback == FallbackPolicy::kNone) {
-        return result.status;
+
+    // Deterministic reduction: lowest workload cost among feasible lanes;
+    // strict `<` keeps the earliest lane (primary, then portfolio order)
+    // on ties. Hard-errored lanes cannot win; deadline-hit lanes compete
+    // with their anytime incumbents.
+    size_t winner = lanes.size();
+    double winner_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      if (outcomes[i].hard_error) continue;
+      if (engine.ConfigMemory(outcomes[i].selection) >
+          rec.budget * (1.0 + 1e-9)) {
+        continue;
       }
-      rec.selection = std::move(result.selection);
-      rec.status = std::move(result.status);
-      break;
+      const double cost = engine.WorkloadCost(outcomes[i].selection);
+      if (cost < winner_cost) {
+        winner_cost = cost;
+        winner = i;
+      }
     }
+    if (winner == lanes.size()) {
+      // Every lane failed hard (or returned infeasible garbage); surface
+      // the primary's failure, optionally absorbed by the fallback below.
+      if (options.fallback == FallbackPolicy::kNone) {
+        return outcomes.front().status;
+      }
+      rec.status = std::move(outcomes.front().status);
+    } else {
+      rec.selection = std::move(outcomes[winner].selection);
+      rec.trace = std::move(outcomes[winner].trace);
+      rec.status = std::move(outcomes[winner].status);
+      rec.executed_strategy = lanes[winner];
+    }
+#if defined(IDXSEL_OBS)
+    {
+      obs::Registry& registry = obs::Registry::Default();
+      registry.GetCounter("idxsel.advisor.portfolio.races")->Add(1);
+      registry.GetCounter("idxsel.advisor.portfolio.lanes")
+          ->Add(lanes.size());
+      if (winner < lanes.size()) {
+        registry
+            .GetCounter(std::string("idxsel.strategy.") +
+                        StrategyKey(lanes[winner]) + ".portfolio_wins")
+            ->Add(1);
+      }
+    }
+#endif
   }
 
   // A strategy that completed just before the wire still consumed the

@@ -72,6 +72,27 @@ struct AdvisorOptions {
   core::RecursiveOptions recursive;     ///< H6 extensions (budget is set
                                         ///< by the advisor).
 
+  /// Worker threads for every parallel stage under this Recommend() call:
+  /// H6 round evaluation, MIP subtree exploration, and portfolio racing.
+  /// 0 = auto (exec::DefaultThreads(): the IDXSEL_THREADS env override, or
+  /// hardware_concurrency clamped to [1, 64]); 1 forces fully serial
+  /// execution; n = exactly n lanes. Overrides `recursive.threads` and
+  /// `solver.threads`. Auto is the default because parallel H6 and MIP
+  /// runs return the same recommendations as serial ones — see
+  /// doc/parallelism.md and EXPERIMENTS.md.
+  size_t threads = 0;
+  /// Portfolio racing: additional strategies run concurrently against
+  /// `strategy` under the same budget and deadline, each on its own lane
+  /// of the shared pool (serially, one after another, when only one
+  /// thread is available — same winner either way). The recommendation is
+  /// the feasible selection with the lowest workload cost; ties go to the
+  /// primary, then to portfolio order, so the winner is deterministic and
+  /// independent of which lane finishes first. A lane that hits the
+  /// deadline contributes its anytime incumbent; a lane that fails
+  /// outright contributes nothing. Empty = classic single-strategy mode.
+  /// See doc/parallelism.md ("Portfolio racing").
+  std::vector<StrategyKind> portfolio;
+
   /// Wall-clock budget for the whole Recommend() call (candidate
   /// generation + strategy + fallback bookkeeping); infinity = unbounded.
   /// When bounded, the derived rt::Deadline is threaded into every stage
@@ -113,7 +134,8 @@ struct Recommendation {
   /// heuristic's selection (only when the latter was strictly cheaper).
   bool fell_back = false;
   /// Strategy whose selection this actually is: `strategy` normally, the
-  /// fallback heuristic when `fell_back`.
+  /// fallback heuristic when `fell_back`, the race winner under
+  /// AdvisorOptions::portfolio.
   StrategyKind executed_strategy = StrategyKind::kRecursive;
   /// H6 only: the committed construction steps.
   std::vector<core::ConstructionStep> trace;

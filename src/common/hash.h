@@ -1,0 +1,38 @@
+// Hash mixing utilities shared by the caching layers.
+//
+// The what-if caches key on (query, index) and (query, configuration)
+// tuples. Their original hashes chained components with `h * 1000003 + x`,
+// which keeps most entropy in the high bits and leaves the low bits — the
+// ones both unordered_map bucketing and exec::ShardedMap shard selection
+// consume — clustered for sequential ids. SplitMix64 finalization spreads
+// every input bit across the whole word, so shard selection and bucket
+// masks see near-uniform keys (tested in whatif_test.cc's
+// collision-distribution suite).
+
+#ifndef IDXSEL_COMMON_HASH_H_
+#define IDXSEL_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace idxsel {
+
+/// SplitMix64 finalizer (Steele et al.): a cheap bijective mixer whose
+/// output passes avalanche tests — flipping any input bit flips each
+/// output bit with probability ~1/2.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of a running hash with one more component;
+/// both inputs are mixed so sequential ids cannot cancel.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                            (seed >> 2)));
+}
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_HASH_H_

@@ -1,10 +1,14 @@
 #include "core/recursive_selector.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "exec/shared_deadline.h"
+#include "exec/thread_pool.h"
 #include "obs/obs.h"
 
 namespace idxsel::core {
@@ -66,7 +70,10 @@ class Runner {
       : engine_(engine),
         w_(engine.workload()),
         opts_(opts),
-        poller_(opts.deadline) {}
+        poller_(opts.deadline),
+        threads_(exec::ResolveThreads(opts.threads)) {
+    if (threads_ > 1) pool_.emplace(threads_);
+  }
 
   RecursiveResult Run() {
     IDXSEL_OBS_SPAN(run_span, "selector", "h6.run");
@@ -312,6 +319,48 @@ class Runner {
     }
   }
 
+  /// Evaluates `n` independent units of move generation and reduces their
+  /// candidate moves into best/runner-up. `eval(u, out)` must append unit
+  /// u's moves to `out` in the order the serial code would have Considered
+  /// them, must not touch Runner state other than the (read-only during a
+  /// round) bookkeeping and the thread-safe engine, and must not Consider
+  /// itself.
+  ///
+  /// Serial path (threads == 1): evaluate-then-Consider per unit — the
+  /// same moves in the same order as the historical interleaved code,
+  /// since Consider only folds into best/runner-up, which no evaluation
+  /// reads. Parallel path: all units evaluate concurrently into per-unit
+  /// buffers, then one serial pass Considers them in unit order. Both
+  /// paths therefore Consider the identical move sequence: bit-identical
+  /// selections, FP sums, and telemetry regardless of thread count.
+  void EvaluateUnits(size_t n,
+                     const std::function<void(size_t, std::vector<Move>&)>& eval,
+                     Move* best, Move* runner_up) {
+    if (n == 0) return;
+    if (!pool_.has_value()) {
+      std::vector<Move> moves;
+      for (size_t u = 0; u < n; ++u) {
+        if (poller_.Expired()) return;
+        moves.clear();
+        eval(u, moves);
+        for (const Move& move : moves) Consider(move, best, runner_up);
+      }
+      return;
+    }
+    std::vector<std::vector<Move>> buffers(n);
+    pool_->ParallelFor(n, [&](size_t u) {
+      if (poller_.Expired()) return;
+      eval(u, buffers[u]);
+    });
+    // A deadline hit mid-evaluation leaves some buffers empty; the main
+    // loop discards the whole round (same contract as the serial early
+    // return), so skip the reduction.
+    if (poller_.expired()) return;
+    for (size_t u = 0; u < n; ++u) {
+      for (const Move& move : buffers[u]) Consider(move, best, runner_up);
+    }
+  }
+
   /// Benefit of creating single-attribute index {i} against the current
   /// state: sum_j b_j max(0, best_cost_j - f_j({i})).
   double SingleBenefit(workload::AttributeId i) {
@@ -329,12 +378,33 @@ class Runner {
   /// acted on.
   void RankSingles() {
     std::vector<std::pair<double, workload::AttributeId>> ranked;
-    ranked.reserve(w_.num_attributes());
-    for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
-      if (poller_.Expired()) break;
-      const double mem = engine_.IndexMemory(Index(i));
-      const double ratio = SingleBenefit(i) / std::max(1.0, mem);
-      ranked.emplace_back(-ratio, i);
+    if (!pool_.has_value()) {
+      ranked.reserve(w_.num_attributes());
+      for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
+        if (poller_.Expired()) break;
+        const double mem = engine_.IndexMemory(Index(i));
+        const double ratio = SingleBenefit(i) / std::max(1.0, mem);
+        ranked.emplace_back(-ratio, i);
+      }
+    } else {
+      // Each lane ranks its own attributes: SingleCosts(i) and the ready
+      // flag live in per-attribute slots (distinct memory locations), so
+      // the warm-up writes never collide; per-attribute FP sums run in the
+      // same within-attribute order as serial. An expiry mid-ranking
+      // leaves holes, but the latched verdict then prevents any round (and
+      // the repair pass) from consuming the ranking — same contract as the
+      // serial early break.
+      ranked.assign(w_.num_attributes(),
+                    {0.0, workload::AttributeId{0}});
+      pool_->ParallelFor(w_.num_attributes(), [&](size_t u) {
+        if (poller_.Expired()) return;
+        const workload::AttributeId i =
+            static_cast<workload::AttributeId>(u);
+        const double mem = engine_.IndexMemory(Index(i));
+        const double ratio = SingleBenefit(i) / std::max(1.0, mem);
+        ranked[u] = {-ratio, i};
+      });
+      if (poller_.expired()) ranked.clear();
     }
     std::sort(ranked.begin(), ranked.end());
     const size_t keep = std::min(opts_.n_best_singles, ranked.size());
@@ -347,57 +417,65 @@ class Runner {
   }
 
   void EvaluateNewSingles(Move* best, Move* runner_up) {
-    for (workload::AttributeId i : eligible_singles_) {
-      if (poller_.Expired()) return;
-      if (SingleSelected(i)) continue;  // step (3a): I and {i} disjoint
-      const Index k(i);
-      Move move;
-      move.kind = StepKind::kNewSingle;
-      move.after = k;
-      move.benefit = SingleBenefit(i) - ReconfigDelta(nullptr, k) -
-                     engine_.MaintenancePenalty(k);
-      move.memory_delta = engine_.IndexMemory(k);
-      Consider(move, best, runner_up);
-    }
+    EvaluateUnits(
+        eligible_singles_.size(),
+        [&](size_t u, std::vector<Move>& out) {
+          const workload::AttributeId i = eligible_singles_[u];
+          if (SingleSelected(i)) return;  // step (3a): I and {i} disjoint
+          const Index k(i);
+          Move move;
+          move.kind = StepKind::kNewSingle;
+          move.after = k;
+          move.benefit = SingleBenefit(i) - ReconfigDelta(nullptr, k) -
+                         engine_.MaintenancePenalty(k);
+          move.memory_delta = engine_.IndexMemory(k);
+          out.push_back(std::move(move));
+        },
+        best, runner_up);
   }
 
   void EvaluateAppends(Move* best, Move* runner_up) {
-    for (size_t pos = 0; pos < selected_.size(); ++pos) {
-      if (poller_.Expired()) return;
-      const Index& k = selected_[pos];
-      if (k.width() >= opts_.max_index_width) continue;
-      const double base_mem = engine_.IndexMemory(k);
+    EvaluateUnits(
+        selected_.size(),
+        [&](size_t pos, std::vector<Move>& out) {
+          const Index& k = selected_[pos];
+          if (k.width() >= opts_.max_index_width) return;
+          const double base_mem = engine_.IndexMemory(k);
 
-      // Accumulate benefit deltas per extension attribute by iterating the
-      // queries that fully cover k — the only ones whose cost can change.
-      std::unordered_map<workload::AttributeId, double> benefit;
-      std::unordered_map<workload::AttributeId, Index> extended;
-      for (workload::QueryId j : w_.queries_with(k.leading())) {
-        const auto& q_attrs = w_.query(j).attributes;
-        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
-        const double cost_without = CostWithout(j, pos);
-        for (workload::AttributeId a : q_attrs) {
-          if (k.Contains(a)) continue;
-          auto [it, inserted] = extended.try_emplace(a);
-          if (inserted) it->second = k.Append(a);
-          const double new_cost = std::min(
-              cost_without, engine_.CostWithIndex(j, it->second));
-          benefit[a] += w_.query(j).frequency * (best_cost_[j] - new_cost);
-        }
-      }
-      for (const auto& [a, gain] : benefit) {
-        const Index& k_ext = extended.at(a);
-        Move move;
-        move.kind = StepKind::kAppend;
-        move.selected_pos = pos;
-        move.after = k_ext;
-        move.benefit = gain - ReconfigDelta(&k, k_ext) -
-                       (engine_.MaintenancePenalty(k_ext) -
-                        engine_.MaintenancePenalty(k));
-        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
-        Consider(move, best, runner_up);
-      }
-    }
+          // Accumulate benefit deltas per extension attribute by iterating
+          // the queries that fully cover k — the only ones whose cost can
+          // change. The maps are unit-local, so their (deterministic)
+          // iteration order is identical in serial and parallel runs.
+          std::unordered_map<workload::AttributeId, double> benefit;
+          std::unordered_map<workload::AttributeId, Index> extended;
+          for (workload::QueryId j : w_.queries_with(k.leading())) {
+            const auto& q_attrs = w_.query(j).attributes;
+            if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+            const double cost_without = CostWithout(j, pos);
+            for (workload::AttributeId a : q_attrs) {
+              if (k.Contains(a)) continue;
+              auto [it, inserted] = extended.try_emplace(a);
+              if (inserted) it->second = k.Append(a);
+              const double new_cost = std::min(
+                  cost_without, engine_.CostWithIndex(j, it->second));
+              benefit[a] +=
+                  w_.query(j).frequency * (best_cost_[j] - new_cost);
+            }
+          }
+          for (const auto& [a, gain] : benefit) {
+            const Index& k_ext = extended.at(a);
+            Move move;
+            move.kind = StepKind::kAppend;
+            move.selected_pos = pos;
+            move.after = k_ext;
+            move.benefit = gain - ReconfigDelta(&k, k_ext) -
+                           (engine_.MaintenancePenalty(k_ext) -
+                            engine_.MaintenancePenalty(k));
+            move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+            out.push_back(std::move(move));
+          }
+        },
+        best, runner_up);
   }
 
   /// Remark 1(4): evaluate two-attribute moves. New pairs are seeded from
@@ -405,70 +483,77 @@ class Runner {
   /// co-occurring attributes at once.
   void EvaluatePairs(Move* best, Move* runner_up) {
     // New two-attribute indexes {a, b} for co-occurring (a, b).
-    for (workload::AttributeId a : eligible_singles_) {
-      if (poller_.Expired()) return;
-      std::unordered_map<workload::AttributeId, double> benefit;
-      std::unordered_map<workload::AttributeId, Index> pair_index;
-      for (workload::QueryId j : w_.queries_with(a)) {
-        for (workload::AttributeId b : w_.query(j).attributes) {
-          if (b == a) continue;
-          auto [it, inserted] = pair_index.try_emplace(b);
-          if (inserted) it->second = Index(a).Append(b);
-          const double new_cost =
-              std::min(best_cost_[j], engine_.CostWithIndex(j, it->second));
-          benefit[b] += w_.query(j).frequency * (best_cost_[j] - new_cost);
-        }
-      }
-      for (const auto& [b, gain] : benefit) {
-        const Index& k_pair = pair_index.at(b);
-        Move move;
-        move.kind = StepKind::kNewPair;
-        move.after = k_pair;
-        move.benefit = gain - ReconfigDelta(nullptr, k_pair) -
-                       engine_.MaintenancePenalty(k_pair);
-        move.memory_delta = engine_.IndexMemory(k_pair);
-        Consider(move, best, runner_up);
-      }
-    }
-    // Append pairs k -> k ++ a ++ b.
-    for (size_t pos = 0; pos < selected_.size(); ++pos) {
-      if (poller_.Expired()) return;
-      const Index& k = selected_[pos];
-      if (k.width() + 2 > opts_.max_index_width) continue;
-      const double base_mem = engine_.IndexMemory(k);
-      std::unordered_map<uint64_t, double> benefit;
-      std::unordered_map<uint64_t, Index> ext;
-      for (workload::QueryId j : w_.queries_with(k.leading())) {
-        const auto& q_attrs = w_.query(j).attributes;
-        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
-        const double cost_without = CostWithout(j, pos);
-        for (workload::AttributeId a : q_attrs) {
-          if (k.Contains(a)) continue;
-          for (workload::AttributeId b : q_attrs) {
-            if (b == a || k.Contains(b)) continue;
-            const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
-            auto [it, inserted] = ext.try_emplace(key);
-            if (inserted) it->second = k.Append(a).Append(b);
-            const double new_cost =
-                std::min(cost_without, engine_.CostWithIndex(j, it->second));
-            benefit[key] +=
-                w_.query(j).frequency * (best_cost_[j] - new_cost);
+    EvaluateUnits(
+        eligible_singles_.size(),
+        [&](size_t u, std::vector<Move>& out) {
+          const workload::AttributeId a = eligible_singles_[u];
+          std::unordered_map<workload::AttributeId, double> benefit;
+          std::unordered_map<workload::AttributeId, Index> pair_index;
+          for (workload::QueryId j : w_.queries_with(a)) {
+            for (workload::AttributeId b : w_.query(j).attributes) {
+              if (b == a) continue;
+              auto [it, inserted] = pair_index.try_emplace(b);
+              if (inserted) it->second = Index(a).Append(b);
+              const double new_cost = std::min(
+                  best_cost_[j], engine_.CostWithIndex(j, it->second));
+              benefit[b] +=
+                  w_.query(j).frequency * (best_cost_[j] - new_cost);
+            }
           }
-        }
-      }
-      for (const auto& [key, gain] : benefit) {
-        const Index& k_ext = ext.at(key);
-        Move move;
-        move.kind = StepKind::kAppendPair;
-        move.selected_pos = pos;
-        move.after = k_ext;
-        move.benefit = gain - ReconfigDelta(&k, k_ext) -
-                       (engine_.MaintenancePenalty(k_ext) -
-                        engine_.MaintenancePenalty(k));
-        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
-        Consider(move, best, runner_up);
-      }
-    }
+          for (const auto& [b, gain] : benefit) {
+            const Index& k_pair = pair_index.at(b);
+            Move move;
+            move.kind = StepKind::kNewPair;
+            move.after = k_pair;
+            move.benefit = gain - ReconfigDelta(nullptr, k_pair) -
+                           engine_.MaintenancePenalty(k_pair);
+            move.memory_delta = engine_.IndexMemory(k_pair);
+            out.push_back(std::move(move));
+          }
+        },
+        best, runner_up);
+    if (poller_.expired()) return;
+    // Append pairs k -> k ++ a ++ b.
+    EvaluateUnits(
+        selected_.size(),
+        [&](size_t pos, std::vector<Move>& out) {
+          const Index& k = selected_[pos];
+          if (k.width() + 2 > opts_.max_index_width) return;
+          const double base_mem = engine_.IndexMemory(k);
+          std::unordered_map<uint64_t, double> benefit;
+          std::unordered_map<uint64_t, Index> ext;
+          for (workload::QueryId j : w_.queries_with(k.leading())) {
+            const auto& q_attrs = w_.query(j).attributes;
+            if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+            const double cost_without = CostWithout(j, pos);
+            for (workload::AttributeId a : q_attrs) {
+              if (k.Contains(a)) continue;
+              for (workload::AttributeId b : q_attrs) {
+                if (b == a || k.Contains(b)) continue;
+                const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+                auto [it, inserted] = ext.try_emplace(key);
+                if (inserted) it->second = k.Append(a).Append(b);
+                const double new_cost = std::min(
+                    cost_without, engine_.CostWithIndex(j, it->second));
+                benefit[key] +=
+                    w_.query(j).frequency * (best_cost_[j] - new_cost);
+              }
+            }
+          }
+          for (const auto& [key, gain] : benefit) {
+            const Index& k_ext = ext.at(key);
+            Move move;
+            move.kind = StepKind::kAppendPair;
+            move.selected_pos = pos;
+            move.after = k_ext;
+            move.benefit = gain - ReconfigDelta(&k, k_ext) -
+                           (engine_.MaintenancePenalty(k_ext) -
+                            engine_.MaintenancePenalty(k));
+            move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+            out.push_back(std::move(move));
+          }
+        },
+        best, runner_up);
   }
 
   // -- Remark-2 (multi-index) evaluation --------------------------------------
@@ -481,75 +566,83 @@ class Runner {
 
   void EvaluateNewSinglesMulti(Move* best, Move* runner_up) {
     const costmodel::IndexConfig current = CurrentConfig();
-    for (workload::AttributeId i : eligible_singles_) {
-      if (poller_.Expired()) return;
-      if (SingleSelected(i)) continue;
-      const Index k(i);
-      costmodel::IndexConfig hypothetical = current;
-      hypothetical.Insert(k);
-      double benefit = 0.0;
-      for (workload::QueryId j : w_.queries_with(i)) {
-        benefit += w_.query(j).frequency *
-                   (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
-      }
-      Move move;
-      move.kind = StepKind::kNewSingle;
-      move.after = k;
-      move.benefit = benefit - ReconfigDelta(nullptr, k) -
-                     engine_.MaintenancePenalty(k);
-      move.memory_delta = engine_.IndexMemory(k);
-      Consider(move, best, runner_up);
-    }
+    EvaluateUnits(
+        eligible_singles_.size(),
+        [&](size_t u, std::vector<Move>& out) {
+          const workload::AttributeId i = eligible_singles_[u];
+          if (SingleSelected(i)) return;
+          const Index k(i);
+          costmodel::IndexConfig hypothetical = current;
+          hypothetical.Insert(k);
+          double benefit = 0.0;
+          for (workload::QueryId j : w_.queries_with(i)) {
+            benefit +=
+                w_.query(j).frequency *
+                (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
+          }
+          Move move;
+          move.kind = StepKind::kNewSingle;
+          move.after = k;
+          move.benefit = benefit - ReconfigDelta(nullptr, k) -
+                         engine_.MaintenancePenalty(k);
+          move.memory_delta = engine_.IndexMemory(k);
+          out.push_back(std::move(move));
+        },
+        best, runner_up);
   }
 
   void EvaluateAppendsMulti(Move* best, Move* runner_up) {
     const costmodel::IndexConfig current = CurrentConfig();
-    for (size_t pos = 0; pos < selected_.size(); ++pos) {
-      if (poller_.Expired()) return;
-      const Index& k = selected_[pos];
-      if (k.width() >= opts_.max_index_width) continue;
-      const double base_mem = engine_.IndexMemory(k);
+    EvaluateUnits(
+        selected_.size(),
+        [&](size_t pos, std::vector<Move>& out) {
+          const Index& k = selected_[pos];
+          if (k.width() >= opts_.max_index_width) return;
+          const double base_mem = engine_.IndexMemory(k);
 
-      // Collect candidate extension attributes from fully-covering queries.
-      std::vector<workload::AttributeId> extensions;
-      for (workload::QueryId j : w_.queries_with(k.leading())) {
-        const auto& q_attrs = w_.query(j).attributes;
-        if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
-        for (workload::AttributeId a : q_attrs) {
-          if (!k.Contains(a)) extensions.push_back(a);
-        }
-      }
-      std::sort(extensions.begin(), extensions.end());
-      extensions.erase(std::unique(extensions.begin(), extensions.end()),
-                       extensions.end());
-
-      for (workload::AttributeId a : extensions) {
-        const Index k_ext = k.Append(a);
-        costmodel::IndexConfig hypothetical = current;
-        hypothetical.Erase(k);
-        hypothetical.Insert(k_ext);
-        double benefit = 0.0;
-        for (workload::QueryId j : w_.queries_with(k.leading())) {
-          const auto& q_attrs = w_.query(j).attributes;
-          if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
-          if (!std::binary_search(q_attrs.begin(), q_attrs.end(), a)) {
-            continue;
+          // Collect candidate extension attributes from fully-covering
+          // queries.
+          std::vector<workload::AttributeId> extensions;
+          for (workload::QueryId j : w_.queries_with(k.leading())) {
+            const auto& q_attrs = w_.query(j).attributes;
+            if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+            for (workload::AttributeId a : q_attrs) {
+              if (!k.Contains(a)) extensions.push_back(a);
+            }
           }
-          benefit +=
-              w_.query(j).frequency *
-              (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
-        }
-        Move move;
-        move.kind = StepKind::kAppend;
-        move.selected_pos = pos;
-        move.after = k_ext;
-        move.benefit = benefit - ReconfigDelta(&k, k_ext) -
-                       (engine_.MaintenancePenalty(k_ext) -
-                        engine_.MaintenancePenalty(k));
-        move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
-        Consider(move, best, runner_up);
-      }
-    }
+          std::sort(extensions.begin(), extensions.end());
+          extensions.erase(
+              std::unique(extensions.begin(), extensions.end()),
+              extensions.end());
+
+          for (workload::AttributeId a : extensions) {
+            const Index k_ext = k.Append(a);
+            costmodel::IndexConfig hypothetical = current;
+            hypothetical.Erase(k);
+            hypothetical.Insert(k_ext);
+            double benefit = 0.0;
+            for (workload::QueryId j : w_.queries_with(k.leading())) {
+              const auto& q_attrs = w_.query(j).attributes;
+              if (k.CoverablePrefixLength(q_attrs) != k.width()) continue;
+              if (!std::binary_search(q_attrs.begin(), q_attrs.end(), a)) {
+                continue;
+              }
+              benefit +=
+                  w_.query(j).frequency *
+                  (best_cost_[j] - engine_.CostWithConfig(j, hypothetical));
+            }
+            Move move;
+            move.kind = StepKind::kAppend;
+            move.selected_pos = pos;
+            move.after = k_ext;
+            move.benefit = benefit - ReconfigDelta(&k, k_ext) -
+                           (engine_.MaintenancePenalty(k_ext) -
+                            engine_.MaintenancePenalty(k));
+            move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
+            out.push_back(std::move(move));
+          }
+        },
+        best, runner_up);
   }
 
   void CommitMulti(const Move& move) {
@@ -746,9 +839,16 @@ class Runner {
   WhatIfEngine& engine_;
   const workload::Workload& w_;
   const RecursiveOptions& opts_;
-  // Amortized view of opts_.deadline, shared by every poll site so the
-  // latched expiry is visible across evaluation/repair phases.
-  rt::DeadlinePoller poller_;
+  // Amortized view of opts_.deadline, shared by every poll site — and by
+  // every parallel lane — so the latched expiry is visible across
+  // evaluation/repair phases and across threads.
+  exec::SharedDeadlinePoller poller_;
+  size_t threads_;
+  // Private pool (threads_ - 1 workers; the evaluating thread participates
+  // in every ParallelFor). Per-runner so concurrently racing strategies
+  // (advisor portfolio mode) and tests each get exactly the lane count
+  // they asked for.
+  std::optional<exec::ThreadPool> pool_;
 
   std::vector<Index> selected_;
   // Per query: cheapest cost over {f_j(0)} + selected indexes, the position

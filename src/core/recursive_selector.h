@@ -116,6 +116,14 @@ struct RecursiveOptions {
   /// anytime because every committed prefix of the trace is a feasible,
   /// budget-respecting selection. See doc/robustness.md.
   rt::Deadline deadline;
+  /// Worker threads for evaluating each round's candidate moves (and the
+  /// step-2 single-attribute ranking). 1 = serial (default), 0 = auto
+  /// (exec::DefaultThreads()), n = exactly n lanes. Parallel runs return
+  /// *bit-identical* results to serial ones: moves are evaluated in
+  /// parallel into per-unit buffers but reduced serially in the serial
+  /// code's order, so FP sums, tie-breaks, and even the candidate_evals /
+  /// ratio_ties telemetry match. See doc/parallelism.md.
+  size_t threads = 1;
 };
 
 /// Result of one run.

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "workload/workload.h"
 
 namespace idxsel::costmodel {
@@ -89,7 +90,12 @@ class Index {
 
 /// Hash functor for unordered containers keyed by Index.
 struct IndexHash {
-  size_t operator()(const Index& k) const { return k.Hash(); }
+  size_t operator()(const Index& k) const {
+    // Finalize with SplitMix64 so both unordered_map bucket masks (low
+    // bits) and exec::ShardedMap shard selection (high bits) see
+    // well-mixed bits even for short attribute tuples.
+    return SplitMix64(k.Hash());
+  }
 };
 
 /// An index configuration I*: a set of indexes, kept sorted/unique so that

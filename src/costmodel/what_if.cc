@@ -62,12 +62,24 @@ WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
   obs_config_entries_ =
       registry.GetGauge("idxsel.whatif.config_cache_entries");
 #endif
-  base_cost_.assign(workload_->num_queries(),
-                    std::numeric_limits<double>::quiet_NaN());
-  for (QueryId j = 0; j < workload_->num_queries(); ++j) {
+  const size_t n = workload_->num_queries();
+  base_cost_ = std::make_unique<std::atomic<double>[]>(n);
+  for (size_t j = 0; j < n; ++j) {
+    base_cost_[j].store(std::numeric_limits<double>::quiet_NaN(),
+                        std::memory_order_relaxed);
+  }
+  for (QueryId j = 0; j < n; ++j) {
     if (workload_->query(j).kind == workload::QueryKind::kWrite) {
       write_queries_.push_back(j);
     }
+  }
+  // Pre-size the hot caches: selection strategies touch roughly every
+  // (applicable query, candidate-prefix) pair, which lands near a small
+  // multiple of Q; size caches also see every candidate attribute tuple.
+  cost_cache_.Reserve(n * 8);
+  memory_cache_.Reserve(workload_->num_attributes() * 4);
+  if (!write_queries_.empty()) {
+    maintenance_cache_.Reserve(workload_->num_attributes() * 4);
   }
 }
 
@@ -75,45 +87,62 @@ WhatIfEngine::~WhatIfEngine() {
   // Return this engine's entries to the live cache-size gauges so a
   // destroyed engine leaves no phantom entries behind.
   IDXSEL_OBS_ONLY(
-      obs_cost_entries_->Add(-static_cast<int64_t>(cost_cache_.size()));
+      obs_cost_entries_->Add(-static_cast<int64_t>(cost_cache_.Size()));
       obs_config_entries_->Add(
-          -static_cast<int64_t>(config_cost_cache_.size()));)
+          -static_cast<int64_t>(config_cost_cache_.Size()));)
 }
 
 double WhatIfEngine::Sanitize(double value, double fallback,
                               const char* what) {
   if (WellFormed(value)) return value;
-  ++stats_.sanitized;
+  stats_.sanitized.fetch_add(1, std::memory_order_relaxed);
   IDXSEL_OBS_ONLY(obs_sanitized_->Add();)
-  if (health_.ok()) {
-    health_ = Status::Internal(std::string("what-if backend returned ") +
-                               (std::isnan(value)      ? "NaN"
-                                : std::isinf(value)    ? "infinite"
-                                                       : "negative") +
-                               " value from " + what);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (health_.ok()) {
+      health_ = Status::Internal(std::string("what-if backend returned ") +
+                                 (std::isnan(value)      ? "NaN"
+                                  : std::isinf(value)    ? "infinite"
+                                                         : "negative") +
+                                 " value from " + what);
+    }
   }
   return fallback;
 }
 
 double WhatIfEngine::BaseCost(QueryId j) {
-  IDXSEL_DCHECK(j < base_cost_.size());
-  if (std::isnan(base_cost_[j])) {
-    double cost;
-    {
-      IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
-      cost = backend_->BaseCost(j);
-    }
-    // No better estimate exists when f_j(0) itself is garbage; clamp to 0
-    // so the query can never fabricate benefit (any index looks useless
-    // against a free query).
-    base_cost_[j] = Sanitize(cost, 0.0, "BaseCost");
-    ++stats_.calls;
-    IDXSEL_OBS_ONLY(obs_calls_->Add();)
-  } else {
-    ++stats_.cache_hits;
+  IDXSEL_DCHECK(j < workload_->num_queries());
+  // Fast path: one relaxed load. The stored value is written exactly once
+  // (under the stripe lock below) and never changes until
+  // InvalidateCostCache, so a non-NaN read is always the final answer.
+  double cached = base_cost_[j].load(std::memory_order_acquire);
+  if (!std::isnan(cached)) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_hits_->Add();)
+    return cached;
   }
-  return base_cost_[j];
+  std::lock_guard<std::mutex> lock(base_mu_[j % kBaseLockStripes]);
+  cached = base_cost_[j].load(std::memory_order_relaxed);
+  if (!std::isnan(cached)) {
+    // Lost the race: another thread fetched it while we waited — still a
+    // cache hit from this caller's perspective, same as serial re-lookup.
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    IDXSEL_OBS_ONLY(obs_hits_->Add();)
+    return cached;
+  }
+  double cost;
+  {
+    IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+    cost = backend_->BaseCost(j);
+  }
+  // No better estimate exists when f_j(0) itself is garbage; clamp to 0
+  // so the query can never fabricate benefit (any index looks useless
+  // against a free query).
+  cost = Sanitize(cost, 0.0, "BaseCost");
+  base_cost_[j].store(cost, std::memory_order_release);
+  stats_.calls.fetch_add(1, std::memory_order_relaxed);
+  IDXSEL_OBS_ONLY(obs_calls_->Add();)
+  return cost;
 }
 
 bool WhatIfEngine::Applicable(QueryId j, const Index& k) const {
@@ -125,7 +154,7 @@ bool WhatIfEngine::Applicable(QueryId j, const Index& k) const {
 
 double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
   if (!Applicable(j, k)) {
-    ++stats_.skipped_inapplicable;
+    stats_.skipped_inapplicable.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_skipped_->Add();)
     return BaseCost(j);
   }
@@ -141,58 +170,66 @@ double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
     std::sort(prefix.begin(), prefix.end());
     key.index = Index(std::move(prefix));
   }
-  auto it = cost_cache_.find(key);
-  if (it != cost_cache_.end()) {
-    ++stats_.cache_hits;
+  // The compute runs under the key's shard lock: exactly one backend call
+  // per distinct key even when parallel strategies race for it. Lock
+  // order is cost-shard -> base-stripe (via the sanitize fallback); no
+  // path acquires them in the other direction.
+  auto [cost, hit] = cost_cache_.GetOrCompute(key, [&] {
+    double c;
+    {
+      IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+      c = backend_->CostWithIndex(j, k);
+    }
+    // Garbage f_j(k) falls back to f_j(0): the index looks useless for the
+    // query, never harmful and never spuriously beneficial. (Guarded so the
+    // healthy path never issues the extra BaseCost lookup.)
+    if (!WellFormed(c)) {
+      c = Sanitize(c, BaseCost(j), "CostWithIndex");
+    }
+    stats_.calls.fetch_add(1, std::memory_order_relaxed);
+    IDXSEL_OBS_ONLY(obs_calls_->Add(); obs_cost_entries_->Add(1);)
+    return c;
+  });
+  if (hit) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_hits_->Add();)
-    return it->second;
   }
-  double cost;
-  {
-    IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
-    cost = backend_->CostWithIndex(j, k);
-  }
-  // Garbage f_j(k) falls back to f_j(0): the index looks useless for the
-  // query, never harmful and never spuriously beneficial. (Guarded so the
-  // healthy path never issues the extra BaseCost lookup.)
-  if (!WellFormed(cost)) {
-    cost = Sanitize(cost, BaseCost(j), "CostWithIndex");
-  }
-  ++stats_.calls;
-  IDXSEL_OBS_ONLY(obs_calls_->Add();)
-  cost_cache_.emplace(key, cost);
-  IDXSEL_OBS_ONLY(obs_cost_entries_->Add(1);)
   return cost;
 }
 
 double WhatIfEngine::IndexMemory(const Index& k) {
-  auto it = memory_cache_.find(k);
-  if (it != memory_cache_.end()) return it->second;
   // Garbage p_k becomes +infinity: an index of unknown size can never be
   // admitted under a finite budget (the conservative direction for a
   // feasibility check). Cached, so every feasibility test agrees.
-  const double mem =
-      Sanitize(backend_->IndexMemory(k),
-               std::numeric_limits<double>::infinity(), "IndexMemory");
-  memory_cache_.emplace(k, mem);
-  return mem;
+  return memory_cache_
+      .GetOrCompute(k,
+                    [&] {
+                      return Sanitize(
+                          backend_->IndexMemory(k),
+                          std::numeric_limits<double>::infinity(),
+                          "IndexMemory");
+                    })
+      .first;
 }
 
 double WhatIfEngine::MaintenancePenalty(const Index& k) {
   if (write_queries_.empty()) return 0.0;
-  auto it = maintenance_cache_.find(k);
-  if (it != maintenance_cache_.end()) return it->second;
-  double penalty = 0.0;
-  for (QueryId j : write_queries_) {
-    // Garbage maintenance estimates are dropped (0): negative ones would
-    // fabricate benefit, non-finite ones would poison every WorkloadCost
-    // total the index participates in.
-    penalty += workload_->query(j).frequency *
-               Sanitize(backend_->MaintenanceCost(j, k), 0.0,
-                        "MaintenanceCost");
-  }
-  maintenance_cache_.emplace(k, penalty);
-  return penalty;
+  return maintenance_cache_
+      .GetOrCompute(k,
+                    [&] {
+                      double penalty = 0.0;
+                      for (QueryId j : write_queries_) {
+                        // Garbage maintenance estimates are dropped (0):
+                        // negative ones would fabricate benefit, non-finite
+                        // ones would poison every WorkloadCost total the
+                        // index participates in.
+                        penalty += workload_->query(j).frequency *
+                                   Sanitize(backend_->MaintenanceCost(j, k),
+                                            0.0, "MaintenanceCost");
+                      }
+                      return penalty;
+                    })
+      .first;
 }
 
 double WhatIfEngine::ConfigMemory(const IndexConfig& config) {
@@ -226,31 +263,30 @@ double WhatIfEngine::CostWithConfig(QueryId j, const IndexConfig& config) {
     }
   }
   if (relevant.empty()) {
-    ++stats_.skipped_inapplicable;
+    stats_.skipped_inapplicable.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_skipped_->Add();)
     return BaseCost(j);
   }
   ConfigKey key{j, std::move(relevant)};
-  auto it = config_cost_cache_.find(key);
-  if (it != config_cost_cache_.end()) {
-    ++stats_.cache_hits;
+  auto [cost, hit] = config_cost_cache_.GetOrCompute(key, [&] {
+    double c;
+    {
+      IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
+      c = backend_->CostWithConfig(j, key.config);
+    }
+    // Same fallback as CostWithIndex: a garbage f_j(I*) degrades to "the
+    // configuration does not help query j".
+    if (!WellFormed(c)) {
+      c = Sanitize(c, BaseCost(j), "CostWithConfig");
+    }
+    stats_.calls.fetch_add(1, std::memory_order_relaxed);
+    IDXSEL_OBS_ONLY(obs_calls_->Add(); obs_config_entries_->Add(1);)
+    return c;
+  });
+  if (hit) {
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_hits_->Add();)
-    return it->second;
   }
-  double cost;
-  {
-    IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
-    cost = backend_->CostWithConfig(j, key.config);
-  }
-  // Same fallback as CostWithIndex: a garbage f_j(I*) degrades to "the
-  // configuration does not help query j".
-  if (!WellFormed(cost)) {
-    cost = Sanitize(cost, BaseCost(j), "CostWithConfig");
-  }
-  ++stats_.calls;
-  IDXSEL_OBS_ONLY(obs_calls_->Add();)
-  config_cost_cache_.emplace(std::move(key), cost);
-  IDXSEL_OBS_ONLY(obs_config_entries_->Add(1);)
   return cost;
 }
 
@@ -265,14 +301,19 @@ double WhatIfEngine::WorkloadCostMultiIndex(const IndexConfig& config) {
 
 void WhatIfEngine::InvalidateCostCache() {
   // Keep the live-size gauges in lockstep with the caches they describe.
+  const size_t cost_erased = cost_cache_.Clear();
+  const size_t config_erased = config_cost_cache_.Clear();
   IDXSEL_OBS_ONLY(
-      obs_cost_entries_->Add(-static_cast<int64_t>(cost_cache_.size()));
-      obs_config_entries_->Add(
-          -static_cast<int64_t>(config_cost_cache_.size()));)
-  cost_cache_.clear();
-  config_cost_cache_.clear();
-  base_cost_.assign(workload_->num_queries(),
-                    std::numeric_limits<double>::quiet_NaN());
+      obs_cost_entries_->Add(-static_cast<int64_t>(cost_erased));
+      obs_config_entries_->Add(-static_cast<int64_t>(config_erased));)
+#if !defined(IDXSEL_OBS)
+  (void)cost_erased;
+  (void)config_erased;
+#endif
+  for (size_t j = 0; j < workload_->num_queries(); ++j) {
+    base_cost_[j].store(std::numeric_limits<double>::quiet_NaN(),
+                        std::memory_order_relaxed);
+  }
 }
 
 }  // namespace idxsel::costmodel

@@ -11,18 +11,29 @@
 #ifndef IDXSEL_COSTMODEL_WHAT_IF_H_
 #define IDXSEL_COSTMODEL_WHAT_IF_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
+#include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/index.h"
+#include "exec/sharded_map.h"
 #include "obs/obs.h"
 
 namespace idxsel::costmodel {
 
 /// Source of query costs and index sizes — "the what-if optimizer".
+///
+/// Thread-safety contract: parallel selection (exec::ThreadPool wired
+/// through RecursiveSelector / mip::Solve / the advisor's portfolio mode)
+/// issues concurrent calls, so backends must tolerate concurrent const
+/// calls. The bundled backends do: ModelBackend is pure, MeasuredCostSource
+/// serializes internally, rt::FaultInjectingBackend guards its PRNG.
 class WhatIfBackend {
  public:
   virtual ~WhatIfBackend() = default;
@@ -80,12 +91,17 @@ class ModelBackend : public WhatIfBackend {
 /// Call counters; `calls` counts backend invocations (cache misses), i.e.
 /// what the paper counts as "what-if optimizer calls".
 ///
-/// These are the *per-engine* numbers ResetStats() rewinds. When the build
-/// compiles observability in (IDXSEL_OBS), every increment is mirrored
-/// onto process-wide counters in obs::Registry::Default()
-/// ("idxsel.whatif.calls" / ".cache_hits" / ".skipped_inapplicable",
-/// "idxsel.rt.sanitized"), alongside a backend-latency histogram and live
-/// cache-size gauges — see doc/observability.md.
+/// This is a point-in-time *snapshot* of the per-engine numbers
+/// ResetStats() rewinds (internally the counters are relaxed atomics so
+/// parallel strategies can hammer the engine). Because the sharded caches
+/// compute each key exactly once — concurrent requests for one key
+/// serialize on its shard — the totals are the same whether a selection
+/// ran on 1 thread or 8. When the build compiles observability in
+/// (IDXSEL_OBS), every increment is mirrored onto process-wide counters in
+/// obs::Registry::Default() ("idxsel.whatif.calls" / ".cache_hits" /
+/// ".skipped_inapplicable", "idxsel.rt.sanitized"), alongside a
+/// backend-latency histogram and live cache-size gauges — see
+/// doc/observability.md.
 struct WhatIfStats {
   uint64_t calls = 0;
   uint64_t cache_hits = 0;
@@ -115,6 +131,15 @@ struct WhatIfStats {
 /// what-if calls this way is the INUM-style reuse the paper recommends; it
 /// can be disabled via `canonicalize_keys` (e.g. for backends violating the
 /// invariant).
+///
+/// Concurrency: every method is safe to call from any number of threads.
+/// The caches are exec::ShardedMap instances (per-shard mutex, shard
+/// chosen from mixed high hash bits); a cache miss computes the backend
+/// answer while holding its shard lock, so each distinct key costs exactly
+/// one backend call no matter how many threads race for it. The obs
+/// cache-size gauges are incremented by the one computing thread and
+/// decremented on Clear/destruction, keeping them equal to the live entry
+/// counts at all times.
 class WhatIfEngine {
  public:
   WhatIfEngine(const workload::Workload* workload, WhatIfBackend* backend,
@@ -163,23 +188,41 @@ class WhatIfEngine {
   /// True iff l(k) is in q_j and both are on the same table.
   bool Applicable(QueryId j, const Index& k) const;
 
-  const WhatIfStats& stats() const { return stats_; }
+  /// Point-in-time snapshot of the per-engine call counters.
+  WhatIfStats stats() const {
+    WhatIfStats s;
+    s.calls = stats_.calls.load(std::memory_order_relaxed);
+    s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+    s.skipped_inapplicable =
+        stats_.skipped_inapplicable.load(std::memory_order_relaxed);
+    s.sanitized = stats_.sanitized.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// OK while the backend has only ever returned well-formed answers;
   /// after the first rejected value, the Status describing that first
   /// failure (the engine keeps serving sanitized fallbacks either way).
   /// Strategies keep running; the advisor surfaces this as `degraded`.
-  const Status& health() const { return health_; }
+  Status health() const {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    return health_;
+  }
 
   /// Rewinds the per-engine call counters to zero. Deliberately does NOT
   /// touch the registry: the process-wide call counters are cumulative by
   /// design (run reports diff snapshots instead), and the cache-size
   /// gauges mirror the *live* cache contents — zeroing them here would
   /// desynchronize them from caches that still hold entries.
-  void ResetStats() { stats_ = WhatIfStats{}; }
+  void ResetStats() {
+    stats_.calls.store(0, std::memory_order_relaxed);
+    stats_.cache_hits.store(0, std::memory_order_relaxed);
+    stats_.skipped_inapplicable.store(0, std::memory_order_relaxed);
+    stats_.sanitized.store(0, std::memory_order_relaxed);
+  }
 
   /// Drops all cached costs (sizes are kept); used by tests and by callers
   /// that change the backend's state (e.g. measured costs after reloads).
+  /// Not safe concurrently with in-flight estimations.
   void InvalidateCostCache();
 
  private:
@@ -198,7 +241,11 @@ class WhatIfEngine {
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      return k.index.Hash() * 1000003u + k.query;
+      // SplitMix64-mixed combination (common/hash.h): the previous
+      // `index.Hash() * 1000003 + query` chaining left sequential query
+      // ids clustered in the low bits, which both unordered_map bucketing
+      // and shard selection consume.
+      return HashCombine(SplitMix64(k.query), k.index.Hash());
     }
   };
 
@@ -211,9 +258,9 @@ class WhatIfEngine {
   };
   struct ConfigKeyHash {
     size_t operator()(const ConfigKey& k) const {
-      size_t h = k.query;
+      uint64_t h = SplitMix64(k.query);
       for (const Index& index : k.config.indexes()) {
-        h = h * 1000003u + index.Hash();
+        h = HashCombine(h, index.Hash());
       }
       return h;
     }
@@ -222,8 +269,19 @@ class WhatIfEngine {
   const workload::Workload* workload_;
   WhatIfBackend* backend_;
   bool canonicalize_keys_;
-  WhatIfStats stats_;
+
+  /// Relaxed atomics: see WhatIfStats docs for the determinism argument.
+  struct AtomicStats {
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> skipped_inapplicable{0};
+    std::atomic<uint64_t> sanitized{0};
+  };
+  AtomicStats stats_;
+
+  mutable std::mutex health_mu_;
   Status health_;  // first backend misbehaviour, or OK
+
 #if defined(IDXSEL_OBS)
   // Process-wide mirrors (resolved once; see WhatIfStats docs).
   obs::Counter* obs_calls_;
@@ -234,11 +292,18 @@ class WhatIfEngine {
   obs::Gauge* obs_cost_entries_;     ///< idxsel.whatif.cost_cache_entries.
   obs::Gauge* obs_config_entries_;   ///< idxsel.whatif.config_cache_entries.
 #endif
-  std::vector<double> base_cost_;  // NaN = not yet fetched
-  std::unordered_map<Key, double, KeyHash> cost_cache_;
-  std::unordered_map<ConfigKey, double, ConfigKeyHash> config_cost_cache_;
-  std::unordered_map<Index, double, IndexHash> memory_cache_;
-  std::unordered_map<Index, double, IndexHash> maintenance_cache_;
+
+  /// f_j(0) per query; NaN = not yet fetched. Fast path is one relaxed
+  /// atomic load; misses serialize on a small lock stripe so each query's
+  /// base cost is fetched exactly once.
+  std::unique_ptr<std::atomic<double>[]> base_cost_;
+  static constexpr size_t kBaseLockStripes = 16;
+  std::array<std::mutex, kBaseLockStripes> base_mu_;
+
+  exec::ShardedMap<Key, double, KeyHash> cost_cache_;
+  exec::ShardedMap<ConfigKey, double, ConfigKeyHash> config_cost_cache_;
+  exec::ShardedMap<Index, double, IndexHash> memory_cache_;
+  exec::ShardedMap<Index, double, IndexHash> maintenance_cache_;
   std::vector<QueryId> write_queries_;  // precomputed at construction
 };
 

@@ -1,0 +1,131 @@
+// N-way sharded concurrent hash map — the cache structure behind the
+// concurrency-safe WhatIfEngine.
+//
+// Each shard is a plain unordered_map behind its own mutex; a key's shard
+// is chosen from the *high* bits of its (SplitMix64-mixed) hash so that
+// shard choice and the unordered_map's bucket mask (low bits) never
+// correlate. GetOrCompute holds the shard lock across the compute
+// callback, which gives exactly-once semantics per key: concurrent
+// requests for the same key serialize on the shard and all but the first
+// observe a cache hit. That is what keeps WhatIfEngine's call accounting
+// deterministic under parallel selection (doc/parallelism.md).
+//
+// The lock-across-compute tradeoff: a slow compute (measured what-if
+// backend) blocks other keys of the same shard. With 32 shards and the
+// pipeline's key-uniform hashes the collision probability per concurrent
+// pair is ~3%; the alternative (insert-then-compute) would double backend
+// calls under contention — the costlier failure mode here, since backend
+// calls are the paper's unit of cost. Compute callbacks must not re-enter
+// the same map (deadlock on the shard mutex).
+
+#ifndef IDXSEL_EXEC_SHARDED_MAP_H_
+#define IDXSEL_EXEC_SHARDED_MAP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace idxsel::exec {
+
+/// Concurrent map with per-shard mutexes and exactly-once value
+/// computation. `kShards` must be a power of two.
+template <typename Key, typename Value, typename Hash, size_t kShards = 32>
+class ShardedMap {
+  static_assert((kShards & (kShards - 1)) == 0, "shard count: power of two");
+
+ public:
+  /// Looks up `key`; when absent, computes it via `compute()` *under the
+  /// shard lock* and inserts. Returns {value, hit}: hit is false for the
+  /// caller that computed, true for everyone else — exactly one compute
+  /// per distinct key, ever.
+  template <typename ComputeFn>
+  std::pair<Value, bool> GetOrCompute(const Key& key, ComputeFn&& compute) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) return {it->second, true};
+    Value value = compute();
+    shard.map.emplace(key, value);
+    return {value, false};
+  }
+
+  /// Lock-and-read; returns true and copies the value when present.
+  bool Get(const Key& key, Value* out) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Total entries across shards (momentary snapshot).
+  size_t Size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Drops every entry; returns how many were erased (for obs gauge
+  /// adjustment by the owner).
+  size_t Clear() {
+    size_t erased = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      erased += shard.map.size();
+      shard.map.clear();
+    }
+    return erased;
+  }
+
+  /// Pre-sizes every shard for ~`total` entries overall.
+  void Reserve(size_t total) {
+    const size_t per_shard = total / kShards + 1;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.reserve(per_shard);
+    }
+  }
+
+  static constexpr size_t shard_count() { return kShards; }
+
+  /// Shard index a key maps to (exposed for the collision-distribution
+  /// tests).
+  static size_t ShardIndex(const Key& key) {
+    if constexpr (kShards == 1) {
+      return 0;
+    } else {
+      // High bits: independent of the low bits unordered_map buckets use.
+      return SplitMix64(Hash{}(key)) >> (64 - kShardBits);
+    }
+  }
+
+ private:
+  static constexpr size_t kShardBits = [] {
+    size_t bits = 0;
+    for (size_t s = kShards; s > 1; s >>= 1) ++bits;
+    return bits;
+  }();
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& ShardFor(const Key& key) { return shards_[ShardIndex(key)]; }
+  const Shard& ShardFor(const Key& key) const {
+    return shards_[ShardIndex(key)];
+  }
+
+  Shard shards_[kShards];
+};
+
+}  // namespace idxsel::exec
+
+#endif  // IDXSEL_EXEC_SHARDED_MAP_H_

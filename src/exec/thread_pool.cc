@@ -1,0 +1,226 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/obs.h"
+
+namespace idxsel::exec {
+namespace {
+
+#if defined(IDXSEL_OBS)
+/// Pool counters, resolved once per process (see doc/observability.md:
+/// "idxsel.exec.*").
+struct PoolMetrics {
+  obs::Counter* tasks;          ///< idxsel.exec.tasks — tasks executed.
+  obs::Counter* steals;         ///< idxsel.exec.steals — successful steals.
+  obs::Counter* parallel_fors;  ///< idxsel.exec.parallel_fors.
+  obs::Gauge* pool_threads;     ///< idxsel.exec.pool_threads — default pool.
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      PoolMetrics m;
+      m.tasks = registry.GetCounter("idxsel.exec.tasks");
+      m.steals = registry.GetCounter("idxsel.exec.steals");
+      m.parallel_fors = registry.GetCounter("idxsel.exec.parallel_fors");
+      m.pool_threads = registry.GetGauge("idxsel.exec.pool_threads");
+      return m;
+    }();
+    return metrics;
+  }
+};
+#endif
+
+}  // namespace
+
+size_t DefaultThreads() {
+  static const size_t resolved = [] {
+    if (const char* env = std::getenv("IDXSEL_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return std::min<size_t>(static_cast<size_t>(v), kMaxThreads);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::min<size_t>(std::max(1u, hw), kMaxThreads);
+  }();
+  return resolved;
+}
+
+size_t ResolveThreads(size_t requested) {
+  if (requested == 0) return DefaultThreads();
+  return std::min(std::max<size_t>(requested, 1), kMaxThreads);
+}
+
+ThreadPool::ThreadPool(size_t threads)
+    : threads_(std::min(std::max<size_t>(threads, 1), kMaxThreads)) {
+  const size_t workers = threads_ - 1;
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    // Taking the sleep mutex orders the notify after any in-flight
+    // predicate evaluation, so no worker can sleep through shutdown.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(DefaultThreads());
+#if defined(IDXSEL_OBS)
+  static const bool gauge_published = [] {
+    PoolMetrics::Get().pool_threads->Set(static_cast<int64_t>(pool.size()));
+    return true;
+  }();
+  (void)gauge_published;
+#endif
+  return pool;
+}
+
+void ThreadPool::Push(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+#if defined(IDXSEL_OBS)
+    PoolMetrics::Get().tasks->Add(1);
+#endif
+    return;
+  }
+  const size_t victim =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    queues_[victim]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // See ~ThreadPool: the empty critical section prevents the lost-wakeup
+    // window between a sleeper's predicate check and its wait.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::TryRun(size_t self) {
+  std::function<void()> task;
+  // Own deque first, newest task (LIFO: still-warm working set).
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+  }
+  [[maybe_unused]] const bool stolen = !task;
+  if (!task) {
+    // Steal the oldest task of the first non-empty victim (FIFO: the
+    // entry the owner is least likely to touch soon).
+    for (size_t off = 1; off < queues_.size() && !task; ++off) {
+      WorkerQueue& q = *queues_[(self + off) % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+#if defined(IDXSEL_OBS)
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.tasks->Add(1);
+  if (stolen) metrics.steals->Add(1);
+#endif
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    if (TryRun(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    sleep_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                             size_t grain) {
+#if defined(IDXSEL_OBS)
+  PoolMetrics::Get().parallel_fors->Add(1);
+#endif
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (grain == 0) {
+    // ~4 chunks per lane: enough slack to rebalance around skewed
+    // iteration costs without drowning in cursor traffic.
+    grain = std::max<size_t>(1, n / (threads_ * 4));
+  }
+
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  // `body` is captured by value: a helper task that only gets scheduled
+  // after the caller already drained the loop (and returned) must not
+  // touch a dangling reference.
+  auto drain = [state, n, grain, body]() {
+    size_t completed = 0;
+    while (true) {
+      const size_t begin = state->next.fetch_add(grain,
+                                                 std::memory_order_relaxed);
+      if (begin >= n) break;
+      const size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) body(i);
+      completed += end - begin;
+    }
+    if (completed != 0 &&
+        state->done.fetch_add(completed, std::memory_order_acq_rel) +
+                completed ==
+            n) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->cv.notify_all();
+    }
+  };
+
+  // One helper per worker lane; each drains chunks until the cursor runs
+  // out. Helpers that never get scheduled before the caller finishes see
+  // an exhausted cursor and return immediately.
+  const size_t helpers = std::min(threads_ - 1, (n + grain - 1) / grain - 1);
+  for (size_t h = 0; h < helpers; ++h) Push(drain);
+
+  // The caller is a full lane: this both does its share of the work and
+  // guarantees completion even when every worker is busy elsewhere
+  // (nested loops, portfolio racing).
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+}  // namespace idxsel::exec

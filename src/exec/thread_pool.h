@@ -1,0 +1,129 @@
+// idxsel::exec — the work-stealing thread pool behind every parallel stage
+// of the selection pipeline.
+//
+// The paper's scalability claim (H6's near-linear what-if volume vs
+// CoPhy's exploding ILP) is about *work*; this layer is about turning that
+// work into wall-clock speedup on multi-core hardware: H6 rounds evaluate
+// hundreds of independent moves, the branch-and-bound explores independent
+// subtrees, and the advisor can race whole strategies against each other
+// (portfolio mode) — all of it dispatched here. See doc/parallelism.md.
+//
+// Design:
+//  * one deque per worker; owners pop LIFO (cache-warm), thieves steal
+//    FIFO from a victim chosen round-robin ("idxsel.exec.steals" counts
+//    successful steals);
+//  * ParallelFor distributes loop iterations through a shared atomic
+//    cursor: the *caller participates* — it claims chunks like any worker
+//    — so nested ParallelFor calls and ParallelFor from inside a pool task
+//    (portfolio mode running a parallel selector) can never deadlock: even
+//    with every worker busy, the caller alone drains the loop;
+//  * cooperative with idxsel::rt — parallel loops poll rt::Deadline via
+//    exec::SharedDeadlinePoller (shared_deadline.h) and stop issuing new
+//    work on expiry, so bounded runs still return best-so-far incumbents.
+//
+// Determinism contract: the pool itself promises nothing about execution
+// order. Deterministic results are the *callers'* responsibility and they
+// achieve it by separating parallel evaluation from sequential reduction
+// (see RecursiveSelector) or by timing-independent pruning margins (see
+// mip::Solve). doc/parallelism.md spells out both patterns.
+
+#ifndef IDXSEL_EXEC_THREAD_POOL_H_
+#define IDXSEL_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace idxsel::exec {
+
+/// Number of threads the pipeline should use when the caller asked for
+/// "auto" (threads == 0): the IDXSEL_THREADS environment variable when set
+/// to a positive integer, otherwise std::thread::hardware_concurrency(),
+/// clamped to [1, kMaxThreads].
+size_t DefaultThreads();
+
+/// Upper clamp for DefaultThreads() and for explicit thread counts; keeps
+/// a misconfigured IDXSEL_THREADS from spawning thousands of threads.
+inline constexpr size_t kMaxThreads = 64;
+
+/// Resolves a user-facing thread-count option: 0 = DefaultThreads(),
+/// anything else clamped to [1, kMaxThreads].
+size_t ResolveThreads(size_t requested);
+
+/// Work-stealing thread pool. `threads` is the total parallelism a
+/// ParallelFor achieves: the pool spawns `threads - 1` workers and the
+/// calling thread contributes the remaining lane. A pool of size 1 spawns
+/// no threads at all — Submit and ParallelFor then execute inline, which
+/// is the serial mode every strategy defaults to.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + caller lane).
+  size_t size() const { return threads_; }
+
+  /// The process-wide pool used when callers pass threads != 1 without
+  /// their own pool; sized by DefaultThreads() at first use.
+  static ThreadPool& Default();
+
+  /// Schedules `fn` on a worker deque and returns its future. On a pool of
+  /// size 1 the task runs inline before Submit returns (the future is
+  /// ready). Tasks must not throw.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Push([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(i) for every i in [0, n), distributing iterations in
+  /// contiguous chunks over the workers *and the calling thread*; returns
+  /// when all n iterations completed. `grain` is the chunk size (0 picks
+  /// one that yields ~4 chunks per lane). Safe to call from inside a pool
+  /// task (the caller lane alone guarantees progress). `body` must not
+  /// throw and must tolerate concurrent invocation for distinct i.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   size_t grain = 0);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Enqueues a task (round-robin victim); wakes a sleeper. Inline
+  /// execution when the pool has no workers.
+  void Push(std::function<void()> task);
+
+  void WorkerLoop(size_t self);
+
+  /// Pops from own deque (back) or steals from another (front).
+  bool TryRun(size_t self);
+
+  size_t threads_;                 // total lanes (workers_.size() + 1)
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<uint64_t> pending_{0};
+};
+
+}  // namespace idxsel::exec
+
+#endif  // IDXSEL_EXEC_THREAD_POOL_H_

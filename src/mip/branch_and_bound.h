@@ -44,6 +44,16 @@ struct SolveOptions {
   /// `time_limit_seconds` and likewise reports kTimeout with the incumbent.
   /// Both limits apply; whichever fires first stops the search.
   rt::Deadline deadline;
+  /// Worker threads for parallel subtree exploration. 1 = the classic
+  /// serial DFS (default), 0 = auto (exec::DefaultThreads()), n = n lanes.
+  /// The parallel path splits the tree into a fixed, thread-count
+  /// independent set of subproblems (deterministic BFS using the serial
+  /// branching rule), solves them on a work-stealing pool with a shared
+  /// atomic incumbent used only for *bound-safe* pruning, and reduces the
+  /// per-subtree optima in DFS order — so the optimality guarantee (gap)
+  /// is identical to serial, and the returned selection is independent of
+  /// the thread count. See doc/parallelism.md for the exactness argument.
+  size_t threads = 1;
 };
 
 /// Solver output. `status` is Ok when the gap target was proven, kTimeout /

@@ -28,48 +28,56 @@ FaultInjectingBackend::FaultInjectingBackend(
 }
 
 double FaultInjectingBackend::Corrupt(double truthful) const {
-  const uint64_t call = stats_.calls++;
-  if (call < opts_.healthy_calls) return truthful;
+  // The draw, counter, and stats updates happen under the lock; the
+  // injected latency is slept *after* releasing it, so one stalled call
+  // does not serialize concurrent lanes (and TSan sees no lock held
+  // across a sleep).
+  bool sleep = false;
+  double result = truthful;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t call = stats_.calls++;
+    if (call < opts_.healthy_calls) return truthful;
 
-  // Transient outage window dominates every probabilistic draw.
-  if (opts_.fail_burst > 0 && call >= opts_.fail_after_calls &&
-      call < opts_.fail_after_calls + opts_.fail_burst) {
-    ++stats_.injected_outage;
-    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
-    return std::numeric_limits<double>::quiet_NaN();
+    // Transient outage window dominates every probabilistic draw.
+    if (opts_.fail_burst > 0 && call >= opts_.fail_after_calls &&
+        call < opts_.fail_after_calls + opts_.fail_burst) {
+      ++stats_.injected_outage;
+      IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+
+    if (opts_.latency_probability > 0.0 &&
+        rng_.NextDouble() < opts_.latency_probability) {
+      ++stats_.injected_latency;
+      IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+      sleep = true;
+    }
+
+    // Value corruptions are mutually exclusive: one draw, first band wins
+    // — keeps the draw count per call fixed so seeds stay comparable
+    // across option changes.
+    const double draw = rng_.NextDouble();
+    double band = opts_.nan_probability;
+    if (draw < band) {
+      ++stats_.injected_nan;
+      IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+      result = std::numeric_limits<double>::quiet_NaN();
+    } else if (draw < (band += opts_.inf_probability)) {
+      ++stats_.injected_inf;
+      IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+      result = std::numeric_limits<double>::infinity();
+    } else if (draw < (band += opts_.negative_probability)) {
+      ++stats_.injected_negative;
+      IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+      result = truthful != 0.0 ? -truthful : -1.0;
+    }
   }
-
-  if (opts_.latency_probability > 0.0 &&
-      rng_.NextDouble() < opts_.latency_probability) {
-    ++stats_.injected_latency;
-    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+  if (sleep) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(opts_.latency_seconds));
   }
-
-  // Value corruptions are mutually exclusive: one draw, first band wins —
-  // keeps the draw count per call fixed so seeds stay comparable across
-  // option changes.
-  const double draw = rng_.NextDouble();
-  double band = opts_.nan_probability;
-  if (draw < band) {
-    ++stats_.injected_nan;
-    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  band += opts_.inf_probability;
-  if (draw < band) {
-    ++stats_.injected_inf;
-    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
-    return std::numeric_limits<double>::infinity();
-  }
-  band += opts_.negative_probability;
-  if (draw < band) {
-    ++stats_.injected_negative;
-    IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
-    return truthful != 0.0 ? -truthful : -1.0;
-  }
-  return truthful;
+  return result;
 }
 
 double FaultInjectingBackend::BaseCost(costmodel::QueryId j) const {

@@ -19,6 +19,7 @@
 #define IDXSEL_RT_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <mutex>
 
 #include "common/random.h"
 #include "costmodel/what_if.h"
@@ -67,8 +68,14 @@ struct FaultInjectionStats {
   }
 };
 
-/// Decorator over any WhatIfBackend. Not thread-safe (the decorated
-/// pipeline is single-threaded today; the PRNG draw is the shared state).
+/// Decorator over any WhatIfBackend. Thread-safe: the PRNG position, call
+/// counter, and stats are guarded by an internal mutex (injected latency
+/// is slept outside the lock so a stalled call does not serialize the
+/// other lanes). Under concurrent callers the fault *schedule* — which
+/// draw lands on call #n — is still the seeded deterministic sequence,
+/// but which engine lookup gets which call number depends on thread
+/// interleaving; tests that need call-exact fault placement must drive
+/// the backend from one thread.
 class FaultInjectingBackend : public costmodel::WhatIfBackend {
  public:
   /// `inner` is not owned and must outlive the decorator.
@@ -84,7 +91,11 @@ class FaultInjectingBackend : public costmodel::WhatIfBackend {
   double MaintenanceCost(costmodel::QueryId j,
                          const costmodel::Index& k) const override;
 
-  const FaultInjectionStats& stats() const { return stats_; }
+  /// Snapshot of the per-kind counters (consistent under concurrency).
+  FaultInjectionStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   /// Applies latency + value corruption to one truthful answer.
@@ -94,6 +105,7 @@ class FaultInjectingBackend : public costmodel::WhatIfBackend {
   FaultInjectionOptions opts_;
   // WhatIfBackend's interface is const; the chaos state (PRNG position,
   // call counter, stats) is the decorator's own business.
+  mutable std::mutex mu_;
   mutable Rng rng_;
   mutable FaultInjectionStats stats_;
 };

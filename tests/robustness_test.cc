@@ -378,6 +378,71 @@ INSTANTIATE_TEST_SUITE_P(
                           StrategyKind::kH5, StrategyKind::kCophy),
         ::testing::Range<uint64_t>(1, 14)));
 
+// Same chaos, but with the pipeline explicitly parallel: four lanes
+// hammering the (thread-safe) fault-injecting backend through the sharded
+// caches. Fault *placement* is scheduler-dependent here — the assertions
+// are the structural ones (no crash, no garbage, feasible incumbent),
+// which must hold for every interleaving.
+class ParallelChaosTest
+    : public ::testing::TestWithParam<std::tuple<StrategyKind, uint64_t>> {};
+
+TEST_P(ParallelChaosTest, FourThreadsNoCrashNoGarbage) {
+  const StrategyKind strategy = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+
+  TinyEnv env(seed);
+  FaultInjectingBackend chaos(env.backend.get(), ChaosOptions(seed));
+  WhatIfEngine engine(&env.w, &chaos);
+
+  AdvisorOptions options;
+  options.strategy = strategy;
+  options.threads = 4;
+  options.budget_fraction = 0.25;
+  options.time_limit_seconds = 0.010;
+  options.solver.mip_gap = 0.05;
+
+  auto rec = Recommend(engine, options);
+  ASSERT_TRUE(rec.ok()) << StrategyName(strategy) << " seed=" << seed;
+  EXPECT_TRUE(std::isfinite(rec->cost_after)) << StrategyName(strategy);
+  EXPECT_TRUE(std::isfinite(rec->memory)) << StrategyName(strategy);
+  EXPECT_GE(rec->cost_after, 0.0);
+  EXPECT_LE(rec->memory, rec->budget + 1e-6)
+      << StrategyName(strategy) << " seed=" << seed;
+  if (!engine.health().ok()) {
+    EXPECT_TRUE(rec->degraded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesTimesSeeds, ParallelChaosTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kRecursive,
+                                         StrategyKind::kH5,
+                                         StrategyKind::kCophy),
+                       ::testing::Range<uint64_t>(1, 6)));
+
+TEST(ParallelChaosTest, PortfolioRaceSurvivesFaults) {
+  // The full tentpole under chaos: H6 raced against H4 and H5 on four
+  // threads, against a misbehaving backend with a tight deadline. The
+  // winner must still be feasible and finite.
+  TinyEnv env(5);
+  FaultInjectingBackend chaos(env.backend.get(), ChaosOptions(5));
+  WhatIfEngine engine(&env.w, &chaos);
+
+  AdvisorOptions options;
+  options.strategy = StrategyKind::kRecursive;
+  options.portfolio = {StrategyKind::kH4, StrategyKind::kH5};
+  options.threads = 4;
+  options.candidate_limit = 40;
+  options.budget_fraction = 0.25;
+  options.time_limit_seconds = 0.020;
+
+  auto rec = Recommend(engine, options);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(std::isfinite(rec->cost_after));
+  EXPECT_LE(rec->memory, rec->budget + 1e-6);
+  EXPECT_GE(rec->cost_after, 0.0);
+}
+
 // ------------------------------------------- Fig. 2 workload acceptance
 
 class ScalableDeadlineTest

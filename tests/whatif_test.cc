@@ -3,9 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
+#include "common/hash.h"
 #include "costmodel/cost_model.h"
 #include "costmodel/reconfiguration.h"
 #include "costmodel/what_if.h"
+#include "exec/thread_pool.h"
 #include "workload/scalable_generator.h"
 
 namespace idxsel::costmodel {
@@ -255,6 +260,121 @@ TEST_F(WhatIfFixture, ReconfigurationIdenticalConfigsAreFree) {
   IndexConfig config;
   config.Insert(Index(0));
   EXPECT_DOUBLE_EQ(reconfig.Cost(config, config), 0.0);
+}
+
+// ------------------------------------------------------- cache hashing
+
+TEST(WhatIfHashTest, CostKeyHashSpreadsLowAndHighBits) {
+  // The cost-cache key hash is HashCombine(SplitMix64(query), index.Hash())
+  // — the formula that replaced the multiplicative `hash * 1000003 + id`
+  // chain, whose low bits stayed clustered for sequential query ids. Both
+  // bit ends matter now: unordered_map buckets mask the low bits, shard
+  // selection takes the high bits.
+  constexpr size_t kQueries = 512;
+  constexpr size_t kAttrs = 64;
+  constexpr size_t kBuckets = 256;
+  std::vector<size_t> low(kBuckets, 0);
+  std::vector<size_t> high(kBuckets, 0);
+  for (uint64_t j = 0; j < kQueries; ++j) {
+    for (workload::AttributeId i = 0; i < kAttrs; ++i) {
+      const uint64_t h = HashCombine(SplitMix64(j), Index(i).Hash());
+      ++low[h & (kBuckets - 1)];
+      ++high[h >> 56];
+    }
+  }
+  const size_t expected = kQueries * kAttrs / kBuckets;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(low[b], expected / 2) << "low-bit bucket " << b;
+    EXPECT_LT(low[b], expected * 2) << "low-bit bucket " << b;
+    EXPECT_GT(high[b], expected / 2) << "high-bit bucket " << b;
+    EXPECT_LT(high[b], expected * 2) << "high-bit bucket " << b;
+  }
+}
+
+TEST(WhatIfHashTest, IndexHashFinalizationSpreadsSequentialAttributes) {
+  // Single-attribute indexes over sequential attribute ids are the
+  // adversarial input for the raw Index::Hash chain; IndexHash's
+  // SplitMix64 finalizer must spread them over any power-of-two mask.
+  constexpr size_t kIndexes = 16 * 1024;
+  constexpr size_t kBuckets = 64;
+  std::vector<size_t> bucket(kBuckets, 0);
+  IndexHash hasher;
+  for (workload::AttributeId i = 0; i < kIndexes; ++i) {
+    ++bucket[hasher(Index(i)) & (kBuckets - 1)];
+  }
+  const size_t expected = kIndexes / kBuckets;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(bucket[b], expected * 3 / 4) << "bucket " << b;
+    EXPECT_LT(bucket[b], expected * 5 / 4) << "bucket " << b;
+  }
+}
+
+// --------------------------------------------------------- concurrency
+
+TEST_F(WhatIfFixture, ConcurrentLookupsAreExactlyOncePerKey) {
+  // Hammer one engine from several lanes with overlapping lookups: the
+  // sharded caches must compute every key exactly once, so the backend
+  // call count equals the serial run's and every answer stays truthful.
+  WhatIfEngine serial_engine(&w_, backend_.get());
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    serial_engine.BaseCost(j);
+    for (workload::AttributeId i : w_.query(j).attributes) {
+      serial_engine.CostWithIndex(j, Index(i));
+    }
+  }
+  const uint64_t serial_calls = serial_engine.stats().calls;
+
+  WhatIfEngine engine(&w_, backend_.get());
+  exec::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(
+      4 * w_.num_queries(),
+      [&](size_t unit) {
+        const workload::QueryId j = unit % w_.num_queries();
+        if (engine.BaseCost(j) != model_->UnindexedCost(j)) {
+          mismatches.fetch_add(1);
+        }
+        for (workload::AttributeId i : w_.query(j).attributes) {
+          if (engine.CostWithIndex(j, Index(i)) !=
+              model_->CostWithIndex(j, Index(i))) {
+            mismatches.fetch_add(1);
+          }
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.stats().calls, serial_calls)
+      << "concurrent lanes must not duplicate backend calls";
+  EXPECT_GT(engine.stats().cache_hits, 0u);
+}
+
+TEST_F(WhatIfFixture, ConcurrentStatsAccountingBalances) {
+  // calls + cache_hits together must equal the number of cost lookups
+  // issued, even when lanes race on the same keys.
+  WhatIfEngine engine(&w_, backend_.get());
+  constexpr size_t kLanes = 4;
+  constexpr size_t kRepeats = 50;
+  uint64_t lookups = 0;
+  for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+    lookups += w_.query(j).attributes.size();
+  }
+  exec::ThreadPool pool(kLanes);
+  pool.ParallelFor(
+      kLanes * kRepeats,
+      [&](size_t unit) {
+        const size_t seed = unit * 2654435761u;
+        for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+          const workload::QueryId q =
+              (j + seed) % w_.num_queries();
+          for (workload::AttributeId i : w_.query(q).attributes) {
+            engine.CostWithIndex(q, Index(i));
+          }
+        }
+      },
+      /*grain=*/1);
+  const WhatIfStats stats = engine.stats();
+  EXPECT_EQ(stats.calls + stats.cache_hits, kLanes * kRepeats * lookups);
+  EXPECT_EQ(stats.calls, lookups);  // exactly-once per distinct key
 }
 
 }  // namespace
