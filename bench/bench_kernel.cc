@@ -1,0 +1,395 @@
+// Ablation — the flat cost-evaluation kernel (src/kernel/): interned
+// dense lookups vs legacy hashed lookups, posting-list mask-filter hit
+// rates, and Fig.6-sized H6 step latency with the kernel on vs off
+// (kernel::ScopedKernelEnabled), including steady-state allocation counts
+// per step from a global operator-new tally.
+//
+// Emits `bench_kernel.json` (sidecar, next to the other bench CSVs) and
+// `BENCH_kernel.json` (same document; run the binary from the repo root
+// to refresh the committed copy) with p50/p95 per-step times and the
+// kernel-vs-baseline speedup.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/format.h"
+#include "kernel/kernel.h"
+#include "obs/report.h"
+
+// ------------------------------------------------- allocation accounting
+// Counts every global allocation in the process; the H6 sections diff the
+// counter around SelectRecursive to show the kernel's steady-state step
+// loop allocates O(1) per committed step instead of O(candidates).
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace idxsel::bench {
+namespace {
+
+#if defined(IDXSEL_KERNEL)
+
+using Clock = std::chrono::steady_clock;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t at = std::min(v.size() - 1,
+                             static_cast<size_t>(p * (v.size() - 1) + 0.5));
+  return v[at];
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+/// The Fig. 6 workload (N = 100, Q = 100): large enough that an H6 round
+/// touches thousands of (query, index) cost resolutions, small enough for
+/// the quick bench mode.
+workload::Workload Fig6Workload() {
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 50;
+  params.queries_per_table = 50;
+  return workload::GenerateScalableWorkload(params);
+}
+
+// ----------------------------------------- interned vs hashed lookups
+
+struct LookupResult {
+  double legacy_ns = 0.0;
+  double dense_ns = 0.0;
+  uint64_t lookups = 0;
+};
+
+/// Warm-cache cost resolution: the same (query, index) pairs priced
+/// through the sharded hash cache (key canonicalization + Index hashing)
+/// and through the dense IndexId-slot table. Width-1 and width-2 keys,
+/// the mix an H6 append round produces.
+LookupResult LookupMicrobench(costmodel::WhatIfEngine& engine,
+                              const workload::Workload& w,
+                              uint64_t target_lookups) {
+  struct Pair {
+    workload::QueryId j;
+    costmodel::Index k;
+    kernel::IndexId id;
+    uint32_t slot;
+  };
+  std::vector<Pair> pairs;
+  for (workload::AttributeId a = 0; a < w.num_attributes(); ++a) {
+    const kernel::IndexId single = engine.InternIndex(costmodel::Index(a));
+    const auto& posting = w.queries_with(a);
+    // One width-2 extension per single, as append evaluation would make.
+    kernel::IndexId ext = kernel::kInvalidIndexId;
+    costmodel::Index ext_key(a);
+    for (workload::QueryId j : posting) {
+      for (workload::AttributeId b : w.query(j).attributes) {
+        if (b == a) continue;
+        ext = engine.arena().InternAppend(single, b);
+        ext_key = engine.MaterializeIndex(ext);
+        break;
+      }
+      if (ext != kernel::kInvalidIndexId) break;
+    }
+    for (uint32_t s = 0; s < posting.size(); ++s) {
+      pairs.push_back(Pair{posting[s], costmodel::Index(a), single, s});
+      if (ext != kernel::kInvalidIndexId) {
+        pairs.push_back(Pair{posting[s], ext_key, ext, s});
+      }
+    }
+  }
+
+  // Warm both caches so the loops below measure lookup machinery, not
+  // backend pricing.
+  double sink = 0.0;
+  for (const Pair& p : pairs) {
+    sink += engine.CostWithIndex(p.j, p.k);
+    sink += engine.CostWithIndexDense(p.j, p.id, p.slot);
+  }
+
+  LookupResult result;
+  const uint64_t sweeps =
+      std::max<uint64_t>(1, target_lookups / std::max<size_t>(1, pairs.size()));
+  result.lookups = sweeps * pairs.size();
+
+  const double legacy_start = NowSeconds();
+  for (uint64_t r = 0; r < sweeps; ++r) {
+    for (const Pair& p : pairs) sink += engine.CostWithIndex(p.j, p.k);
+  }
+  result.legacy_ns = (NowSeconds() - legacy_start) * 1e9 /
+                     static_cast<double>(result.lookups);
+
+  const double dense_start = NowSeconds();
+  for (uint64_t r = 0; r < sweeps; ++r) {
+    for (const Pair& p : pairs) {
+      sink += engine.CostWithIndexDense(p.j, p.id, p.slot);
+    }
+  }
+  result.dense_ns = (NowSeconds() - dense_start) * 1e9 /
+                    static_cast<double>(result.lookups);
+
+  if (sink == -1.0) std::printf("unreachable\n");  // keep the loops alive
+  return result;
+}
+
+// --------------------------------------------------- H6 step latency
+
+struct H6Stats {
+  std::vector<double> step_ms;  ///< one sample per committed h6.round
+  double total_seconds = 0.0;
+  uint64_t steps = 0;
+  uint64_t whatif_calls = 0;
+  uint64_t allocations = 0;        ///< warm reps only
+  uint64_t fast_path_hits = 0;
+  uint64_t fallback_lookups = 0;
+  uint64_t filtered_queries = 0;
+};
+
+uint64_t CounterDelta(const obs::RunReport& report, const char* name) {
+  const auto it = report.metrics.counters.find(name);
+  return it == report.metrics.counters.end() ? 0 : it->second;
+}
+
+/// Runs H6 `reps` times on one engine (first rep cold — excluded from the
+/// step samples — the rest steady-state warm) and collects per-round span
+/// durations, kernel counters, and the allocation tally.
+H6Stats RunH6(costmodel::WhatIfEngine& engine, double budget, int reps) {
+  H6Stats stats;
+  core::RecursiveOptions options;
+  options.budget = budget;
+  options.threads = 1;
+  for (int rep = 0; rep < reps; ++rep) {
+    obs::RunScope scope("bench_kernel.h6");
+    const uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    const double start = NowSeconds();
+    const core::RecursiveResult r = core::SelectRecursive(engine, options);
+    const double elapsed = NowSeconds() - start;
+    const uint64_t allocs =
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+    const obs::RunReport report = scope.Finish();
+    if (rep == 0) {
+      stats.steps = r.trace.size();
+      stats.whatif_calls = r.whatif_calls;
+      stats.fast_path_hits =
+          CounterDelta(report, "idxsel.kernel.fast_path_hits");
+      stats.fallback_lookups =
+          CounterDelta(report, "idxsel.kernel.fallback_lookups");
+      stats.filtered_queries =
+          CounterDelta(report, "idxsel.kernel.filtered_queries");
+      continue;  // cold run: arena interning + backend pricing, not steady
+    }
+    stats.total_seconds += elapsed;
+    stats.allocations += allocs;
+    for (const obs::SpanRecord& span : report.spans) {
+      if (std::strcmp(span.name, "h6.round") == 0) {
+        stats.step_ms.push_back(static_cast<double>(span.duration_ns) / 1e6);
+      }
+    }
+  }
+  return stats;
+}
+
+// --------------------------------------------------------------- report
+
+std::string JsonDocument(const workload::Workload& w, double budget_w,
+                         const LookupResult& lookup, const H6Stats& kernel,
+                         const H6Stats& legacy) {
+  const double steps_per_rep =
+      kernel.step_ms.empty() ? 0.0 : static_cast<double>(kernel.step_ms.size());
+  const double legacy_steps_per_rep =
+      legacy.step_ms.empty() ? 0.0 : static_cast<double>(legacy.step_ms.size());
+  char buf[2048];
+  std::string out = "{\n  \"schema\": \"idxsel.bench_kernel.v1\",\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"workload\": {\"tables\": 2, \"attributes\": %zu, "
+                "\"queries\": %zu, \"budget_w\": %.2f},\n",
+                w.num_attributes(), w.num_queries(), budget_w);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"lookup\": {\"lookups\": %llu, \"legacy_ns\": %.1f, "
+      "\"dense_ns\": %.1f, \"speedup\": %.2f},\n",
+      static_cast<unsigned long long>(lookup.lookups), lookup.legacy_ns,
+      lookup.dense_ns,
+      lookup.dense_ns > 0.0 ? lookup.legacy_ns / lookup.dense_ns : 0.0);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"posting_filter\": {\"fast_path_hits\": %llu, "
+      "\"fallback_lookups\": %llu, \"filtered_queries\": %llu, "
+      "\"filter_rate\": %.4f},\n",
+      static_cast<unsigned long long>(kernel.fast_path_hits),
+      static_cast<unsigned long long>(kernel.fallback_lookups),
+      static_cast<unsigned long long>(kernel.filtered_queries),
+      kernel.fast_path_hits + kernel.fallback_lookups +
+                  kernel.filtered_queries >
+              0
+          ? static_cast<double>(kernel.filtered_queries) /
+                static_cast<double>(kernel.fast_path_hits +
+                                    kernel.fallback_lookups +
+                                    kernel.filtered_queries)
+          : 0.0);
+  out += buf;
+  const auto h6_block = [&](const char* key, const H6Stats& s,
+                            double per_rep) {
+    std::snprintf(
+        buf, sizeof buf,
+        "  \"%s\": {\"steps\": %llu, \"whatif_calls\": %llu, "
+        "\"step_samples\": %zu, \"step_p50_ms\": %.4f, "
+        "\"step_p95_ms\": %.4f, \"step_mean_ms\": %.4f, "
+        "\"allocations_per_step\": %.1f},\n",
+        key, static_cast<unsigned long long>(s.steps),
+        static_cast<unsigned long long>(s.whatif_calls), s.step_ms.size(),
+        Percentile(s.step_ms, 0.50), Percentile(s.step_ms, 0.95),
+        Mean(s.step_ms),
+        per_rep > 0.0 ? static_cast<double>(s.allocations) / per_rep : 0.0);
+    out += buf;
+  };
+  h6_block("h6_kernel", kernel, steps_per_rep);
+  h6_block("h6_legacy", legacy, legacy_steps_per_rep);
+  std::snprintf(buf, sizeof buf,
+                "  \"speedup\": {\"p50\": %.2f, \"p95\": %.2f, "
+                "\"mean\": %.2f}\n}\n",
+                Percentile(kernel.step_ms, 0.50) > 0.0
+                    ? Percentile(legacy.step_ms, 0.50) /
+                          Percentile(kernel.step_ms, 0.50)
+                    : 0.0,
+                Percentile(kernel.step_ms, 0.95) > 0.0
+                    ? Percentile(legacy.step_ms, 0.95) /
+                          Percentile(kernel.step_ms, 0.95)
+                    : 0.0,
+                Mean(kernel.step_ms) > 0.0
+                    ? Mean(legacy.step_ms) / Mean(kernel.step_ms)
+                    : 0.0);
+  out += buf;
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernel: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("results written to %s\n", path.c_str());
+}
+
+void Run() {
+  const int reps = FullMode() ? 9 : 5;
+  const uint64_t target_lookups = FullMode() ? 8'000'000 : 2'000'000;
+  const double budget_w = 0.5;  // deep enough to commit append (morph) steps
+
+  workload::Workload w = Fig6Workload();
+  std::printf(
+      "Kernel ablation on the Fig. 6 workload: N=%zu, Q=%zu, w=%.2f, "
+      "%d reps (first cold, excluded).\n\n",
+      w.num_attributes(), w.num_queries(), budget_w, reps);
+
+  // Interned vs hashed lookups (one warm engine, kernel on).
+  kernel::ScopedKernelEnabled enable(true);
+  ModelSetup lookup_setup(w);
+  const LookupResult lookup =
+      LookupMicrobench(*lookup_setup.engine, w, target_lookups);
+  std::printf(
+      "warm cost lookups (%llu): hashed cache %.1f ns, dense table %.1f "
+      "ns  -> %.2fx\n\n",
+      static_cast<unsigned long long>(lookup.lookups), lookup.legacy_ns,
+      lookup.dense_ns, lookup.legacy_ns / lookup.dense_ns);
+
+  // H6 step latency, kernel on vs off, each mode on its own engine.
+  const costmodel::CostModel model(&w);
+  const double budget = model.Budget(budget_w);
+  ModelSetup kernel_setup(w);
+  const H6Stats kernel_stats = RunH6(*kernel_setup.engine, budget, reps);
+  H6Stats legacy_stats;
+  {
+    kernel::ScopedKernelEnabled disable(false);
+    ModelSetup legacy_setup(w);
+    legacy_stats = RunH6(*legacy_setup.engine, budget, reps);
+  }
+
+  TablePrinter table({"mode", "steps", "what-if calls", "step p50 (ms)",
+                      "step p95 (ms)", "step mean (ms)", "allocs/step"});
+  const auto add_row = [&](const char* mode, const H6Stats& s) {
+    const double per_rep = static_cast<double>(
+        std::max<size_t>(1, s.step_ms.size()));
+    table.AddRow({mode, FormatCount(static_cast<int64_t>(s.steps)),
+                  FormatCount(static_cast<int64_t>(s.whatif_calls)),
+                  FormatDouble(Percentile(s.step_ms, 0.50), 4),
+                  FormatDouble(Percentile(s.step_ms, 0.95), 4),
+                  FormatDouble(Mean(s.step_ms), 4),
+                  FormatDouble(static_cast<double>(s.allocations) / per_rep,
+                               1)});
+  };
+  add_row("kernel", kernel_stats);
+  add_row("legacy", legacy_stats);
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "posting-list filter: %llu fast-path hits, %llu fallback lookups, "
+      "%llu queries mask-filtered per run\n",
+      static_cast<unsigned long long>(kernel_stats.fast_path_hits),
+      static_cast<unsigned long long>(kernel_stats.fallback_lookups),
+      static_cast<unsigned long long>(kernel_stats.filtered_queries));
+  std::printf(
+      "speedup (legacy/kernel): p50 %.2fx, mean %.2fx  (target: >= 2x)\n\n",
+      Percentile(legacy_stats.step_ms, 0.50) /
+          Percentile(kernel_stats.step_ms, 0.50),
+      Mean(legacy_stats.step_ms) / Mean(kernel_stats.step_ms));
+
+  const std::string json =
+      JsonDocument(w, budget_w, lookup, kernel_stats, legacy_stats);
+  WriteJson("bench_kernel.json", json);
+  WriteJson("BENCH_kernel.json", json);
+}
+
+#else  // !defined(IDXSEL_KERNEL)
+
+void Run() {
+  std::printf(
+      "bench_kernel: built with -DIDXSEL_ENABLE_KERNEL=OFF; the dense "
+      "evaluation path is compiled out, nothing to compare.\n");
+}
+
+#endif  // IDXSEL_KERNEL
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::ObsSession obs("bench_kernel");
+  idxsel::bench::Run();
+  return 0;
+}

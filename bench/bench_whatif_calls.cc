@@ -2,8 +2,14 @@
 // H6 needs ~ 2 * Q * q-bar backend calls regardless of how many index
 // combinations it implicitly explores, while CoPhy's model build needs
 // ~ Q * q-bar * |I| / N calls, linear in the candidate count.
+//
+// With IDXSEL_BENCH_ASSERT=1 the binary turns into a perf-smoke check
+// (CI's guard against the kernel — or anything else — changing H6's call
+// complexity): it exits non-zero unless every H6 call count stays within
+// a factor of two of the 2*Q*q-bar estimate.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.h"
 #include "common/format.h"
@@ -11,13 +17,19 @@
 namespace idxsel::bench {
 namespace {
 
-void Run() {
+bool AssertMode() {
+  const char* v = std::getenv("IDXSEL_BENCH_ASSERT");
+  return v != nullptr && v[0] == '1';
+}
+
+int Run() {
   std::printf(
       "What-if call accounting: H6 vs CoPhy problem build (Example 1, "
       "w=0.2).\n\n");
   TablePrinter table({"Q", "q-bar", "2*Q*q-bar", "H6 calls", "|I| (IC_max)",
                       "Q*q-bar*|I|/N", "CoPhy calls"});
 
+  int failures = 0;
   for (uint32_t queries_per_table : {20u, 50u, 100u, 200u}) {
     workload::ScalableWorkloadParams params;  // T=10, N_t=50
     params.queries_per_table = queries_per_table;
@@ -47,11 +59,30 @@ void Run() {
          FormatCount(static_cast<int64_t>(all.size())),
          FormatCount(static_cast<int64_t>(q * qbar * all.size() / n)),
          FormatCount(static_cast<int64_t>(cophy_engine.stats().calls))});
+
+    if (AssertMode()) {
+      const double estimate = 2.0 * q * qbar;
+      const double ratio = static_cast<double>(h6.whatif_calls) / estimate;
+      if (ratio < 0.5 || ratio > 2.0) {
+        std::fprintf(stderr,
+                     "ASSERT FAILED: Q=%u H6 made %llu what-if calls, "
+                     "%.2fx the 2*Q*q-bar estimate of %.0f "
+                     "(allowed band 0.5x..2.0x)\n",
+                     queries_per_table,
+                     static_cast<unsigned long long>(h6.whatif_calls), ratio,
+                     estimate);
+        ++failures;
+      }
+    }
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Expected shape (paper): H6's call count stays near the 2*Q*q-bar\n"
       "estimate; CoPhy's grows with the candidate count.\n");
+  if (AssertMode() && failures == 0) {
+    std::printf("assert mode: all H6 call counts within 2x of 2*Q*q-bar\n");
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -59,6 +90,5 @@ void Run() {
 
 int main() {
   idxsel::bench::ObsSession obs("whatif_calls");
-  idxsel::bench::Run();
-  return 0;
+  return idxsel::bench::Run();
 }

@@ -26,6 +26,7 @@ idxsel_bench(bench_fig4)
 idxsel_bench(bench_fig5)
 idxsel_bench(bench_fig6)
 idxsel_bench(bench_whatif_calls)
+idxsel_bench(bench_kernel)
 idxsel_bench(bench_extensions)
 idxsel_bench(bench_reconfiguration)
 idxsel_bench(bench_compression)

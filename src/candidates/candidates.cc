@@ -32,6 +32,22 @@ std::unordered_map<Index, double, costmodel::IndexHash>
 CollectCooccurringCombos(const Workload& workload, uint32_t max_width,
                          rt::DeadlinePoller& poller) {
   std::unordered_map<Index, double, costmodel::IndexHash> combos;
+  // Pre-size from the saturated emission count (sum of binomials per
+  // query); duplicates across queries make it an upper bound, and the cap
+  // keeps a pathological workload from reserving an absurd table.
+  constexpr size_t kReserveCap = size_t{1} << 20;
+  size_t emissions = 0;
+  for (QueryId j = 0;
+       j < workload.num_queries() && emissions < kReserveCap; ++j) {
+    const size_t n = workload.query(j).attributes.size();
+    const size_t cap = std::min<size_t>(max_width, n);
+    size_t binom = 1;
+    for (size_t m = 1; m <= cap && emissions < kReserveCap; ++m) {
+      binom = binom * (n - m + 1) / m;  // C(n, m), exact stepwise
+      emissions += std::min(binom, kReserveCap);
+    }
+  }
+  combos.reserve(std::min(emissions, kReserveCap));
   std::vector<size_t> pick;
   for (QueryId j = 0; j < workload.num_queries(); ++j) {
     if (poller.expired()) break;
@@ -128,6 +144,17 @@ CandidateSet GenerateCandidates(const Workload& workload,
     Index combo;
   };
   std::vector<std::vector<Scored>> by_width(max_width + 1);
+  {
+    // Counting pass so each bucket allocates exactly once.
+    std::vector<size_t> width_count(max_width + 1, 0);
+    for (const auto& [combo, freq] : combos) {
+      (void)freq;
+      ++width_count[combo.width()];
+    }
+    for (uint32_t m = 1; m <= max_width; ++m) {
+      by_width[m].reserve(width_count[m]);
+    }
+  }
   for (const auto& [combo, freq] : combos) {
     double score = 0.0;
     switch (heuristic) {
@@ -175,6 +202,22 @@ CandidateSet SkylineFilter(const CandidateSet& candidates,
     double cost;
     uint32_t candidate;
   };
+#if defined(IDXSEL_KERNEL)
+  // Dense fast path: candidates interned once; queries are visited in
+  // ascending order, so a per-candidate cursor over its posting list is
+  // the dense row slot of every (j, c) pair this sweep prices. Values and
+  // engine accounting match the keyed lookups below exactly.
+  const bool dense = engine.DenseActive();
+  std::vector<kernel::IndexId> ids;
+  std::vector<uint32_t> cursor;
+  if (dense) {
+    ids.reserve(candidates.size());
+    for (uint32_t c = 0; c < candidates.size(); ++c) {
+      ids.push_back(engine.InternIndex(candidates[c]));
+    }
+    cursor.assign(candidates.size(), 0);
+  }
+#endif
   for (QueryId j = 0; j < workload.num_queries(); ++j) {
     // A half-swept skyline cannot tell "dominated" from "never examined";
     // degrade to the identity filter instead of dropping unjudged
@@ -183,6 +226,14 @@ CandidateSet SkylineFilter(const CandidateSet& candidates,
     std::vector<Entry> entries;
     entries.reserve(applicability[j].size());
     for (uint32_t c : applicability[j]) {
+#if defined(IDXSEL_KERNEL)
+      if (dense) {
+        const double memory = engine.IndexMemoryDense(ids[c]);
+        entries.push_back(Entry{
+            memory, engine.CostWithIndexDense(j, ids[c], cursor[c]++), c});
+        continue;
+      }
+#endif
       entries.push_back(Entry{engine.IndexMemory(candidates[c]),
                               engine.CostWithIndex(j, candidates[c]), c});
     }
@@ -212,6 +263,16 @@ CandidateSet SkylineFilter(const CandidateSet& candidates,
 std::vector<std::vector<uint32_t>> ComputeApplicability(
     const Workload& workload, const CandidateSet& candidates) {
   std::vector<std::vector<uint32_t>> applicability(workload.num_queries());
+  // Counting pass so each per-query list allocates exactly once.
+  std::vector<uint32_t> counts(workload.num_queries(), 0);
+  for (uint32_t c = 0; c < candidates.size(); ++c) {
+    for (QueryId j : workload.queries_with(candidates[c].leading())) {
+      ++counts[j];
+    }
+  }
+  for (QueryId j = 0; j < workload.num_queries(); ++j) {
+    applicability[j].reserve(counts[j]);
+  }
   for (uint32_t c = 0; c < candidates.size(); ++c) {
     const Index& k = candidates[c];
     for (QueryId j : workload.queries_with(k.leading())) {

@@ -1,7 +1,7 @@
 #include "core/recursive_selector.h"
 
 #include <algorithm>
-#include <functional>
+#include <atomic>
 #include <optional>
 #include <unordered_map>
 
@@ -30,6 +30,11 @@ struct SelectorMetrics {
   obs::Counter* candidate_evals;
   obs::Counter* ratio_ties;
   obs::Histogram* run_latency;
+#if defined(IDXSEL_KERNEL)
+  /// Queries rejected by the 64-bit mask full-cover filter before any
+  /// per-query work — the kernel's "posting-list-filtered" volume.
+  obs::Counter* kernel_filtered;
+#endif
 
   static const SelectorMetrics& Get() {
     static const SelectorMetrics metrics = [] {
@@ -46,6 +51,10 @@ struct SelectorMetrics {
       m.ratio_ties = registry.GetCounter("idxsel.selector.ratio_ties");
       m.run_latency =
           registry.GetHistogram("idxsel.selector.run_latency_ns");
+#if defined(IDXSEL_KERNEL)
+      m.kernel_filtered =
+          registry.GetCounter("idxsel.kernel.filtered_queries");
+#endif
       return m;
     }();
     return metrics;
@@ -57,12 +66,51 @@ struct SelectorMetrics {
 struct Move {
   StepKind kind = StepKind::kNewSingle;
   size_t selected_pos = 0;  ///< For appends: position in the selection.
-  Index after;              ///< Resulting index.
+  Index after;              ///< Resulting index (kernel mode: filled lazily
+                            ///< by MaterializeMove for best/runner-up only).
+#if defined(IDXSEL_KERNEL)
+  /// Interned id of `after`. In a kernel-mode round every candidate carries
+  /// one (tie-breaks then compare tuples through the arena, no Index
+  /// needed); in legacy rounds none does.
+  kernel::IndexId after_id = kernel::kInvalidIndexId;
+#endif
   double benefit = 0.0;     ///< (F+R) reduction; > 0 for eligible moves.
   double memory_delta = 0.0;
   double ratio = -std::numeric_limits<double>::infinity();
   bool valid = false;
 };
+
+#if defined(IDXSEL_KERNEL)
+namespace kernel = idxsel::kernel;
+
+/// Per-attribute scratch of one append-evaluation unit: benefit
+/// accumulator, interned extension id, and an epoch stamp that makes
+/// clearing O(touched) instead of O(num_attributes). Thread-local because
+/// parallel rounds run units concurrently — each unit executes wholly on
+/// one thread, and the epoch isolates successive units on the same thread.
+struct AppendScratch {
+  std::vector<double> benefit;
+  std::vector<kernel::IndexId> ext_id;
+  std::vector<uint64_t> epoch;
+  std::vector<workload::AttributeId> touched;
+  uint64_t current = 0;
+
+  void Begin(size_t num_attributes) {
+    if (benefit.size() < num_attributes) {
+      benefit.resize(num_attributes);
+      ext_id.resize(num_attributes);
+      epoch.resize(num_attributes, 0);
+    }
+    ++current;
+    touched.clear();
+  }
+
+  static AppendScratch& Local() {
+    static thread_local AppendScratch scratch;
+    return scratch;
+  }
+};
+#endif
 
 class Runner {
  public:
@@ -73,6 +121,14 @@ class Runner {
         poller_(opts.deadline),
         threads_(exec::ResolveThreads(opts.threads)) {
     if (threads_ > 1) pool_.emplace(threads_);
+#if defined(IDXSEL_KERNEL)
+    // Sampled once: a mid-run kernel::SetEnabled must not flip evaluation
+    // modes between rounds. Reconfiguration deltas need materialized
+    // indexes per candidate and Remark-2 evaluation re-costs whole
+    // configurations, so both run the legacy paths.
+    use_kernel_ = engine.DenseActive() && opts.reconfiguration == nullptr &&
+                  !opts.multi_index_eval;
+#endif
   }
 
   RecursiveResult Run() {
@@ -96,6 +152,17 @@ class Runner {
     best_owner_.assign(w_.num_queries(), kNoOwner);
     single_costs_.resize(w_.num_attributes());
     single_costs_ready_.assign(w_.num_attributes(), 0);
+#if defined(IDXSEL_KERNEL)
+    if (use_kernel_) {
+      // Intern every single-attribute index up front: ids become
+      // deterministic, and the parallel single-ranking lanes never contend
+      // on the arena lock.
+      single_ids_.resize(w_.num_attributes());
+      for (workload::AttributeId i = 0; i < w_.num_attributes(); ++i) {
+        single_ids_[i] = engine_.arena().Intern(&i, 1);
+      }
+    }
+#endif
     objective_ = 0.0;
     for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
       best_cost_[j] = engine_.BaseCost(j);
@@ -114,6 +181,12 @@ class Runner {
       if (opts_.multi_index_eval) {
         EvaluateNewSinglesMulti(&best, &runner_up);
         EvaluateAppendsMulti(&best, &runner_up);
+#if defined(IDXSEL_KERNEL)
+      } else if (use_kernel_) {
+        EvaluateNewSinglesKernel(&best, &runner_up);
+        EvaluateAppendsKernel(&best, &runner_up);
+        if (opts_.pair_steps) EvaluatePairs(&best, &runner_up);
+#endif
       } else {
         EvaluateNewSingles(&best, &runner_up);
         EvaluateAppends(&best, &runner_up);
@@ -124,6 +197,10 @@ class Runner {
       // enumeration happened to visit first. Keep the pre-round incumbent.
       if (poller_.expired()) break;
       if (!best.valid || best.ratio <= opts_.min_ratio) break;
+      // Kernel-mode candidates travel as interned ids; the one committed
+      // (and the traced runner-up) are the only ones ever materialized.
+      MaterializeMove(&best);
+      MaterializeMove(&runner_up);
       ++committed_rounds_;
       if (best.kind == StepKind::kAppend ||
           best.kind == StepKind::kAppendPair) {
@@ -186,6 +263,10 @@ class Runner {
     metrics.steps_swap->Add(swap_steps_);
     metrics.candidate_evals->Add(candidate_evals_);
     metrics.ratio_ties->Add(ratio_ties_);
+#if defined(IDXSEL_KERNEL)
+    metrics.kernel_filtered->Add(
+        kernel_filtered_.load(std::memory_order_relaxed));
+#endif
     if (obs::Enabled()) {
       metrics.run_latency->Record(
           static_cast<uint64_t>(result.runtime_seconds * 1e9));
@@ -281,9 +362,23 @@ class Runner {
     if (!single_costs_ready_[i]) {
       single_costs_ready_[i] = 1;
       auto& list = single_costs_[i];
+      const auto& posting = w_.queries_with(i);
+      list.reserve(posting.size());
+#if defined(IDXSEL_KERNEL)
+      if (use_kernel_) {
+        // Same values, same engine accounting as the keyed loop below (the
+        // dense path falls back to it per slot); warming here also fills
+        // {i}'s dense row, which every later step reads hash-free.
+        const kernel::IndexId id = single_ids_[i];
+        for (uint32_t s = 0; s < posting.size(); ++s) {
+          list.emplace_back(posting[s],
+                            engine_.CostWithIndexDense(posting[s], id, s));
+        }
+        return list;
+      }
+#endif
       const Index k(i);
-      list.reserve(w_.queries_with(i).size());
-      for (workload::QueryId j : w_.queries_with(i)) {
+      for (workload::QueryId j : posting) {
         list.emplace_back(j, engine_.CostWithIndex(j, k));
       }
     }
@@ -297,24 +392,37 @@ class Runner {
     return false;
   }
 
+  /// Strict "a beats b" order on candidate moves: ratio, then the
+  /// deterministic lexicographic tuple tie-break. Kernel-mode rounds
+  /// compare through the arena (every move carries an id, no Index value
+  /// exists yet); arena order and Index::operator< are both plain
+  /// lexicographic comparison of the attribute tuples, so the two modes
+  /// agree on every tie.
+  bool MoveBetter(const Move& a, const Move& b) const {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+#if defined(IDXSEL_KERNEL)
+    if (a.after_id != kernel::kInvalidIndexId &&
+        b.after_id != kernel::kInvalidIndexId) {
+      return engine_.arena().Less(a.after_id, b.after_id);
+    }
+#endif
+    return a.after < b.after;
+  }
+
   void Consider(Move move, Move* best, Move* runner_up) {
     ++candidate_evals_;
     if (!(move.benefit > kEps) || !(move.memory_delta > 0.0)) return;
     if (used_memory_ + move.memory_delta > opts_.budget + kEps) return;
     move.ratio = move.benefit / move.memory_delta;
     move.valid = true;
-    // A ratio tie means the deterministic `after < after` ordering — not
-    // the step criterion — decides the move; worth counting because ties
-    // make the greedy's choice sensitive to index enumeration order.
+    // A ratio tie means the deterministic tuple ordering — not the step
+    // criterion — decides the move; worth counting because ties make the
+    // greedy's choice sensitive to index enumeration order.
     if (best->valid && move.ratio == best->ratio) ++ratio_ties_;
-    auto better = [](const Move& a, const Move& b) {
-      if (a.ratio != b.ratio) return a.ratio > b.ratio;
-      return a.after < b.after;  // deterministic tie-break
-    };
-    if (!best->valid || better(move, *best)) {
+    if (!best->valid || MoveBetter(move, *best)) {
       if (best->valid) *runner_up = *best;
       *best = move;
-    } else if (!runner_up->valid || better(move, *runner_up)) {
+    } else if (!runner_up->valid || MoveBetter(move, *runner_up)) {
       *runner_up = move;
     }
   }
@@ -333,31 +441,36 @@ class Runner {
   /// buffers, then one serial pass Considers them in unit order. Both
   /// paths therefore Consider the identical move sequence: bit-identical
   /// selections, FP sums, and telemetry regardless of thread count.
-  void EvaluateUnits(size_t n,
-                     const std::function<void(size_t, std::vector<Move>&)>& eval,
-                     Move* best, Move* runner_up) {
+  template <typename Eval>
+  void EvaluateUnits(size_t n, const Eval& eval, Move* best,
+                     Move* runner_up) {
     if (n == 0) return;
     if (!pool_.has_value()) {
-      std::vector<Move> moves;
       for (size_t u = 0; u < n; ++u) {
         if (poller_.Expired()) return;
-        moves.clear();
-        eval(u, moves);
-        for (const Move& move : moves) Consider(move, best, runner_up);
+        serial_moves_.clear();
+        eval(u, serial_moves_);
+        for (const Move& move : serial_moves_) {
+          Consider(move, best, runner_up);
+        }
       }
       return;
     }
-    std::vector<std::vector<Move>> buffers(n);
+    // Buffers are members so steady-state rounds reuse their capacity.
+    if (unit_buffers_.size() < n) unit_buffers_.resize(n);
+    for (size_t u = 0; u < n; ++u) unit_buffers_[u].clear();
     pool_->ParallelFor(n, [&](size_t u) {
       if (poller_.Expired()) return;
-      eval(u, buffers[u]);
+      eval(u, unit_buffers_[u]);
     });
     // A deadline hit mid-evaluation leaves some buffers empty; the main
     // loop discards the whole round (same contract as the serial early
     // return), so skip the reduction.
     if (poller_.expired()) return;
     for (size_t u = 0; u < n; ++u) {
-      for (const Move& move : buffers[u]) Consider(move, best, runner_up);
+      for (const Move& move : unit_buffers_[u]) {
+        Consider(move, best, runner_up);
+      }
     }
   }
 
@@ -462,13 +575,21 @@ class Runner {
                   w_.query(j).frequency * (best_cost_[j] - new_cost);
             }
           }
-          for (const auto& [a, gain] : benefit) {
+          // Emit in ascending attribute order: emission order fixes the
+          // first-touch order of the size/maintenance caches (hence the
+          // backend call sequence) and the ratio-tie telemetry, and the
+          // kernel-mode evaluation emits in exactly this order.
+          std::vector<workload::AttributeId> order;
+          order.reserve(benefit.size());
+          for (const auto& [a, gain] : benefit) order.push_back(a);
+          std::sort(order.begin(), order.end());
+          for (workload::AttributeId a : order) {
             const Index& k_ext = extended.at(a);
             Move move;
             move.kind = StepKind::kAppend;
             move.selected_pos = pos;
             move.after = k_ext;
-            move.benefit = gain - ReconfigDelta(&k, k_ext) -
+            move.benefit = benefit.at(a) - ReconfigDelta(&k, k_ext) -
                            (engine_.MaintenancePenalty(k_ext) -
                             engine_.MaintenancePenalty(k));
             move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
@@ -477,6 +598,116 @@ class Runner {
         },
         best, runner_up);
   }
+
+#if defined(IDXSEL_KERNEL)
+  /// Kernel-mode step (3a): identical move set, values, and engine
+  /// accounting as EvaluateNewSingles (reconfiguration is never configured
+  /// here, so its delta — 0 — drops out), but sizes and maintenance come
+  /// from the dense id-addressed tables and no Index is materialized.
+  void EvaluateNewSinglesKernel(Move* best, Move* runner_up) {
+    EvaluateUnits(
+        eligible_singles_.size(),
+        [&](size_t u, std::vector<Move>& out) {
+          const workload::AttributeId i = eligible_singles_[u];
+          if (SingleSelected(i)) return;  // step (3a): I and {i} disjoint
+          const kernel::IndexId id = single_ids_[i];
+          Move move;
+          move.kind = StepKind::kNewSingle;
+          move.after_id = id;
+          move.benefit =
+              SingleBenefit(i) - engine_.MaintenancePenaltyDense(id);
+          move.memory_delta = engine_.IndexMemoryDense(id);
+          out.push_back(std::move(move));
+        },
+        best, runner_up);
+  }
+
+  /// Kernel-mode step (3b). Same loop structure, FP accumulation order,
+  /// and engine call sequence as EvaluateAppends; the differences are
+  /// layout only — the full-cover test is a mask subset check, benefits
+  /// accumulate in flat per-attribute scratch instead of hash maps,
+  /// extensions are interned ids, and cost lookups ride the posting-list
+  /// slot straight into the dense row.
+  void EvaluateAppendsKernel(Move* best, Move* runner_up) {
+    const kernel::IndexArena& arena = engine_.arena();
+    const kernel::QueryMasks& qmasks = engine_.query_masks();
+    EvaluateUnits(
+        selected_.size(),
+        [&](size_t pos, std::vector<Move>& out) {
+          const kernel::IndexId kid = selected_ids_[pos];
+          const uint32_t kwidth = arena.width(kid);
+          if (kwidth >= opts_.max_index_width) return;
+          const double base_mem = engine_.IndexMemoryDense(kid);
+          const uint64_t kmask = arena.mask(kid);
+          AppendScratch& scratch = AppendScratch::Local();
+          scratch.Begin(w_.num_attributes());
+          uint64_t filtered = 0;
+          const auto& posting = w_.queries_with(arena.leading(kid));
+          for (uint32_t s = 0; s < posting.size(); ++s) {
+            const workload::QueryId j = posting[s];
+            // Full cover (CoverablePrefixLength == width, i.e. attrs(k)
+            // a subset of q_j) as a mask test: a missed bit is a
+            // definitive reject; a hit is definitive too when masks are
+            // exact and is confirmed on the tuple otherwise.
+            if ((kmask & ~qmasks.mask(j)) != 0) {
+              ++filtered;
+              continue;
+            }
+            const auto& q_attrs = w_.query(j).attributes;
+            if (!qmasks.exact() &&
+                selected_[pos].CoverablePrefixLength(q_attrs) != kwidth) {
+              continue;
+            }
+            const double cost_without = CostWithout(j, pos);
+            for (workload::AttributeId a : q_attrs) {
+              if (arena.Contains(kid, a)) continue;
+              if (scratch.epoch[a] != scratch.current) {
+                scratch.epoch[a] = scratch.current;
+                scratch.benefit[a] = 0.0;
+                scratch.ext_id[a] = engine_.arena().InternAppend(kid, a);
+                scratch.touched.push_back(a);
+              }
+              // The extension keeps k's leading attribute, so it shares
+              // k's posting list and `s` is also its dense row slot.
+              const double new_cost =
+                  std::min(cost_without,
+                           engine_.CostWithIndexDense(j, scratch.ext_id[a],
+                                                      s));
+              scratch.benefit[a] +=
+                  w_.query(j).frequency * (best_cost_[j] - new_cost);
+            }
+          }
+          if (filtered != 0) {
+            kernel_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+          }
+          std::sort(scratch.touched.begin(), scratch.touched.end());
+          for (workload::AttributeId a : scratch.touched) {
+            const kernel::IndexId eid = scratch.ext_id[a];
+            Move move;
+            move.kind = StepKind::kAppend;
+            move.selected_pos = pos;
+            move.after_id = eid;
+            move.benefit = scratch.benefit[a] -
+                           (engine_.MaintenancePenaltyDense(eid) -
+                            engine_.MaintenancePenaltyDense(kid));
+            move.memory_delta = engine_.IndexMemoryDense(eid) - base_mem;
+            out.push_back(std::move(move));
+          }
+        },
+        best, runner_up);
+  }
+
+  /// Fills `after` of a kernel-mode move; only the committed move and the
+  /// traced runner-up ever pay the materialization.
+  void MaterializeMove(Move* move) {
+    if (move->valid && move->after_id != kernel::kInvalidIndexId &&
+        move->after.empty()) {
+      move->after = engine_.MaterializeIndex(move->after_id);
+    }
+  }
+#else
+  void MaterializeMove(Move*) {}
+#endif
 
   /// Remark 1(4): evaluate two-attribute moves. New pairs are seeded from
   /// the eligible singles; append pairs extend fully-covered indexes by two
@@ -500,12 +731,22 @@ class Runner {
                   w_.query(j).frequency * (best_cost_[j] - new_cost);
             }
           }
-          for (const auto& [b, gain] : benefit) {
+          // Ascending emission: see EvaluateAppends.
+          std::vector<workload::AttributeId> order;
+          order.reserve(benefit.size());
+          for (const auto& [b, gain] : benefit) order.push_back(b);
+          std::sort(order.begin(), order.end());
+          for (workload::AttributeId b : order) {
             const Index& k_pair = pair_index.at(b);
             Move move;
             move.kind = StepKind::kNewPair;
             move.after = k_pair;
-            move.benefit = gain - ReconfigDelta(nullptr, k_pair) -
+#if defined(IDXSEL_KERNEL)
+            // Kernel-mode tie-breaks compare ids, so every candidate of a
+            // round must carry one.
+            if (use_kernel_) move.after_id = engine_.InternIndex(k_pair);
+#endif
+            move.benefit = benefit.at(b) - ReconfigDelta(nullptr, k_pair) -
                            engine_.MaintenancePenalty(k_pair);
             move.memory_delta = engine_.IndexMemory(k_pair);
             out.push_back(std::move(move));
@@ -540,13 +781,21 @@ class Runner {
               }
             }
           }
-          for (const auto& [key, gain] : benefit) {
+          // Ascending (a, b) emission: see EvaluateAppends.
+          std::vector<uint64_t> order;
+          order.reserve(benefit.size());
+          for (const auto& [key, gain] : benefit) order.push_back(key);
+          std::sort(order.begin(), order.end());
+          for (uint64_t key : order) {
             const Index& k_ext = ext.at(key);
             Move move;
             move.kind = StepKind::kAppendPair;
             move.selected_pos = pos;
             move.after = k_ext;
-            move.benefit = gain - ReconfigDelta(&k, k_ext) -
+#if defined(IDXSEL_KERNEL)
+            if (use_kernel_) move.after_id = engine_.InternIndex(k_ext);
+#endif
+            move.benefit = benefit.at(key) - ReconfigDelta(&k, k_ext) -
                            (engine_.MaintenancePenalty(k_ext) -
                             engine_.MaintenancePenalty(k));
             move.memory_delta = engine_.IndexMemory(k_ext) - base_mem;
@@ -671,6 +920,12 @@ class Runner {
   // -- Committing ------------------------------------------------------------
 
   void Commit(const Move& move) {
+#if defined(IDXSEL_KERNEL)
+    if (use_kernel_) {
+      CommitKernel(move);
+      return;
+    }
+#endif
     replaced_ = Index();
     // Maintenance penalties are part of the tracked objective.
     objective_ += engine_.MaintenancePenalty(move.after);
@@ -708,6 +963,112 @@ class Runner {
     }
     used_memory_ += move.memory_delta;
   }
+
+#if defined(IDXSEL_KERNEL)
+  /// Kernel-mode Commit: the same mutations and engine accounting as the
+  /// legacy branch above, addressed by interned ids; an append finishes by
+  /// letting the morphed index inherit the replaced index's dense cost row
+  /// (delta costing — only re-estimated slots were written before this).
+  void CommitKernel(const Move& move) {
+    const kernel::IndexArena& arena = engine_.arena();
+    const kernel::QueryMasks& qmasks = engine_.query_masks();
+    IDXSEL_DCHECK(move.after_id != kernel::kInvalidIndexId);
+    IDXSEL_DCHECK(!move.after.empty());  // MaterializeMove ran
+    replaced_ = Index();
+    objective_ += engine_.MaintenancePenaltyDense(move.after_id);
+    if (move.kind == StepKind::kAppend ||
+        move.kind == StepKind::kAppendPair) {
+      objective_ -=
+          engine_.MaintenancePenaltyDense(selected_ids_[move.selected_pos]);
+    }
+    if (move.kind == StepKind::kNewSingle ||
+        move.kind == StepKind::kNewPair) {
+      const size_t pos = selected_.size();
+      selected_.push_back(move.after);
+      selected_ids_.push_back(move.after_id);
+      const auto& posting = w_.queries_with(arena.leading(move.after_id));
+      for (uint32_t s = 0; s < posting.size(); ++s) {
+        InsertCost(posting[s], pos,
+                   engine_.CostWithIndexDense(posting[s], move.after_id, s));
+      }
+    } else {
+      replaced_ = selected_[move.selected_pos];
+      const kernel::IndexId replaced_id = selected_ids_[move.selected_pos];
+      const uint64_t rmask = arena.mask(replaced_id);
+      const uint32_t rwidth = arena.width(replaced_id);
+      const workload::AttributeId first_appended =
+          arena.attrs(move.after_id)[rwidth];
+      const uint64_t abit = kernel::AttrBit(first_appended);
+      affected_scratch_.clear();
+      uint64_t filtered = 0;
+      for (workload::QueryId j :
+           w_.queries_with(arena.leading(replaced_id))) {
+        // Affected = constrains the first appended attribute AND fully
+        // covers the replaced index — one combined mask subset test, with
+        // tuple confirmation only when masks are lossy.
+        if (((rmask | abit) & ~qmasks.mask(j)) != 0) {
+          ++filtered;
+          continue;
+        }
+        if (!qmasks.exact()) {
+          const auto& q_attrs = w_.query(j).attributes;
+          if (!std::binary_search(q_attrs.begin(), q_attrs.end(),
+                                  first_appended) ||
+              replaced_.CoverablePrefixLength(q_attrs) != rwidth) {
+            continue;
+          }
+        }
+        affected_scratch_.push_back(j);
+      }
+      if (filtered != 0) {
+        kernel_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+      }
+      selected_[move.selected_pos] = move.after;
+      selected_ids_[move.selected_pos] = move.after_id;
+      for (workload::QueryId j : affected_scratch_) RecomputeQueryKernel(j);
+      // Every query not re-estimated above keeps f_j(k ⊕ a) == f_j(k)
+      // (cost-model invariant), so the new row inherits the old one.
+      engine_.InheritCostRow(replaced_id, move.after_id);
+    }
+    used_memory_ += move.memory_delta;
+  }
+
+  /// Applicable() on ids: a clear leading bit is a definitive reject; an
+  /// exact-mask hit is definitive too (queries only constrain attributes
+  /// of their own table, so leading membership implies same-table).
+  bool ApplicableKernel(workload::QueryId j, kernel::IndexId id) const {
+    const kernel::QueryMasks& qmasks = engine_.query_masks();
+    const workload::AttributeId lead = engine_.arena().leading(id);
+    if (qmasks.DefinitelyAbsent(j, lead)) return false;
+    if (qmasks.exact()) return true;
+    const auto& q_attrs = w_.query(j).attributes;
+    return std::binary_search(q_attrs.begin(), q_attrs.end(), lead);
+  }
+
+  /// RecomputeQuery through the dense tables — identical values and
+  /// engine accounting (the dense misses fall back to the keyed path).
+  void RecomputeQueryKernel(workload::QueryId j) {
+    const double old_best = best_cost_[j];
+    double b1 = engine_.BaseCost(j);
+    double b2 = std::numeric_limits<double>::infinity();
+    size_t owner = kNoOwner;
+    for (size_t p = 0; p < selected_.size(); ++p) {
+      if (!ApplicableKernel(j, selected_ids_[p])) continue;
+      const double c = engine_.CostWithIndexDenseSlow(j, selected_ids_[p]);
+      if (c < b1) {
+        b2 = b1;
+        b1 = c;
+        owner = p;
+      } else if (c < b2) {
+        b2 = c;
+      }
+    }
+    best_cost_[j] = b1;
+    second_cost_[j] = b2;
+    best_owner_[j] = owner;
+    objective_ += w_.query(j).frequency * (b1 - old_best);
+  }
+#endif
 
   /// Rebuilds every per-query and objective bookkeeping from selected_.
   void RebuildState() {
@@ -791,6 +1152,16 @@ class Runner {
         step.objective_before = objective_;
         selected_.assign(hypothetical.indexes().begin(),
                          hypothetical.indexes().end());
+#if defined(IDXSEL_KERNEL)
+        if (use_kernel_) {
+          // Keep the id view aligned; later prune/recompute rounds (and
+          // the next repair iteration's bookkeeping) read it.
+          selected_ids_.clear();
+          for (const Index& kept : selected_) {
+            selected_ids_.push_back(engine_.InternIndex(kept));
+          }
+        }
+#endif
         RebuildState();
         step.objective_after = objective_;
         step.memory_delta = 0.0;  // net change is below the budget anyway
@@ -827,10 +1198,21 @@ class Runner {
       ++prune_steps_;
       used_memory_ -= engine_.IndexMemory(selected_[p]);
       selected_.erase(selected_.begin() + static_cast<long>(p));
+#if defined(IDXSEL_KERNEL)
+      if (use_kernel_) {
+        selected_ids_.erase(selected_ids_.begin() + static_cast<long>(p));
+      }
+#endif
     }
     if (any_dropped) {
       // Positions shifted: rebuild the per-query owner bookkeeping.
       for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+#if defined(IDXSEL_KERNEL)
+        if (use_kernel_) {
+          RecomputeQueryKernel(j);
+          continue;
+        }
+#endif
         RecomputeQuery(j);
       }
     }
@@ -861,6 +1243,19 @@ class Runner {
   std::vector<std::vector<std::pair<workload::QueryId, double>>> single_costs_;
   std::vector<char> single_costs_ready_;
   std::vector<workload::QueryId> affected_scratch_;
+  // Move buffers of EvaluateUnits, members so steady-state rounds reuse
+  // their capacity instead of reallocating per round.
+  std::vector<Move> serial_moves_;
+  std::vector<std::vector<Move>> unit_buffers_;
+#if defined(IDXSEL_KERNEL)
+  bool use_kernel_ = false;
+  std::vector<kernel::IndexId> selected_ids_;  ///< Parallel to selected_.
+  std::vector<kernel::IndexId> single_ids_;    ///< Per attribute: id of {i}.
+  /// Mask-filtered query count; atomic because parallel evaluation units
+  /// flush their per-unit tallies concurrently. Published to
+  /// idxsel.kernel.filtered_queries in the end-of-run batch.
+  std::atomic<uint64_t> kernel_filtered_{0};
+#endif
   double objective_ = 0.0;
   double used_memory_ = 0.0;
   Index replaced_;

@@ -62,6 +62,19 @@ WhatIfEngine::WhatIfEngine(const workload::Workload* workload_in,
   obs_config_entries_ =
       registry.GetGauge("idxsel.whatif.config_cache_entries");
 #endif
+#if defined(IDXSEL_KERNEL)
+  // Dense tables only make sense under key canonicalization (their row
+  // inheritance leans on the same invariant), so skip the ~1 MB of block
+  // directories when it is off. Callers gate on DenseActive().
+  if (canonicalize_keys_) {
+    dense_ = std::make_unique<DenseState>(*workload_);
+  }
+#if defined(IDXSEL_OBS)
+  obs_kernel_fast_ = registry.GetCounter("idxsel.kernel.fast_path_hits");
+  obs_kernel_fallback_ =
+      registry.GetCounter("idxsel.kernel.fallback_lookups");
+#endif
+#endif
   const size_t n = workload_->num_queries();
   base_cost_ = std::make_unique<std::atomic<double>[]>(n);
   for (size_t j = 0; j < n; ++j) {
@@ -239,6 +252,9 @@ double WhatIfEngine::ConfigMemory(const IndexConfig& config) {
 }
 
 double WhatIfEngine::WorkloadCost(const IndexConfig& config) {
+#if defined(IDXSEL_KERNEL)
+  if (DenseActive()) return WorkloadCostDense(config);
+#endif
   double total = 0.0;
   for (QueryId j = 0; j < workload_->num_queries(); ++j) {
     double best = BaseCost(j);
@@ -251,6 +267,113 @@ double WhatIfEngine::WorkloadCost(const IndexConfig& config) {
   for (const Index& k : config.indexes()) total += MaintenancePenalty(k);
   return total;
 }
+
+#if defined(IDXSEL_KERNEL)
+
+Index WhatIfEngine::MaterializeIndex(kernel::IndexId id) const {
+  const kernel::IndexArena& arena = dense_->arena;
+  return Index(std::vector<workload::AttributeId>(
+      arena.attrs(id), arena.attrs(id) + arena.width(id)));
+}
+
+double WhatIfEngine::CostWithIndexDense(QueryId j, kernel::IndexId id,
+                                        uint32_t slot) {
+  IDXSEL_DCHECK(DenseActive());
+  const double cached = dense_->costs.Get(id, slot);
+  if (!std::isnan(cached)) {
+    // Counting a cache hit here matches the keyed path exactly: a filled
+    // dense slot implies the hashed cache holds the canonical key — it
+    // was inserted when the slot was filled, or the slot was inherited
+    // from a row whose canonical key (identical for every query that
+    // cannot exploit the extension) already was. See doc/cost_model.md.
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    IDXSEL_OBS_ONLY(obs_hits_->Add(); obs_kernel_fast_->Add();)
+    return cached;
+  }
+  IDXSEL_OBS_ONLY(obs_kernel_fallback_->Add();)
+  const double cost = CostWithIndex(j, MaterializeIndex(id));
+  const auto& posting = workload_->queries_with(dense_->arena.leading(id));
+  IDXSEL_DCHECK(slot < posting.size() && posting[slot] == j);
+  dense_->costs.Put(id, slot, static_cast<uint32_t>(posting.size()), cost);
+  return cost;
+}
+
+double WhatIfEngine::CostWithIndexDenseSlow(QueryId j, kernel::IndexId id) {
+  const auto& posting = workload_->queries_with(dense_->arena.leading(id));
+  const auto it = std::lower_bound(posting.begin(), posting.end(), j);
+  IDXSEL_DCHECK(it != posting.end() && *it == j);
+  return CostWithIndexDense(j, id,
+                            static_cast<uint32_t>(it - posting.begin()));
+}
+
+double WhatIfEngine::IndexMemoryDense(kernel::IndexId id) {
+  const double cached = dense_->memory.Get(id);
+  if (!std::isnan(cached)) {
+    IDXSEL_OBS_ONLY(obs_kernel_fast_->Add();)
+    return cached;
+  }
+  IDXSEL_OBS_ONLY(obs_kernel_fallback_->Add();)
+  // The keyed path sanitizes garbage sizes to +infinity (never NaN), so
+  // every stored value reads back as "set".
+  const double v = IndexMemory(MaterializeIndex(id));
+  dense_->memory.Put(id, v);
+  return v;
+}
+
+double WhatIfEngine::MaintenancePenaltyDense(kernel::IndexId id) {
+  if (write_queries_.empty()) return 0.0;
+  const double cached = dense_->maintenance.Get(id);
+  if (!std::isnan(cached)) {
+    IDXSEL_OBS_ONLY(obs_kernel_fast_->Add();)
+    return cached;
+  }
+  IDXSEL_OBS_ONLY(obs_kernel_fallback_->Add();)
+  const double v = MaintenancePenalty(MaterializeIndex(id));
+  dense_->maintenance.Put(id, v);
+  return v;
+}
+
+void WhatIfEngine::InheritCostRow(kernel::IndexId from, kernel::IndexId to) {
+  IDXSEL_DCHECK(dense_->arena.leading(from) == dense_->arena.leading(to));
+  const auto& posting = workload_->queries_with(dense_->arena.leading(to));
+  dense_->costs.InheritRow(from, to, static_cast<uint32_t>(posting.size()));
+}
+
+double WhatIfEngine::WorkloadCostDense(const IndexConfig& config) {
+  // One posting-list cursor per configured index: queries are visited in
+  // ascending order, so applicability is a cursor advance instead of a
+  // table lookup + binary search, and the cursor position doubles as the
+  // dense row slot. Values, iteration order, and backend call order are
+  // exactly those of the generic loop above (posting membership <=>
+  // Applicable, because queries only touch same-table attributes).
+  struct Cursor {
+    kernel::IndexId id;
+    const std::vector<QueryId>* posting;
+    uint32_t pos;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(config.indexes().size());
+  for (const Index& k : config.indexes()) {
+    const kernel::IndexId id = InternIndex(k);
+    cursors.push_back(
+        {id, &workload_->queries_with(dense_->arena.leading(id)), 0});
+  }
+  double total = 0.0;
+  for (QueryId j = 0; j < workload_->num_queries(); ++j) {
+    double best = BaseCost(j);
+    for (Cursor& c : cursors) {
+      const std::vector<QueryId>& posting = *c.posting;
+      while (c.pos < posting.size() && posting[c.pos] < j) ++c.pos;
+      if (c.pos >= posting.size() || posting[c.pos] != j) continue;
+      best = std::min(best, CostWithIndexDense(j, c.id, c.pos));
+    }
+    total += workload_->query(j).frequency * best;
+  }
+  for (const Cursor& c : cursors) total += MaintenancePenaltyDense(c.id);
+  return total;
+}
+
+#endif  // IDXSEL_KERNEL
 
 double WhatIfEngine::CostWithConfig(QueryId j, const IndexConfig& config) {
   // Only same-table indexes can influence the query; canonicalizing the key
@@ -309,6 +432,11 @@ void WhatIfEngine::InvalidateCostCache() {
 #if !defined(IDXSEL_OBS)
   (void)cost_erased;
   (void)config_erased;
+#endif
+#if defined(IDXSEL_KERNEL)
+  // The dense table shadows the cost cache, so it must forget too (sizes
+  // and maintenance penalties are kept, mirroring the keyed caches).
+  if (dense_ != nullptr) dense_->costs.Invalidate();
 #endif
   for (size_t j = 0; j < workload_->num_queries(); ++j) {
     base_cost_[j].store(std::numeric_limits<double>::quiet_NaN(),

@@ -25,6 +25,10 @@
 #include "exec/sharded_map.h"
 #include "obs/obs.h"
 
+#if defined(IDXSEL_KERNEL)
+#include "kernel/kernel.h"
+#endif
+
 namespace idxsel::costmodel {
 
 /// Source of query costs and index sizes — "the what-if optimizer".
@@ -225,6 +229,55 @@ class WhatIfEngine {
   /// Not safe concurrently with in-flight estimations.
   void InvalidateCostCache();
 
+#if defined(IDXSEL_KERNEL)
+  /// True when the dense kernel fast path may be consulted: the build
+  /// compiled it in, the runtime gate (kernel::Enabled / IDXSEL_KERNEL env
+  /// var) is open, and cache keys are canonicalized — the dense tables key
+  /// rows by interned index id and reuse rows across equivalent prefixes,
+  /// which is only sound under the same invariant canonicalization relies
+  /// on (doc/cost_model.md).
+  bool DenseActive() const {
+    return canonicalize_keys_ && kernel::Enabled();
+  }
+
+  /// The engine-owned intern arena. Ids are stable for the engine lifetime.
+  kernel::IndexArena& arena() { return dense_->arena; }
+
+  /// Per-query 64-bit attribute masks (built once at construction).
+  const kernel::QueryMasks& query_masks() const { return dense_->masks; }
+
+  /// Interns `k`, returning its dense id.
+  kernel::IndexId InternIndex(const Index& k) {
+    return dense_->arena.Intern(k.attributes().data(),
+                                static_cast<uint32_t>(k.attributes().size()));
+  }
+
+  /// Rebuilds the Index value for an interned id.
+  Index MaterializeIndex(kernel::IndexId id) const;
+
+  /// Cached f_j(k) addressed by dense id. `slot` is j's position in the
+  /// posting list of l(k) (workload().queries_with(l(k))); callers walking
+  /// posting lists already know it. On a dense-table hit this is one array
+  /// load (counted as a cache hit — the hashed cache provably holds the
+  /// canonical key too, see doc/cost_model.md); on a miss it falls back to
+  /// the keyed path and then fills the dense slot.
+  double CostWithIndexDense(QueryId j, kernel::IndexId id, uint32_t slot);
+
+  /// CostWithIndexDense for callers that do not know the posting slot;
+  /// resolves it with a binary search over the posting list.
+  double CostWithIndexDenseSlow(QueryId j, kernel::IndexId id);
+
+  /// p_k / frequency-weighted maintenance addressed by dense id.
+  double IndexMemoryDense(kernel::IndexId id);
+  double MaintenancePenaltyDense(kernel::IndexId id);
+
+  /// Copies `from`'s dense cost row into unset slots of `to`'s row. Sound
+  /// only when every query either exploits the extension (its slot was
+  /// recomputed before the call) or provably cannot (f_j identical — the
+  /// canonicalization invariant); the H6 commit step is the only caller.
+  void InheritCostRow(kernel::IndexId from, kernel::IndexId to);
+#endif
+
  private:
   /// Returns `value` if it is a well-formed cost/size (finite, >= 0);
   /// otherwise counts the rejection, records the first failure in
@@ -305,6 +358,29 @@ class WhatIfEngine {
   exec::ShardedMap<Index, double, IndexHash> memory_cache_;
   exec::ShardedMap<Index, double, IndexHash> maintenance_cache_;
   std::vector<QueryId> write_queries_;  // precomputed at construction
+
+#if defined(IDXSEL_KERNEL)
+  /// F(I*) via interned ids and posting-list cursors; same values, same
+  /// backend call order as the generic loop (doc/cost_model.md).
+  double WorkloadCostDense(const IndexConfig& config);
+
+  /// Dense-id-addressed state. Heap-allocated: the block-pointer
+  /// directories inside the tables are hundreds of KB and the engine is
+  /// routinely stack-constructed.
+  struct DenseState {
+    explicit DenseState(const workload::Workload& w) : masks(w) {}
+    kernel::IndexArena arena;
+    kernel::QueryMasks masks;
+    kernel::DenseCostTable costs;        ///< f_j(k) by (id, posting slot).
+    kernel::DenseValueTable memory;      ///< p_k by id.
+    kernel::DenseValueTable maintenance; ///< maintenance penalty by id.
+  };
+  std::unique_ptr<DenseState> dense_;
+#if defined(IDXSEL_OBS)
+  obs::Counter* obs_kernel_fast_;      ///< idxsel.kernel.fast_path_hits.
+  obs::Counter* obs_kernel_fallback_;  ///< idxsel.kernel.fallback_lookups.
+#endif
+#endif
 };
 
 }  // namespace idxsel::costmodel

@@ -50,6 +50,7 @@ void NormalizeCosts(WhatIfEngine& engine, FrontierSeries* series) {
 std::string RenderSeriesTable(const std::vector<FrontierSeries>& series) {
   IDXSEL_CHECK(!series.empty());
   std::vector<std::string> header = {"w"};
+  header.reserve(1 + series.size());
   for (const FrontierSeries& s : series) header.push_back(s.label);
   TablePrinter table(std::move(header));
   const size_t rows = series.front().points.size();
@@ -59,6 +60,7 @@ std::string RenderSeriesTable(const std::vector<FrontierSeries>& series) {
   for (size_t r = 0; r < rows; ++r) {
     std::vector<std::string> row = {
         FormatDouble(series.front().points[r].w, 3)};
+    row.reserve(1 + series.size());
     for (const FrontierSeries& s : series) {
       const FrontierPoint& p = s.points[r];
       // A DNF point still carries the solver's incumbent; print it with a
@@ -75,6 +77,7 @@ Status WriteSeriesCsv(const std::vector<FrontierSeries>& series,
                       const std::string& path) {
   IDXSEL_CHECK(!series.empty());
   std::vector<std::string> header = {"w", "budget_bytes"};
+  header.reserve(2 + 2 * series.size());
   for (const FrontierSeries& s : series) {
     header.push_back(s.label + "_cost");
     header.push_back(s.label + "_memory");
@@ -85,6 +88,7 @@ Status WriteSeriesCsv(const std::vector<FrontierSeries>& series,
     std::vector<std::string> row = {
         FormatDouble(series.front().points[r].w, 6),
         FormatDouble(series.front().points[r].budget, 2)};
+    row.reserve(2 + 2 * series.size());
     for (const FrontierSeries& s : series) {
       row.push_back(FormatDouble(s.points[r].cost, 6));
       row.push_back(FormatDouble(s.points[r].memory, 2));

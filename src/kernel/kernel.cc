@@ -1,0 +1,193 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace idxsel::kernel {
+
+// -- IndexArena -------------------------------------------------------------
+
+IndexArena::~IndexArena() {
+  for (auto& slot : blocks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
+const AttributeId* IndexArena::PoolCopy(const AttributeId* attrs,
+                                        uint32_t width) {
+  IDXSEL_DCHECK(width > kInlineAttrs);
+  IDXSEL_CHECK_LE(width, kPoolChunk);
+  if (pool_.empty() || pool_used_ + width > kPoolChunk) {
+    pool_.push_back(std::make_unique<AttributeId[]>(kPoolChunk));
+    pool_used_ = 0;
+  }
+  AttributeId* dst = pool_.back().get() + pool_used_;
+  std::memcpy(dst, attrs, width * sizeof(AttributeId));
+  pool_used_ += width;
+  return dst;
+}
+
+IndexId IndexArena::Intern(const AttributeId* attrs, uint32_t width) {
+  IDXSEL_DCHECK(width > 0);
+  const uint64_t h = TupleHash(attrs, width);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, end] = interned_.equal_range(h);
+  for (; it != end; ++it) {
+    const Entry& e = entry(it->second);
+    if (e.width == width &&
+        std::memcmp(e.attrs, attrs, width * sizeof(AttributeId)) == 0) {
+      return it->second;
+    }
+  }
+
+  const size_t n = count_.load(std::memory_order_relaxed);
+  IDXSEL_CHECK_LT(n, kMaxBlocks * kBlockSize);
+  const size_t block_idx = n >> kBlockShift;
+  Entry* block = blocks_[block_idx].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Entry[kBlockSize];
+    blocks_[block_idx].store(block, std::memory_order_release);
+  }
+  Entry& e = block[n & kBlockMask];
+  e.width = width;
+  e.mask = MaskOf(attrs, width);
+  if (width <= kInlineAttrs) {
+    std::memcpy(e.inline_attrs, attrs, width * sizeof(AttributeId));
+    e.attrs = e.inline_attrs;
+  } else {
+    e.attrs = PoolCopy(attrs, width);
+  }
+
+  const IndexId id = static_cast<IndexId>(n);
+  interned_.emplace(h, id);
+  // Publish the count last: readers that observe id < size() see a fully
+  // initialized entry (release store pairs with entry()'s acquire load).
+  count_.store(n + 1, std::memory_order_release);
+  return id;
+}
+
+IndexId IndexArena::InternAppend(IndexId base, AttributeId extra) {
+  const Entry& b = entry(base);
+  IDXSEL_DCHECK(!Contains(base, extra));
+  AttributeId buf[kPoolChunk];
+  IDXSEL_CHECK_LT(b.width, kPoolChunk);
+  std::memcpy(buf, b.attrs, b.width * sizeof(AttributeId));
+  buf[b.width] = extra;
+  return Intern(buf, b.width + 1);
+}
+
+bool IndexArena::Less(IndexId a, IndexId b) const {
+  const Entry& ea = entry(a);
+  const Entry& eb = entry(b);
+  return std::lexicographical_compare(ea.attrs, ea.attrs + ea.width, eb.attrs,
+                                      eb.attrs + eb.width);
+}
+
+// -- DenseValueTable --------------------------------------------------------
+
+DenseValueTable::~DenseValueTable() {
+  for (auto& slot : blocks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
+void DenseValueTable::Put(IndexId id, double value) {
+  const size_t block_idx = id >> kBlockShift;
+  IDXSEL_CHECK_LT(block_idx, kMaxBlocks);
+  std::atomic<double>* block = blocks_[block_idx].load(std::memory_order_acquire);
+  if (block == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    block = blocks_[block_idx].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new std::atomic<double>[kBlockSize];
+      for (size_t u = 0; u < kBlockSize; ++u) {
+        block[u].store(kUnset(), std::memory_order_relaxed);
+      }
+      blocks_[block_idx].store(block, std::memory_order_release);
+    }
+  }
+  block[id & kBlockMask].store(value, std::memory_order_relaxed);
+}
+
+// -- DenseCostTable ---------------------------------------------------------
+
+DenseCostTable::~DenseCostTable() {
+  for (auto& slot : blocks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
+}
+
+DenseCostTable::Row* DenseCostTable::EnsureRow(IndexId id, uint32_t row_len) {
+  const size_t block_idx = id >> kBlockShift;
+  IDXSEL_CHECK_LT(block_idx, kMaxBlocks);
+  std::atomic<Row*>* block = blocks_[block_idx].load(std::memory_order_acquire);
+  if (block == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    block = blocks_[block_idx].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new std::atomic<Row*>[kBlockSize];
+      for (size_t u = 0; u < kBlockSize; ++u) {
+        block[u].store(nullptr, std::memory_order_relaxed);
+      }
+      blocks_[block_idx].store(block, std::memory_order_release);
+    }
+  }
+  std::atomic<Row*>& slot = block[id & kBlockMask];
+  Row* row = slot.load(std::memory_order_acquire);
+  if (row == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    row = slot.load(std::memory_order_relaxed);
+    if (row == nullptr) {
+      auto owned = std::make_unique<Row>();
+      owned->len = row_len;
+      owned->values = std::make_unique<std::atomic<double>[]>(row_len);
+      for (uint32_t u = 0; u < row_len; ++u) {
+        owned->values[u].store(DenseValueTable::kUnset(),
+                               std::memory_order_relaxed);
+      }
+      row = owned.get();
+      rows_.push_back(std::move(owned));
+      slot.store(row, std::memory_order_release);
+    }
+  }
+  IDXSEL_DCHECK(row->len == row_len);
+  return row;
+}
+
+void DenseCostTable::Put(IndexId id, uint32_t slot, uint32_t row_len,
+                         double value) {
+  Row* row = EnsureRow(id, row_len);
+  IDXSEL_DCHECK(slot < row->len);
+  row->values[slot].store(value, std::memory_order_relaxed);
+}
+
+void DenseCostTable::InheritRow(IndexId from, IndexId to, uint32_t row_len) {
+  const Row* src = FindRow(from);
+  if (src == nullptr) return;
+  Row* dst = EnsureRow(to, row_len);
+  IDXSEL_DCHECK(src->len == dst->len);
+  const uint32_t n = std::min(src->len, dst->len);
+  for (uint32_t u = 0; u < n; ++u) {
+    const double v = src->values[u].load(std::memory_order_relaxed);
+    if (std::isnan(v)) continue;
+    double expected = DenseValueTable::kUnset();
+    // Only fill unset slots: affected queries were re-estimated and their
+    // fresh costs must win. compare_exchange on NaN works because the
+    // sentinel is a single canonical bit pattern stored by this table.
+    dst->values[u].compare_exchange_strong(expected, v,
+                                           std::memory_order_relaxed);
+  }
+}
+
+void DenseCostTable::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& row : rows_) {
+    for (uint32_t u = 0; u < row->len; ++u) {
+      row->values[u].store(DenseValueTable::kUnset(),
+                           std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace idxsel::kernel
