@@ -33,7 +33,8 @@ void BM_SequentialScan(benchmark::State& state) {
     benchmark::DoNotOptimize(
         executor.ScanOnly({{column, 1}}).rows_touched);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
 }
 BENCHMARK(BM_SequentialScan)->DenseRange(0, 3, 1);
 

@@ -31,7 +31,7 @@ void Run() {
   CsvWriter csv({"fraction", "candidates", "variables", "constraints",
                  "mean_applicable"});
   for (int pct = 10; pct <= 100; pct += 10) {
-    const size_t count = all.size() * pct / 100;
+    const size_t count = all.size() * static_cast<size_t>(pct) / 100;
     const candidates::CandidateSet cands =
         pct == 100 ? all
                    : candidates::GenerateCandidates(

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/float_cmp.h"
 
 namespace idxsel::candidates {
 namespace {
@@ -241,7 +242,7 @@ CandidateSet SkylineFilter(const CandidateSet& candidates,
     std::sort(entries.begin(), entries.end(), [](const Entry& x,
                                                  const Entry& y) {
       if (x.memory != y.memory) return x.memory < y.memory;
-      if (x.cost != y.cost) return x.cost < y.cost;
+      if (!ExactlyEqual(x.cost, y.cost)) return x.cost < y.cost;
       return x.candidate < y.candidate;
     });
     double best_cost = std::numeric_limits<double>::infinity();

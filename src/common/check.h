@@ -37,12 +37,26 @@ namespace idxsel::internal {
 #define IDXSEL_CHECK_GT(a, b) IDXSEL_CHECK_OP(a, >, b)
 #define IDXSEL_CHECK_GE(a, b) IDXSEL_CHECK_OP(a, >=, b)
 
+// Debug-only checks: full IDXSEL_CHECK semantics under !NDEBUG; under
+// NDEBUG the condition is never evaluated (no side effects, no cost) but
+// stays compiled — `false && (expr)` keeps the expression type-checked so
+// an NDEBUG build cannot silently rot a DCHECK into invalid code.
 #ifdef NDEBUG
-#define IDXSEL_DCHECK(expr) \
-  do {                      \
+#define IDXSEL_DCHECK(expr)         \
+  do {                              \
+    if (false && (expr)) {          \
+    }                               \
   } while (0)
 #else
 #define IDXSEL_DCHECK(expr) IDXSEL_CHECK(expr)
 #endif
+
+#define IDXSEL_DCHECK_OP(a, op, b) IDXSEL_DCHECK((a)op(b))
+#define IDXSEL_DCHECK_EQ(a, b) IDXSEL_DCHECK_OP(a, ==, b)
+#define IDXSEL_DCHECK_NE(a, b) IDXSEL_DCHECK_OP(a, !=, b)
+#define IDXSEL_DCHECK_LT(a, b) IDXSEL_DCHECK_OP(a, <, b)
+#define IDXSEL_DCHECK_LE(a, b) IDXSEL_DCHECK_OP(a, <=, b)
+#define IDXSEL_DCHECK_GT(a, b) IDXSEL_DCHECK_OP(a, >, b)
+#define IDXSEL_DCHECK_GE(a, b) IDXSEL_DCHECK_OP(a, >=, b)
 
 #endif  // IDXSEL_COMMON_CHECK_H_

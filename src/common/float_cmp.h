@@ -1,0 +1,47 @@
+// Floating-point comparison helpers — the one approved home for raw ==/!=
+// on doubles (tools/idxsel_lint's double-compare check flags every other
+// site). Selection code compares costs for three distinct purposes, and
+// the call spells out which one is meant:
+//
+//   ExactlyEqual / ExactlyZero  deliberate bitwise tests: comparator
+//     tie-breaks that fall through to a deterministic tuple order, and
+//     sparsity skips ("this coefficient is exactly 0.0, the row update is
+//     a no-op"). These must NOT use a tolerance — a tolerance would merge
+//     distinct cost values and make tie-breaking depend on encounter
+//     order.
+//   ApproxEqual  tolerance tests for derived quantities where rounding is
+//     expected (cross-validating two evaluation paths, test assertions).
+//
+// NaN behaves as raw IEEE comparison does: ExactlyEqual(NaN, NaN) is
+// false, matching the caller-visible semantics of the == it replaces.
+
+#ifndef IDXSEL_COMMON_FLOAT_CMP_H_
+#define IDXSEL_COMMON_FLOAT_CMP_H_
+
+#include <cmath>
+
+namespace idxsel {
+
+/// Bitwise-intent equality (IEEE ==; -0.0 equals +0.0, NaN equals nothing).
+inline bool ExactlyEqual(double a, double b) { return a == b; }
+
+/// True iff `v` is positive or negative zero.
+inline bool ExactlyZero(double v) { return v == 0.0; }
+
+/// Relative-plus-absolute tolerance equality: |a-b| <= max(abs_tol,
+/// rel_tol*max(|a|,|b|)). False if either side is NaN.
+inline bool ApproxEqual(double a, double b, double rel_tol = 1e-9,
+                        double abs_tol = 1e-12) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // covers equal infinities
+  // Distinct values with an infinity among them are never "approximately"
+  // equal (the relative-scale term would otherwise swallow any gap).
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double diff = std::fabs(a - b);
+  const double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= std::fmax(abs_tol, rel_tol * scale);
+}
+
+}  // namespace idxsel
+
+#endif  // IDXSEL_COMMON_FLOAT_CMP_H_

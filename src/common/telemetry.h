@@ -1,0 +1,100 @@
+// Leaf-layer telemetry slots — the dependency-free half of observability.
+//
+// The layering DAG (DESIGN.md §2, enforced by tools/idxsel_lint) places
+// `exec` and `kernel` beside `obs`, not above it: neither may include obs
+// headers. Yet the thread pool wants its task/steal counters in run
+// reports. This header squares that circle with a fixed table of plain
+// relaxed atomics that any layer — including `common`'s own dependents at
+// the very bottom of the DAG — may bump, and that `obs` (which *does*
+// depend on common) publishes into every Registry snapshot under the
+// metric names below. Increments are never lost to initialization order:
+// the table is a function-local static of trivially-constructible atomics.
+//
+// Add a slot by extending the enum, the name table, and the kind table in
+// lockstep; doc/observability.md lists the published names.
+
+#ifndef IDXSEL_COMMON_TELEMETRY_H_
+#define IDXSEL_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace idxsel::telemetry {
+
+/// One process-wide metric owned by a layer that must not see obs.
+enum class Slot : size_t {
+  kExecTasks = 0,      ///< counter "idxsel.exec.tasks"
+  kExecSteals,         ///< counter "idxsel.exec.steals"
+  kExecParallelFors,   ///< counter "idxsel.exec.parallel_fors"
+  kExecPoolThreads,    ///< gauge   "idxsel.exec.pool_threads"
+  kSlotCount,
+};
+
+inline constexpr size_t kSlotCount = static_cast<size_t>(Slot::kSlotCount);
+
+/// Whether a slot publishes as a monotone counter or a level gauge.
+enum class SlotKind : uint8_t { kCounter, kGauge };
+
+/// Registry metric name a slot publishes under.
+constexpr const char* SlotName(Slot slot) {
+  switch (slot) {
+    case Slot::kExecTasks:
+      return "idxsel.exec.tasks";
+    case Slot::kExecSteals:
+      return "idxsel.exec.steals";
+    case Slot::kExecParallelFors:
+      return "idxsel.exec.parallel_fors";
+    case Slot::kExecPoolThreads:
+      return "idxsel.exec.pool_threads";
+    case Slot::kSlotCount:
+      break;
+  }
+  return "idxsel.telemetry.invalid";
+}
+
+constexpr SlotKind KindOf(Slot slot) {
+  return slot == Slot::kExecPoolThreads ? SlotKind::kGauge
+                                        : SlotKind::kCounter;
+}
+
+namespace internal {
+
+inline std::atomic<int64_t>* Table() {
+  static std::atomic<int64_t> table[kSlotCount] = {};
+  return table;
+}
+
+}  // namespace internal
+
+/// Counter bump; relaxed — slots are statistics, never synchronization.
+inline void Add(Slot slot, int64_t delta = 1) {
+  internal::Table()[static_cast<size_t>(slot)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+/// Gauge store.
+inline void Set(Slot slot, int64_t value) {
+  internal::Table()[static_cast<size_t>(slot)].store(
+      value, std::memory_order_relaxed);
+}
+
+inline int64_t Value(Slot slot) {
+  return internal::Table()[static_cast<size_t>(slot)].load(
+      std::memory_order_relaxed);
+}
+
+/// Rewinds every counter slot (gauges keep their level, mirroring
+/// obs::Registry::ResetCountersAndHistograms, which calls this so bridged
+/// counters reset in lockstep with registry ones).
+inline void ResetAll() {
+  for (size_t s = 0; s < kSlotCount; ++s) {
+    if (KindOf(static_cast<Slot>(s)) == SlotKind::kCounter) {
+      internal::Table()[s].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace idxsel::telemetry
+
+#endif  // IDXSEL_COMMON_TELEMETRY_H_

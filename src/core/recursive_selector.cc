@@ -5,7 +5,9 @@
 #include <optional>
 #include <unordered_map>
 
+#include "audit/auditor.h"
 #include "common/check.h"
+#include "common/float_cmp.h"
 #include "common/stopwatch.h"
 #include "exec/shared_deadline.h"
 #include "exec/thread_pool.h"
@@ -217,6 +219,18 @@ class Runner {
       }
       const double objective_after = objective_ + ReconfigTotal();
 
+#if defined(IDXSEL_AUDIT)
+      // End-of-round is the auditor's quiescent point: the pool's lanes
+      // have joined and the commit's dense-row inheritance is complete, so
+      // dense tables and hashed caches must agree exactly here. Debug
+      // builds and the sanitizer CI legs (IDXSEL_AUDIT=1 env) run this;
+      // -DIDXSEL_ENABLE_AUDIT=OFF compiles the site out.
+      if (audit::Enabled()) {
+        const audit::InvariantAuditor auditor(&engine_);
+        audit::InvariantAuditor::CheckClean(auditor.AuditAll());
+      }
+#endif
+
       ConstructionStep step;
       step.kind = best.kind;
       if (best.kind == StepKind::kAppend ||
@@ -399,7 +413,7 @@ class Runner {
   /// lexicographic comparison of the attribute tuples, so the two modes
   /// agree on every tie.
   bool MoveBetter(const Move& a, const Move& b) const {
-    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    if (!ExactlyEqual(a.ratio, b.ratio)) return a.ratio > b.ratio;
 #if defined(IDXSEL_KERNEL)
     if (a.after_id != kernel::kInvalidIndexId &&
         b.after_id != kernel::kInvalidIndexId) {
@@ -418,7 +432,7 @@ class Runner {
     // A ratio tie means the deterministic tuple ordering — not the step
     // criterion — decides the move; worth counting because ties make the
     // greedy's choice sensitive to index enumeration order.
-    if (best->valid && move.ratio == best->ratio) ++ratio_ties_;
+    if (best->valid && ExactlyEqual(move.ratio, best->ratio)) ++ratio_ties_;
     if (!best->valid || MoveBetter(move, *best)) {
       if (best->valid) *runner_up = *best;
       *best = move;
@@ -581,6 +595,7 @@ class Runner {
           // kernel-mode evaluation emits in exactly this order.
           std::vector<workload::AttributeId> order;
           order.reserve(benefit.size());
+          // idxsel-lint: allow(unordered-iter) reason=key-collection only; the sort below restores deterministic order before any decision
           for (const auto& [a, gain] : benefit) order.push_back(a);
           std::sort(order.begin(), order.end());
           for (workload::AttributeId a : order) {
@@ -734,6 +749,7 @@ class Runner {
           // Ascending emission: see EvaluateAppends.
           std::vector<workload::AttributeId> order;
           order.reserve(benefit.size());
+          // idxsel-lint: allow(unordered-iter) reason=key-collection only; the sort below restores deterministic order before any decision
           for (const auto& [b, gain] : benefit) order.push_back(b);
           std::sort(order.begin(), order.end());
           for (workload::AttributeId b : order) {
@@ -784,6 +800,7 @@ class Runner {
           // Ascending (a, b) emission: see EvaluateAppends.
           std::vector<uint64_t> order;
           order.reserve(benefit.size());
+          // idxsel-lint: allow(unordered-iter) reason=key-collection only; the sort below restores deterministic order before any decision
           for (const auto& [key, gain] : benefit) order.push_back(key);
           std::sort(order.begin(), order.end());
           for (uint64_t key : order) {

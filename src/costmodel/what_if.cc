@@ -165,24 +165,36 @@ bool WhatIfEngine::Applicable(QueryId j, const Index& k) const {
                             k.leading());
 }
 
+Index WhatIfEngine::CanonicalCostIndex(QueryId j, const Index& k) const {
+  IDXSEL_DCHECK(Applicable(j, k));
+  if (!canonicalize_keys_) return k;
+  // f_j(k) only depends on the coverable prefix as a *set*; normalize so
+  // equivalent what-if calls hit the cache (INUM-style reuse).
+  const auto& q_attrs = workload_->query(j).attributes;
+  const size_t len = k.CoverablePrefixLength(q_attrs);
+  IDXSEL_DCHECK(len >= 1);
+  std::vector<workload::AttributeId> prefix(
+      k.attributes().begin(), k.attributes().begin() + static_cast<long>(len));
+  std::sort(prefix.begin(), prefix.end());
+  return Index(std::move(prefix));
+}
+
+bool WhatIfEngine::PeekCachedCost(QueryId j, const Index& k,
+                                  double* out) const {
+  return cost_cache_.Get(Key{j, CanonicalCostIndex(j, k)}, out);
+}
+
+bool WhatIfEngine::PeekCachedMemory(const Index& k, double* out) const {
+  return memory_cache_.Get(k, out);
+}
+
 double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
   if (!Applicable(j, k)) {
     stats_.skipped_inapplicable.fetch_add(1, std::memory_order_relaxed);
     IDXSEL_OBS_ONLY(obs_skipped_->Add();)
     return BaseCost(j);
   }
-  Key key{j, k};
-  if (canonicalize_keys_) {
-    // f_j(k) only depends on the coverable prefix as a *set*; normalize so
-    // equivalent what-if calls hit the cache (INUM-style reuse).
-    const auto& q_attrs = workload_->query(j).attributes;
-    const size_t len = k.CoverablePrefixLength(q_attrs);
-    IDXSEL_DCHECK(len >= 1);
-    std::vector<workload::AttributeId> prefix(
-        k.attributes().begin(), k.attributes().begin() + static_cast<long>(len));
-    std::sort(prefix.begin(), prefix.end());
-    key.index = Index(std::move(prefix));
-  }
+  Key key{j, CanonicalCostIndex(j, k)};
   // The compute runs under the key's shard lock: exactly one backend call
   // per distinct key even when parallel strategies race for it. Lock
   // order is cost-shard -> base-stripe (via the sanitize fallback); no

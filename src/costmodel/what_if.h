@@ -192,6 +192,22 @@ class WhatIfEngine {
   /// True iff l(k) is in q_j and both are on the same table.
   bool Applicable(QueryId j, const Index& k) const;
 
+  // -- Introspection for audit::InvariantAuditor ---------------------------
+  // Read-only peeks into the caches: never compute, never touch stats, so
+  // an audit pass cannot perturb the call counts it runs beside.
+
+  /// The canonical cache key CostWithIndex files f_j(k) under: the
+  /// coverable-prefix attribute set of k for q_j, sorted (k itself when
+  /// key canonicalization is disabled). Requires Applicable(j, k).
+  Index CanonicalCostIndex(QueryId j, const Index& k) const;
+
+  /// True iff the hashed cost cache holds an entry for
+  /// (j, CanonicalCostIndex(j, k)); writes the cached value to *out.
+  bool PeekCachedCost(QueryId j, const Index& k, double* out) const;
+
+  /// True iff the hashed memory cache holds p_k; writes it to *out.
+  bool PeekCachedMemory(const Index& k, double* out) const;
+
   /// Point-in-time snapshot of the per-engine call counters.
   WhatIfStats stats() const {
     WhatIfStats s;
@@ -242,6 +258,20 @@ class WhatIfEngine {
 
   /// The engine-owned intern arena. Ids are stable for the engine lifetime.
   kernel::IndexArena& arena() { return dense_->arena; }
+  const kernel::IndexArena& arena() const { return dense_->arena; }
+
+  /// Raw dense cost-table read (NaN = unset); no stats, no fallback, no
+  /// fill. Audit-only: cross-validates dense slots against the hashed
+  /// cache. `slot` must be within the posting list of id's leading
+  /// attribute.
+  double PeekDenseCost(kernel::IndexId id, uint32_t slot) const {
+    return dense_->costs.Get(id, slot);
+  }
+
+  /// Raw dense memory-table read (NaN = unset); audit-only.
+  double PeekDenseMemory(kernel::IndexId id) const {
+    return dense_->memory.Get(id);
+  }
 
   /// Per-query 64-bit attribute masks (built once at construction).
   const kernel::QueryMasks& query_masks() const { return dense_->masks; }

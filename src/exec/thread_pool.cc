@@ -3,36 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 
-#include "obs/obs.h"
+// Pool counters go through the dependency-free telemetry slots: the
+// layering DAG forbids exec -> obs, and obs bridges the slots into every
+// Registry snapshot under the "idxsel.exec.*" names (doc/observability.md).
+#include "common/telemetry.h"
 
 namespace idxsel::exec {
-namespace {
-
-#if defined(IDXSEL_OBS)
-/// Pool counters, resolved once per process (see doc/observability.md:
-/// "idxsel.exec.*").
-struct PoolMetrics {
-  obs::Counter* tasks;          ///< idxsel.exec.tasks — tasks executed.
-  obs::Counter* steals;         ///< idxsel.exec.steals — successful steals.
-  obs::Counter* parallel_fors;  ///< idxsel.exec.parallel_fors.
-  obs::Gauge* pool_threads;     ///< idxsel.exec.pool_threads — default pool.
-
-  static const PoolMetrics& Get() {
-    static const PoolMetrics metrics = [] {
-      obs::Registry& registry = obs::Registry::Default();
-      PoolMetrics m;
-      m.tasks = registry.GetCounter("idxsel.exec.tasks");
-      m.steals = registry.GetCounter("idxsel.exec.steals");
-      m.parallel_fors = registry.GetCounter("idxsel.exec.parallel_fors");
-      m.pool_threads = registry.GetGauge("idxsel.exec.pool_threads");
-      return m;
-    }();
-    return metrics;
-  }
-};
-#endif
-
-}  // namespace
 
 size_t DefaultThreads() {
   static const size_t resolved = [] {
@@ -77,22 +53,19 @@ ThreadPool::~ThreadPool() {
 
 ThreadPool& ThreadPool::Default() {
   static ThreadPool pool(DefaultThreads());
-#if defined(IDXSEL_OBS)
   static const bool gauge_published = [] {
-    PoolMetrics::Get().pool_threads->Set(static_cast<int64_t>(pool.size()));
+    telemetry::Set(telemetry::Slot::kExecPoolThreads,
+                   static_cast<int64_t>(pool.size()));
     return true;
   }();
   (void)gauge_published;
-#endif
   return pool;
 }
 
 void ThreadPool::Push(std::function<void()> task) {
   if (workers_.empty()) {
     task();
-#if defined(IDXSEL_OBS)
-    PoolMetrics::Get().tasks->Add(1);
-#endif
+    telemetry::Add(telemetry::Slot::kExecTasks);
     return;
   }
   const size_t victim =
@@ -121,7 +94,7 @@ bool ThreadPool::TryRun(size_t self) {
       q.tasks.pop_back();
     }
   }
-  [[maybe_unused]] const bool stolen = !task;
+  const bool stolen = !task;
   if (!task) {
     // Steal the oldest task of the first non-empty victim (FIFO: the
     // entry the owner is least likely to touch soon).
@@ -137,11 +110,8 @@ bool ThreadPool::TryRun(size_t self) {
   if (!task) return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
   task();
-#if defined(IDXSEL_OBS)
-  const PoolMetrics& metrics = PoolMetrics::Get();
-  metrics.tasks->Add(1);
-  if (stolen) metrics.steals->Add(1);
-#endif
+  telemetry::Add(telemetry::Slot::kExecTasks);
+  if (stolen) telemetry::Add(telemetry::Slot::kExecSteals);
   return true;
 }
 
@@ -162,9 +132,7 @@ void ThreadPool::WorkerLoop(size_t self) {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
                              size_t grain) {
-#if defined(IDXSEL_OBS)
-  PoolMetrics::Get().parallel_fors->Add(1);
-#endif
+  telemetry::Add(telemetry::Slot::kExecParallelFors);
   if (n == 0) return;
   if (threads_ == 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) body(i);

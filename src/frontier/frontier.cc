@@ -27,6 +27,9 @@ FrontierSeries SweepStrategy(WhatIfEngine& engine,
   FrontierSeries series;
   series.label = label;
   series.points.reserve(grid.size());
+  // Figures and the CSV/table renderers assume the sweep runs ascending;
+  // an unsorted grid would silently plot a self-crossing "frontier".
+  IDXSEL_DCHECK(std::is_sorted(grid.begin(), grid.end()));
   for (double w : grid) {
     FrontierPoint point;
     point.w = w;

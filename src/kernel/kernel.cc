@@ -50,6 +50,16 @@ IndexId IndexArena::Intern(const AttributeId* attrs, uint32_t width) {
     blocks_[block_idx].store(block, std::memory_order_release);
   }
   Entry& e = block[n & kBlockMask];
+#ifndef NDEBUG
+  // Index tuples never repeat an attribute; a duplicate would make the
+  // precomputed mask lossy in a way audit::InvariantAuditor flags later —
+  // catch it at the intern site where the caller is still on the stack.
+  for (uint32_t u = 0; u < width; ++u) {
+    for (uint32_t v = u + 1; v < width; ++v) {
+      IDXSEL_DCHECK(attrs[u] != attrs[v]);
+    }
+  }
+#endif
   e.width = width;
   e.mask = MaskOf(attrs, width);
   if (width <= kInlineAttrs) {

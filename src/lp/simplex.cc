@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/float_cmp.h"
+
 namespace idxsel::lp {
 namespace {
 
@@ -35,7 +37,7 @@ class Tableau {
     d[n_] = 0.0;
     for (size_t r = 0; r < m_; ++r) {
       const double cb = cost[basis_[r]];
-      if (cb == 0.0) continue;
+      if (ExactlyZero(cb)) continue;
       for (size_t j = 0; j <= n_; ++j) d[j] -= cb * a_[r][j];
     }
 
@@ -109,13 +111,13 @@ class Tableau {
     for (size_t r = 0; r < m_; ++r) {
       if (r == leave) continue;
       const double factor = a_[r][enter];
-      if (factor == 0.0) continue;
+      if (ExactlyZero(factor)) continue;
       for (size_t j = 0; j <= n_; ++j) a_[r][j] -= factor * a_[leave][j];
       a_[r][enter] = 0.0;
     }
     if (d != nullptr) {
       const double factor = (*d)[enter];
-      if (factor != 0.0) {
+      if (!ExactlyZero(factor)) {
         for (size_t j = 0; j <= n_; ++j) (*d)[j] -= factor * a_[leave][j];
         (*d)[enter] = 0.0;
       }

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/telemetry.h"
+
 namespace idxsel::obs {
 namespace {
 
@@ -192,6 +194,19 @@ MetricsSnapshot Registry::Snapshot() const {
   for (const auto& [name, gauge] : gauges_) {
     snapshot.gauges[name] = gauge->Value();
   }
+  // Bridge the dependency-free telemetry slots (common/telemetry.h): layers
+  // below obs in the DAG (exec) publish through plain atomics instead of
+  // registry pointers; snapshots surface them under their registry names.
+  for (size_t s = 0; s < telemetry::kSlotCount; ++s) {
+    const auto slot = static_cast<telemetry::Slot>(s);
+    const int64_t value = telemetry::Value(slot);
+    if (telemetry::KindOf(slot) == telemetry::SlotKind::kGauge) {
+      snapshot.gauges[telemetry::SlotName(slot)] = value;
+    } else {
+      snapshot.counters[telemetry::SlotName(slot)] =
+          static_cast<uint64_t>(value);
+    }
+  }
   for (const auto& [name, histogram] : histograms_) {
     HistogramSnapshot h;
     h.count = histogram->Count();
@@ -211,6 +226,8 @@ void Registry::ResetCountersAndHistograms() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  // Bridged slots are counters to their consumers; reset them in lockstep.
+  telemetry::ResetAll();
 }
 
 }  // namespace idxsel::obs

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/float_cmp.h"
 #include "obs/obs.h"
 
 namespace idxsel::rt {
@@ -70,7 +71,7 @@ double FaultInjectingBackend::Corrupt(double truthful) const {
     } else if (draw < (band += opts_.negative_probability)) {
       ++stats_.injected_negative;
       IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
-      result = truthful != 0.0 ? -truthful : -1.0;
+      result = !ExactlyZero(truthful) ? -truthful : -1.0;
     }
   }
   if (sleep) {

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/float_cmp.h"
 
 namespace idxsel::workload {
 namespace {
@@ -56,7 +57,7 @@ Workload CompressTopK(const Workload& workload,
   std::vector<QueryId> order(workload.num_queries());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](QueryId x, QueryId y) {
-    if (query_costs[x] != query_costs[y]) {
+    if (!ExactlyEqual(query_costs[x], query_costs[y])) {
       return query_costs[x] > query_costs[y];
     }
     return x < y;

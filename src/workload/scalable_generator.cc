@@ -43,7 +43,8 @@ Workload GenerateScalableWorkload(const ScalableWorkloadParams& params) {
         const double draw = rng.Uniform(1.0, ordinal_upper);
         int64_t ordinal = static_cast<int64_t>(std::llround(std::pow(draw, 0.3)));
         ordinal = std::clamp<int64_t>(ordinal, 1, params.attributes_per_table);
-        attrs.push_back(w.table(table).attributes[ordinal - 1]);
+        attrs.push_back(
+            w.table(table).attributes[static_cast<size_t>(ordinal - 1)]);
       }
       const double freq = static_cast<double>(rng.RoundUniform(1.0, 10'000.0));
       const QueryKind kind = rng.NextDouble() < params.write_share

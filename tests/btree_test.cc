@@ -161,7 +161,7 @@ class BTreeRandomTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BTreeRandomTest, RandomProbesMatchReference) {
   Rng rng(GetParam());
-  const uint64_t rows = 500 + rng.UniformInt(0, 1500);
+  const uint64_t rows = static_cast<uint64_t>(500 + rng.UniformInt(0, 1500));
   const std::vector<uint32_t> domains = {
       static_cast<uint32_t>(rng.UniformInt(2, 50)),
       static_cast<uint32_t>(rng.UniformInt(2, 10))};

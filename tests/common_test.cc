@@ -1,11 +1,15 @@
-// Tests for status/result, the deterministic PRNG, and the formatters.
+// Tests for status/result, the deterministic PRNG, the formatters, the
+// CHECK macro family, and the float comparison helpers.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
+#include "common/check.h"
 #include "common/csv.h"
+#include "common/float_cmp.h"
 #include "common/format.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -173,6 +177,74 @@ TEST(CsvTest, RoundTripsToFile) {
   csv.AddRow({"1"});
   const std::string path = ::testing::TempDir() + "/idxsel_csv_test.csv";
   ASSERT_TRUE(csv.WriteFile(path).ok());
+}
+
+TEST(CheckDeathTest, FailureAbortsWithFileLineAndExpression) {
+  // The diagnostic must carry file:line and the failing expression — it is
+  // frequently the only artifact a CI abort leaves behind.
+  EXPECT_DEATH(IDXSEL_CHECK(1 + 1 == 3),
+               "CHECK failed at .*common_test\\.cc:[0-9]+: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckOpVariantsAbortOnViolation) {
+  EXPECT_DEATH(IDXSEL_CHECK_EQ(2, 3), "CHECK failed");
+  EXPECT_DEATH(IDXSEL_CHECK_LT(5, 4), "CHECK failed");
+}
+
+TEST(CheckTest, PassingCheckEvaluatesOperandsExactlyOnce) {
+  int evals = 0;
+  const auto bump = [&evals] { return ++evals; };
+  IDXSEL_CHECK(bump() > 0);
+  EXPECT_EQ(evals, 1);
+  evals = 0;
+  IDXSEL_CHECK_GE(bump(), 1);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(CheckTest, DcheckCompilesOutUnderNdebugButStaysTypeChecked) {
+  int evals = 0;
+  const auto bump = [&evals] { return ++evals; };
+  IDXSEL_DCHECK(bump() > 0);
+  IDXSEL_DCHECK_EQ(bump(), bump());
+#ifdef NDEBUG
+  // NDEBUG: conditions are dead code — never evaluated, yet the compiler
+  // saw them (a stale DCHECK expression is a build error, not a landmine).
+  EXPECT_EQ(evals, 0);
+#else
+  EXPECT_EQ(evals, 3);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(IDXSEL_DCHECK(false), "CHECK failed");
+  EXPECT_DEATH(IDXSEL_DCHECK_NE(7, 7), "CHECK failed");
+}
+#endif
+
+TEST(FloatCmpTest, ExactlyEqualIsBitwiseIntentIeee) {
+  EXPECT_TRUE(ExactlyEqual(1.5, 1.5));
+  EXPECT_FALSE(ExactlyEqual(1.5, std::nextafter(1.5, 2.0)));
+  EXPECT_TRUE(ExactlyEqual(0.0, -0.0));  // IEEE ==, not bit equality
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ExactlyEqual(nan, nan));
+}
+
+TEST(FloatCmpTest, ExactlyZero) {
+  EXPECT_TRUE(ExactlyZero(0.0));
+  EXPECT_TRUE(ExactlyZero(-0.0));
+  EXPECT_FALSE(ExactlyZero(std::numeric_limits<double>::denorm_min()));
+}
+
+TEST(FloatCmpTest, ApproxEqualToleratesRoundingButNotNan) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.0 + 1e-6));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ApproxEqual(inf, inf));
+  EXPECT_FALSE(ApproxEqual(inf, -inf));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ApproxEqual(nan, nan));
+  EXPECT_FALSE(ApproxEqual(nan, 1.0));
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

@@ -250,7 +250,7 @@ TEST(RecursiveTest, SwapRepairFixesTheBudgetKnifeEdge) {
 }
 
 TEST(RecursiveTest, SwapRepairNeverWorsensAcrossSeeds) {
-  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     TestEnv s(25, 10, seed);
     RecursiveOptions options = s.Options(0.2);
     const RecursiveResult plain = SelectRecursive(*s.engine, options);

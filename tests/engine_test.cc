@@ -163,7 +163,7 @@ class ExecutorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ExecutorFuzzTest, AllAccessPathsAgree) {
   Rng rng(GetParam());
-  const uint64_t rows = 1000 + rng.UniformInt(0, 4000);
+  const uint64_t rows = static_cast<uint64_t>(1000 + rng.UniformInt(0, 4000));
   std::vector<uint32_t> domains;
   const size_t num_cols = static_cast<size_t>(rng.UniformInt(2, 5));
   for (size_t c = 0; c < num_cols; ++c) {
@@ -195,7 +195,8 @@ TEST_P(ExecutorFuzzTest, AllAccessPathsAgree) {
     }
     for (size_t c = index_cols.size(); c > 1; --c) {
       std::swap(index_cols[c - 1],
-                index_cols[static_cast<size_t>(rng.UniformInt(0, c - 1))]);
+                index_cols[static_cast<size_t>(
+                    rng.UniformInt(0, static_cast<int64_t>(c) - 1))]);
     }
     index_cols.resize(static_cast<size_t>(
         rng.UniformInt(1, static_cast<int64_t>(index_cols.size()))));

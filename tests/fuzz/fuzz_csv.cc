@@ -1,0 +1,107 @@
+// Fuzz harness for the CSV writer (src/common/csv.cc).
+//
+// Benches dump result series through CsvWriter with cell text that can
+// contain anything a workload or index name contains — commas, quotes,
+// newlines. The harness builds a document from attacker-controlled cells
+// and re-parses it with an independent RFC-4180 reference reader, asserting
+// the cell grid round-trips exactly. A mismatch means the escaping rules
+// corrupt data in some downstream spreadsheet import.
+//
+// Input encoding: byte 0 picks the column count (1..8); the rest is a
+// sequence of length-prefixed cells (one length byte, then that many
+// content bytes) laid out row-major.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_csv: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+// Minimal RFC-4180 reader: '\n' terminates records outside quotes, '"'
+// toggles quoting, '""' inside quotes is a literal quote. Deliberately
+// written against the spec, not against csv.cc, so a writer bug cannot
+// hide behind a matching reader bug.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += ch;
+      }
+    } else if (ch == '"' && cell.empty()) {
+      quoted = true;
+    } else if (ch == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+    } else if (ch == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      cell += ch;
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const size_t cols = 1 + data[0] % 8;
+
+  // Decode length-prefixed cells.
+  std::vector<std::string> cells;
+  for (size_t i = 1; i < size;) {
+    const size_t len = data[i++];
+    const size_t take = len < size - i ? len : size - i;
+    cells.emplace_back(reinterpret_cast<const char*>(data + i), take);
+    i += take;
+  }
+  while (cells.size() % cols != 0) cells.emplace_back();
+  if (cells.size() < cols) cells.resize(cols);
+
+  std::vector<std::vector<std::string>> grid;
+  for (size_t i = 0; i < cells.size(); i += cols) {
+    grid.emplace_back(cells.begin() + static_cast<std::ptrdiff_t>(i),
+                      cells.begin() + static_cast<std::ptrdiff_t>(i + cols));
+  }
+
+  idxsel::CsvWriter csv(grid[0]);
+  for (size_t r = 1; r < grid.size(); ++r) csv.AddRow(grid[r]);
+  const std::string doc = csv.ToString();
+
+  const auto parsed = ParseCsv(doc);
+  Require(parsed.size() == grid.size(), "row count changed in round-trip");
+  for (size_t r = 0; r < grid.size(); ++r) {
+    Require(parsed[r].size() == cols, "column count changed in round-trip");
+    for (size_t c = 0; c < cols; ++c) {
+      Require(parsed[r][c] == grid[r][c], "cell corrupted in round-trip");
+    }
+  }
+  return 0;
+}

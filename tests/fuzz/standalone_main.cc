@@ -1,0 +1,65 @@
+// Corpus-replay driver for toolchains without libFuzzer (the default GCC
+// build). Compiled into each harness when IDXSEL_FUZZ_STANDALONE is
+// defined; with clang the harness links -fsanitize=fuzzer and libFuzzer
+// supplies main() instead.
+//
+// Usage: <harness> <file-or-directory>...
+//
+// Every regular file found (directories are scanned one level deep, the
+// layout of tests/fuzz/corpus/<harness>/) is fed to LLVMFuzzerTestOneInput
+// once. Exit 0 means every input replayed without tripping an invariant;
+// harness failures abort, which is what CI's fuzz-smoke leg watches for.
+
+#ifdef IDXSEL_FUZZ_STANDALONE
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int ReplayFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(file)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (ReplayFile(entry.path().string()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (ReplayFile(arg.string()) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::printf("replayed %d corpus input(s), all invariants held\n", replayed);
+  return 0;
+}
+
+#endif  // IDXSEL_FUZZ_STANDALONE

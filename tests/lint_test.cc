@@ -1,0 +1,322 @@
+// Golden tests for tools/idxsel_lint: each seeded violation must produce
+// its exact diagnostic, each suppression must silence exactly its check,
+// and the clean shapes must stay clean. The linter is itself part of the
+// project's correctness story (it enforces the DESIGN.md layering DAG and
+// the determinism rules CI relies on), so its checks are pinned here the
+// same way selection results are pinned in regression_test.cc.
+
+#include "idxsel_lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+namespace idxsel::lint {
+namespace {
+
+using ::testing::AllOf;
+using ::testing::HasSubstr;
+using ::testing::IsEmpty;
+
+// Paths mimic a repo tree; the linter classifies by the src/tests/bench
+// path segments, so synthetic absolute-ish paths behave like real ones.
+FileInput Src(const std::string& rel, const std::string& content) {
+  return {"repo/src/" + rel, content};
+}
+
+std::vector<std::string> Checks(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.check);
+  return out;
+}
+
+Options NoOrphan() {
+  Options options;
+  options.orphan_check = false;  // loose files, no CMake context
+  return options;
+}
+
+// -- L1: layering -----------------------------------------------------------
+
+TEST(LintLayeringTest, KernelIncludingObsIsNamedViolation) {
+  const auto findings = LintFiles(
+      {Src("kernel/kernel.cc", "#include \"obs/obs.h\"\n")}, NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "layering");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("src/kernel"), HasSubstr("obs"),
+                    HasSubstr("common/telemetry.h")));
+}
+
+TEST(LintLayeringTest, CommonDependsOnNothing) {
+  const auto findings = LintFiles(
+      {Src("common/status.cc", "#include \"workload/workload.h\"\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "layering");
+  EXPECT_THAT(findings[0].message, HasSubstr("may not depend on"));
+}
+
+TEST(LintLayeringTest, AllowedEdgeAndTransitiveClosureAreClean) {
+  const auto findings = LintFiles(
+      {Src("core/recursive_selector.cc",
+           "#include \"costmodel/what_if.h\"\n"
+           "#include \"common/check.h\"\n"   // transitive dep of costmodel
+           "#include \"audit/auditor.h\"\n"  // direct dep of core
+           "#include \"gtest/gtest.h\"\n")},  // not a src module: ignored
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintLayeringTest, IncludeCycleIsReportedOnce) {
+  const auto findings = LintFiles(
+      {Src("common/a.h", "#include \"common/b.h\"\n"),
+       Src("common/b.h", "#include \"common/a.h\"\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "include-cycle");
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("include cycle"), HasSubstr("common/a.h"),
+                    HasSubstr("common/b.h")));
+}
+
+// -- L2: determinism --------------------------------------------------------
+
+TEST(LintDeterminismTest, RandomDeviceFlagged) {
+  const auto findings = LintFiles(
+      {Src("selection/greedy.cc", "std::random_device rd;\n")}, NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "determinism-random");
+}
+
+TEST(LintDeterminismTest, WallClockFlaggedOutsideRtButNotInRt) {
+  const std::string body =
+      "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_EQ(LintFiles({Src("core/x.cc", body)}, NoOrphan()).size(), 1u);
+  // rt owns deadlines, obs owns timing; both are exempt by design.
+  EXPECT_THAT(LintFiles({Src("rt/deadline.cc", body)}, NoOrphan()),
+              IsEmpty());
+  EXPECT_THAT(LintFiles({Src("obs/tracer.cc", body)}, NoOrphan()),
+              IsEmpty());
+}
+
+TEST(LintDeterminismTest, SteadyClockIsAllowedEverywhere) {
+  // Monotonic time is deterministic-safe (no wall-clock reads).
+  const auto findings = LintFiles(
+      {Src("core/x.cc", "auto t = std::chrono::steady_clock::now();\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintDeterminismTest, UnorderedIterFlaggedInCore) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           "std::unordered_map<int, double> benefit;\n"
+           "void F() { for (const auto& [k, v] : benefit) Use(k, v); }\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintDeterminismTest, UnorderedIterScopeIsCoreSelectionMip) {
+  const std::string body =
+      "std::unordered_map<int, double> m;\n"
+      "void F() { for (const auto& [k, v] : m) Use(k, v); }\n";
+  EXPECT_EQ(LintFiles({Src("selection/h.cc", body)}, NoOrphan()).size(), 1u);
+  EXPECT_EQ(LintFiles({Src("mip/p.cc", body)}, NoOrphan()).size(), 1u);
+  // Outside the selection-decision modules the pattern is fine.
+  EXPECT_THAT(LintFiles({Src("costmodel/c.cc", body)}, NoOrphan()),
+              IsEmpty());
+}
+
+TEST(LintDeterminismTest, VectorRangeForIsClean) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           "std::vector<double> costs_sorted;\n"
+           "void F() { for (double c : costs_sorted) Use(c); }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+// -- L3: hygiene ------------------------------------------------------------
+
+TEST(LintHygieneTest, RawDoubleCompareOnCostFlagged) {
+  const auto findings = LintFiles(
+      {Src("selection/greedy.cc",
+           "bool F(double a_cost, double b_cost) {\n"
+           "  return a_cost == b_cost;\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "double-compare");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_THAT(findings[0].message, HasSubstr("common/float_cmp.h"));
+}
+
+TEST(LintHygieneTest, FloatLiteralCompareFlagged) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc", "bool F(double v) { return v != 0.0; }\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "double-compare");
+}
+
+TEST(LintHygieneTest, FloatCmpHelperFileIsExempt) {
+  const auto findings = LintFiles(
+      {Src("common/float_cmp.h",
+           "inline bool ExactlyZero(double v) { return v == 0.0; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintHygieneTest, IntCompareAndNullptrCompareAreClean) {
+  const auto findings = LintFiles(
+      {Src("core/x.cc",
+           "bool F(int n, void* p) { return n == 3 && p == nullptr; }\n"
+           "bool G(const Opts& o) { return o.reconfiguration == nullptr; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintHygieneTest, CheckMacroWithoutIncludeFlagged) {
+  const auto findings = LintFiles(
+      {Src("engine/e.cc", "void F(int n) { IDXSEL_CHECK(n > 0); }\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "missing-check-include");
+}
+
+TEST(LintHygieneTest, CheckIncludeSatisfiedDirectlyOrTransitively) {
+  // check.h itself defines the macros; both nothing to report.
+  const auto direct = LintFiles(
+      {Src("engine/e.cc",
+           "#include \"common/check.h\"\n"
+           "void F(int n) { IDXSEL_CHECK(n > 0); }\n"),
+       Src("common/check.h", "#define IDXSEL_CHECK(x) ((void)0)\n")},
+      NoOrphan());
+  EXPECT_THAT(direct, IsEmpty());
+  const auto transitive = LintFiles(
+      {Src("engine/e.cc",
+           "#include \"engine/e.h\"\n"
+           "void F(int n) { IDXSEL_DCHECK_GE(n, 0); }\n"),
+       Src("engine/e.h", "#include \"common/check.h\"\n"),
+       Src("common/check.h", "#define IDXSEL_DCHECK_GE(a, b) ((void)0)\n")},
+      NoOrphan());
+  EXPECT_THAT(transitive, IsEmpty());
+}
+
+TEST(LintOrphanTest, UnreferencedSourceAndLibraryFlagged) {
+  const std::vector<FileInput> files = {
+      Src("engine/used.cc", "int x;\n"),
+      Src("engine/orphan.cc", "int y;\n"),
+      {"repo/src/engine/CMakeLists.txt",
+       "add_library(idxsel_engine used.cc)\n"},
+      {"repo/tests/CMakeLists.txt",
+       "target_link_libraries(engine_test PRIVATE idxsel_other)\n"},
+  };
+  const auto findings = LintFiles(files, Options{});
+  const auto checks = Checks(findings);
+  // orphan.cc is not compiled; idxsel_engine is not linked by any test.
+  EXPECT_EQ(std::count(checks.begin(), checks.end(), "orphan-source"), 2);
+}
+
+// -- Suppressions -----------------------------------------------------------
+
+TEST(LintSuppressionTest, SameLineSuppressionWithReasonSilences) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           "std::unordered_map<int, double> m;\n"
+           "void F() { for (const auto& [k, v] : m) Keys(k); }  "
+           "// idxsel-lint: allow(unordered-iter) reason=keys re-sorted "
+           "below\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSuppressionTest, PrecedingLineSuppressionSilences) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "// idxsel-lint: allow(double-compare) reason=exact sparsity "
+           "test\n"
+           "bool F(double v) { return v == 0.0; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSuppressionTest, MissingReasonIsItsOwnFindingAndDoesNotSilence) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "bool F(double v) { return v == 0.0; }  "
+           "// idxsel-lint: allow(double-compare)\n")},
+      NoOrphan());
+  // A reasonless suppression suppresses nothing: the original finding
+  // survives alongside the suppression-missing-reason report.
+  const auto checks = Checks(findings);
+  EXPECT_THAT(checks, ::testing::Contains("suppression-missing-reason"));
+  EXPECT_THAT(checks, ::testing::Contains("double-compare"));
+  for (const Finding& f : findings) {
+    if (f.check == "suppression-missing-reason") {
+      EXPECT_THAT(f.message, HasSubstr("reason="));
+    }
+  }
+}
+
+TEST(LintSuppressionTest, WrongCheckNameDoesNotSilence) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "bool F(double v) { return v == 0.0; }  "
+           "// idxsel-lint: allow(unordered-iter) reason=wrong check\n")},
+      NoOrphan());
+  const auto checks = Checks(findings);
+  // The real finding survives; the mismatched suppression is fine per se
+  // (unordered-iter is a known check, it just doesn't fire here).
+  EXPECT_THAT(checks, ::testing::Contains("double-compare"));
+}
+
+TEST(LintSuppressionTest, UnknownCheckNameFlagged) {
+  const auto findings = LintFiles(
+      {Src("core/x.cc",
+           "// idxsel-lint: allow(no-such-check) reason=typo\n"
+           "int y;\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "unknown-check");
+}
+
+// -- Tokenizer robustness ---------------------------------------------------
+
+TEST(LintTokenizerTest, CommentsAndStringsDoNotTriggerChecks) {
+  const auto findings = LintFiles(
+      {Src("core/x.cc",
+           "// std::random_device in a comment is fine\n"
+           "/* rand() in a block comment too */\n"
+           "const char* s = \"system_clock is just a string\";\n"
+           "const char* r = R\"(rand() inside raw string)\";\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintTokenizerTest, FormatFindingIsStable) {
+  const Finding f{"src/core/x.cc", 12, "layering", "boom"};
+  EXPECT_EQ(FormatFinding(f), "src/core/x.cc:12: [layering] boom");
+}
+
+TEST(LintTokenizerTest, KnownChecksCoverEveryDocumentedName) {
+  const auto& checks = KnownChecks();
+  for (const char* name :
+       {"layering", "include-cycle", "determinism-random",
+        "determinism-clock", "unordered-iter", "double-compare",
+        "missing-check-include", "orphan-source",
+        "suppression-missing-reason", "unknown-check"}) {
+    EXPECT_THAT(checks, ::testing::Contains(std::string(name))) << name;
+  }
+}
+
+}  // namespace
+}  // namespace idxsel::lint

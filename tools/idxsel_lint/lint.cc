@@ -1,0 +1,1071 @@
+#include "idxsel_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace idxsel::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+
+std::string Normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+std::vector<std::string> Segments(const std::string& path) {
+  std::vector<std::string> out;
+  std::string seg;
+  std::stringstream ss(path);
+  while (std::getline(ss, seg, '/')) {
+    if (!seg.empty()) out.push_back(seg);
+  }
+  return out;
+}
+
+enum class Scope { kSrc, kTests, kBench, kTools, kExamples, kOther };
+
+/// Classifies by the *last* matching path segment, so absolute paths
+/// (/home/x/repo/src/core/a.cc) and golden-test temp trees classify alike.
+Scope ScopeOf(const std::vector<std::string>& segs) {
+  for (auto it = segs.rbegin(); it != segs.rend(); ++it) {
+    if (*it == "src") return Scope::kSrc;
+    if (*it == "tests") return Scope::kTests;
+    if (*it == "bench") return Scope::kBench;
+    if (*it == "tools") return Scope::kTools;
+    if (*it == "examples") return Scope::kExamples;
+  }
+  return Scope::kOther;
+}
+
+/// Module directory under src/ ("core", "obs", ...), or "" outside src/
+/// (or for files sitting directly in src/ with no module directory).
+std::string ModuleOf(const std::vector<std::string>& segs) {
+  for (size_t i = segs.size(); i-- > 0;) {
+    if (segs[i] == "src") {
+      return i + 2 < segs.size() ? segs[i + 1] : std::string();
+    }
+  }
+  return "";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// The layering DAG (DESIGN.md §2 "Dependency order"). Direct allowed
+// dependencies; the checker closes them transitively. kernel and exec
+// deliberately omit obs: they sit beside it, and their telemetry flows
+// through common/telemetry.h.
+
+const std::map<std::string, std::vector<std::string>>& LayeringDag() {
+  static const std::map<std::string, std::vector<std::string>> dag = {
+      {"common", {}},
+      {"obs", {"common"}},
+      {"exec", {"common"}},
+      {"workload", {"common"}},
+      {"kernel", {"common", "workload"}},
+      {"lp", {"common"}},
+      {"mip", {"common", "obs", "exec"}},
+      {"costmodel", {"common", "workload", "kernel", "obs", "exec"}},
+      {"audit", {"common", "workload", "kernel", "costmodel", "exec"}},
+      {"rt", {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"candidates",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"engine", {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"selection",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec",
+        "candidates"}},
+      {"cophy",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec",
+        "candidates", "lp", "mip"}},
+      {"core",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec", "audit"}},
+      {"frontier",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"analysis",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"advisor",
+       {"common", "workload", "kernel", "costmodel", "obs", "exec", "rt",
+        "audit", "candidates", "lp", "mip", "cophy", "selection", "core"}},
+  };
+  return dag;
+}
+
+/// Transitive closure of the DAG (a module may include headers of any
+/// transitive dependency — linking already hands it the whole chain).
+const std::map<std::string, std::set<std::string>>& LayeringClosure() {
+  static const std::map<std::string, std::set<std::string>> closure = [] {
+    std::map<std::string, std::set<std::string>> out;
+    // Iterate to fixpoint; the table is tiny.
+    for (const auto& [mod, deps] : LayeringDag()) {
+      out[mod] = {deps.begin(), deps.end()};
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& [mod, deps] : out) {
+        std::set<std::string> add;
+        for (const std::string& d : deps) {
+          auto it = out.find(d);
+          if (it == out.end()) continue;
+          for (const std::string& dd : it->second) {
+            if (!deps.count(dd)) add.insert(dd);
+          }
+        }
+        if (!add.empty()) {
+          deps.insert(add.begin(), add.end());
+          changed = true;
+        }
+      }
+    }
+    return out;
+  }();
+  return closure;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenized file view
+
+struct FileView {
+  std::string path;                     // normalized
+  std::vector<std::string> segs;        // path segments
+  Scope scope = Scope::kOther;
+  std::string module;                   // src module or ""
+  std::vector<std::string> code;        // per line, comments/strings blanked
+  std::vector<std::string> comments;    // per line, comment text only
+  std::vector<std::pair<int, std::string>> includes;  // (line, quoted path)
+  bool is_cmake = false;
+};
+
+/// Strips comments and string/char literals while preserving line
+/// structure; collects comment text per line (for suppression parsing) and
+/// quoted includes.
+void BuildView(const std::string& content, FileView* view) {
+  std::string line_code, line_comment;
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  St st = St::kCode;
+  bool keep_string = false;
+  std::string raw_delim;
+  size_t i = 0;
+  const size_t n = content.size();
+  auto flush_line = [&] {
+    view->code.push_back(line_code);
+    view->comments.push_back(line_comment);
+    line_code.clear();
+    line_comment.clear();
+  };
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::kLineComment) st = St::kCode;
+      // Unterminated ordinary literals do not span lines.
+      if (st == St::kString || st == St::kChar) st = St::kCode;
+      flush_line();
+      ++i;
+      continue;
+    }
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          line_code += "  ";
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (line_code.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(
+                         line_code.back())) &&
+                     line_code.back() != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && content[j] != '(') raw_delim += content[j++];
+          st = St::kRaw;
+          line_code += ' ';
+          i = j < n ? j + 1 : n;
+        } else if (c == '"') {
+          st = St::kString;
+          line_code += '"';
+          ++i;
+          // Only preprocessor lines keep their string contents in the code
+          // view (the #include extraction below reads the quoted path);
+          // everywhere else literal text is blanked so words inside
+          // strings can never trigger token-scanning checks.
+          {
+            const size_t h = line_code.find_first_not_of(" \t");
+            keep_string = h != std::string::npos && line_code[h] == '#';
+          }
+        } else if (c == '\'') {
+          st = St::kChar;
+          line_code += ' ';
+          ++i;
+        } else {
+          line_code += c;
+          ++i;
+        }
+        break;
+      case St::kLineComment:
+        line_comment += c;
+        ++i;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          i += 2;
+        } else {
+          line_comment += c;
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          i += 2;
+        } else if (c == '"') {
+          st = St::kCode;
+          line_code += '"';
+          ++i;
+        } else {
+          line_code += keep_string ? c : ' ';
+          ++i;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          i += 2;
+        } else if (c == '\'') {
+          st = St::kCode;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          st = St::kCode;
+          i += close.size();
+        } else {
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+
+  // Collect #include "..." lines from the code view.
+  for (size_t l = 0; l < view->code.size(); ++l) {
+    const std::string& s = view->code[l];
+    size_t p = s.find_first_not_of(" \t");
+    if (p == std::string::npos || s[p] != '#') continue;
+    p = s.find_first_not_of(" \t", p + 1);
+    if (p == std::string::npos || s.compare(p, 7, "include") != 0) continue;
+    const size_t q1 = s.find('"', p + 7);
+    if (q1 == std::string::npos) continue;
+    const size_t q2 = s.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    view->includes.emplace_back(static_cast<int>(l + 1),
+                                s.substr(q1 + 1, q2 - q1 - 1));
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Whole-word occurrences of `word` in `s`; returns 0-based positions.
+std::vector<size_t> FindWord(const std::string& s, const std::string& word) {
+  std::vector<size_t> out;
+  size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(s[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !IsIdentChar(s[end]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = end;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+struct Suppression {
+  std::string check;
+  bool has_reason = false;
+};
+
+/// Parses "idxsel-lint: allow(<check>) reason=<text>" out of a comment.
+std::vector<Suppression> ParseSuppressions(const std::string& comment) {
+  std::vector<Suppression> out;
+  size_t pos = 0;
+  while ((pos = comment.find("idxsel-lint:", pos)) != std::string::npos) {
+    size_t p = comment.find("allow(", pos);
+    if (p == std::string::npos) break;
+    p += 6;
+    const size_t close = comment.find(')', p);
+    if (close == std::string::npos) break;
+    Suppression s;
+    s.check = comment.substr(p, close - p);
+    const size_t r = comment.find("reason=", close);
+    if (r != std::string::npos) {
+      std::string reason = comment.substr(r + 7);
+      // Trim; an all-whitespace reason is no reason.
+      while (!reason.empty() && std::isspace(static_cast<unsigned char>(
+                                    reason.back()))) {
+        reason.pop_back();
+      }
+      s.has_reason = !reason.empty();
+    }
+    out.push_back(std::move(s));
+    pos = close;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Check context
+
+struct Context {
+  std::vector<FileView> files;
+  Options options;
+  std::vector<Finding> findings;
+
+  void Report(const FileView& f, int line, const std::string& check,
+              std::string message) {
+    findings.push_back({f.path, line, check, std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// L1: layering + include cycles
+
+void CheckLayering(Context* ctx) {
+  const auto& closure = LayeringClosure();
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc || f.module.empty()) continue;
+    const auto self = closure.find(f.module);
+    if (self == closure.end()) {
+      ctx->Report(f, 1, "layering",
+                  "module 'src/" + f.module +
+                      "' is not in the layering table; add it to the "
+                      "DESIGN.md dependency DAG and tools/idxsel_lint");
+      continue;
+    }
+    for (const auto& [line, inc] : f.includes) {
+      const size_t slash = inc.find('/');
+      if (slash == std::string::npos) continue;  // sibling include
+      const std::string target = inc.substr(0, slash);
+      if (target == f.module) continue;
+      if (!closure.count(target)) continue;  // not a src module ("gtest/...")
+      if ((f.module == "kernel" || f.module == "exec") && target == "obs") {
+        ctx->Report(f, line, "layering",
+                    "src/" + f.module +
+                        " must never include obs headers directly (include '" +
+                        inc + "'); publish through common/telemetry.h");
+        continue;
+      }
+      if (!self->second.count(target)) {
+        ctx->Report(f, line, "layering",
+                    "src/" + f.module + " may not depend on src/" + target +
+                        " (include '" + inc +
+                        "'); allowed: " + [&] {
+                          std::string s;
+                          for (const auto& d : self->second) {
+                            s += s.empty() ? d : ", " + d;
+                          }
+                          return s.empty() ? std::string("none") : s;
+                        }());
+      }
+    }
+  }
+}
+
+void CheckIncludeCycles(Context* ctx) {
+  // Resolve quoted includes to scanned files by path suffix (or sibling
+  // file for slash-less includes).
+  std::map<std::string, size_t> by_path;  // normalized path -> index
+  for (size_t i = 0; i < ctx->files.size(); ++i) {
+    by_path[ctx->files[i].path] = i;
+  }
+  auto resolve = [&](const FileView& from, const std::string& inc) -> int {
+    if (inc.find('/') == std::string::npos) {
+      const size_t slash = from.path.rfind('/');
+      const std::string sibling =
+          slash == std::string::npos ? inc : from.path.substr(0, slash + 1) + inc;
+      const auto it = by_path.find(sibling);
+      return it == by_path.end() ? -1 : static_cast<int>(it->second);
+    }
+    int found = -1;
+    for (const auto& [path, idx] : by_path) {
+      if (EndsWith(path, "/" + inc) || path == inc) {
+        if (found >= 0) return -1;  // ambiguous: stay silent
+        found = static_cast<int>(idx);
+      }
+    }
+    return found;
+  };
+
+  const size_t n = ctx->files.size();
+  std::vector<std::vector<std::pair<int, int>>> edges(n);  // (target, line)
+  for (size_t i = 0; i < n; ++i) {
+    if (ctx->files[i].is_cmake) continue;
+    for (const auto& [line, inc] : ctx->files[i].includes) {
+      const int t = resolve(ctx->files[i], inc);
+      if (t >= 0 && static_cast<size_t>(t) != i) {
+        edges[i].push_back({t, line});
+      }
+    }
+  }
+
+  // Iterative DFS, reporting the first back-edge of each cycle found.
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<int> parent_edge_line(n, 0);
+  std::set<std::pair<size_t, size_t>> reported;
+  for (size_t root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (node, next edge idx)
+    std::vector<size_t> path;
+    stack.push_back({root, 0});
+    color[root] = 1;
+    path.push_back(root);
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      if (edge_idx >= edges[node].size()) {
+        color[node] = 2;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const auto [target, line] = edges[node][edge_idx++];
+      const size_t t = static_cast<size_t>(target);
+      if (color[t] == 1) {
+        // Back edge: path from t .. node forms the cycle.
+        if (reported.insert({std::min(node, t), std::max(node, t)}).second) {
+          std::string cyc;
+          bool in = false;
+          for (const size_t p : path) {
+            if (p == t) in = true;
+            if (in) cyc += ctx->files[p].path + " -> ";
+          }
+          cyc += ctx->files[t].path;
+          ctx->Report(ctx->files[node], static_cast<int>(line),
+                      "include-cycle", "include cycle: " + cyc);
+        }
+      } else if (color[t] == 0) {
+        color[t] = 1;
+        stack.push_back({t, 0});
+        path.push_back(t);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L2: determinism
+
+bool DeterminismScoped(const FileView& f) {
+  return f.scope == Scope::kSrc && f.module != "rt" && f.module != "obs";
+}
+
+void CheckRandom(Context* ctx) {
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || !DeterminismScoped(f)) continue;
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      for (const char* fn : {"rand", "srand"}) {
+        for (const size_t pos : FindWord(s, fn)) {
+          const size_t after = s.find_first_not_of(" \t", pos + strlen(fn));
+          if (after != std::string::npos && s[after] == '(') {
+            ctx->Report(f, static_cast<int>(l + 1), "determinism-random",
+                        std::string("'") + fn +
+                            "()' is nondeterministic across runs; use the "
+                            "seeded PRNGs in common/random.h");
+          }
+        }
+      }
+      if (!FindWord(s, "random_device").empty()) {
+        ctx->Report(f, static_cast<int>(l + 1), "determinism-random",
+                    "'std::random_device' is nondeterministic; selection "
+                    "code must seed from configuration (common/random.h)");
+      }
+    }
+  }
+}
+
+void CheckClock(Context* ctx) {
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || !DeterminismScoped(f)) continue;
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      for (const char* id : {"system_clock", "gettimeofday", "localtime"}) {
+        if (!FindWord(s, id).empty()) {
+          ctx->Report(f, static_cast<int>(l + 1), "determinism-clock",
+                      std::string("wall-clock '") + id +
+                          "' outside rt/obs/bench; deadlines go through "
+                          "rt::Deadline (common/deadline.h), timing through "
+                          "obs spans");
+        }
+      }
+      for (const char* fn : {"time", "clock"}) {
+        for (const size_t pos : FindWord(s, fn)) {
+          const size_t after = s.find_first_not_of(" \t", pos + strlen(fn));
+          if (after != std::string::npos && s[after] == '(' &&
+              (pos < 2 || s.compare(pos - 2, 2, "->") != 0) &&
+              (pos == 0 || s[pos - 1] != '.')) {
+            ctx->Report(f, static_cast<int>(l + 1), "determinism-clock",
+                        std::string("wall-clock '") + fn +
+                            "()' outside rt/obs/bench; deadlines go through "
+                            "rt::Deadline (common/deadline.h)");
+          }
+        }
+      }
+    }
+  }
+}
+
+void CheckUnorderedIter(Context* ctx) {
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc) continue;
+    if (f.module != "core" && f.module != "selection" && f.module != "mip") {
+      continue;
+    }
+    // Pass 1: names declared with an unordered container type.
+    std::set<std::string> unordered_vars;
+    for (const std::string& s : f.code) {
+      for (const char* ty :
+           {"unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset"}) {
+        for (size_t pos : FindWord(s, ty)) {
+          size_t p = pos + strlen(ty);
+          if (p >= s.size() || s[p] != '<') continue;
+          int depth = 0;
+          while (p < s.size()) {
+            if (s[p] == '<') ++depth;
+            if (s[p] == '>') {
+              --depth;
+              if (depth == 0) break;
+            }
+            ++p;
+          }
+          if (p >= s.size()) continue;  // declaration spans lines: skip
+          ++p;
+          // Skip refs/pointers/whitespace, then read the variable name.
+          while (p < s.size() &&
+                 (s[p] == ' ' || s[p] == '&' || s[p] == '*')) {
+            ++p;
+          }
+          std::string name;
+          while (p < s.size() && IsIdentChar(s[p])) name += s[p++];
+          if (!name.empty()) unordered_vars.insert(name);
+        }
+      }
+    }
+    // Pass 2: range-fors whose range expression mentions an unordered
+    // container (by declared name or directly).
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      for (const size_t pos : FindWord(s, "for")) {
+        const size_t paren = s.find('(', pos + 3);
+        if (paren == std::string::npos) continue;
+        // Find the ':' of a range-for at paren depth 1 (ignore '::').
+        int depth = 0;
+        size_t colon = std::string::npos;
+        size_t close = std::string::npos;
+        for (size_t p = paren; p < s.size(); ++p) {
+          if (s[p] == '(') ++depth;
+          if (s[p] == ')') {
+            --depth;
+            if (depth == 0) {
+              close = p;
+              break;
+            }
+          }
+          if (s[p] == ':' && depth == 1 && colon == std::string::npos &&
+              (p + 1 >= s.size() || s[p + 1] != ':') &&
+              (p == 0 || s[p - 1] != ':')) {
+            colon = p;
+          }
+        }
+        if (colon == std::string::npos || close == std::string::npos) {
+          continue;
+        }
+        const std::string range = s.substr(colon + 1, close - colon - 1);
+        bool hit = range.find("unordered_") != std::string::npos;
+        for (const std::string& name : unordered_vars) {
+          if (!FindWord(range, name).empty()) hit = true;
+        }
+        if (hit) {
+          ctx->Report(
+              f, static_cast<int>(l + 1), "unordered-iter",
+              "range-for over an unordered container in src/" + f.module +
+                  "; selection decisions must iterate deterministic orders "
+                  "(sort the keys first, or suppress with a written reason "
+                  "if the order provably never escapes)");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L3: hygiene
+
+/// True when the token names a cost-like quantity. Identifiers are split
+/// into words on '_', '.', and camelCase boundaries so that e.g.
+/// "reconfiguration" does not match "ratio" by substring accident, while
+/// "x.cost", "query_costs", and "bestRatio" all match.
+bool CostLikeToken(const std::string& tok) {
+  std::vector<std::string> words;
+  std::string word;
+  for (size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (c == '_' || c == '.') {
+      if (!word.empty()) words.push_back(word);
+      word.clear();
+      continue;
+    }
+    if (std::isupper(static_cast<unsigned char>(c)) && !word.empty() &&
+        std::islower(static_cast<unsigned char>(word.back()))) {
+      words.push_back(word);
+      word.clear();
+    }
+    word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (!word.empty()) words.push_back(word);
+  for (const std::string& w : words) {
+    for (const char* kw :
+         {"cost", "benefit", "ratio", "penalty", "objective"}) {
+      if (w == kw || w == std::string(kw) + "s") return true;
+    }
+  }
+  return false;
+}
+
+bool FloatLiteralToken(const std::string& tok) {
+  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok[0]))) {
+    return tok.size() >= 2 && tok[0] == '.' &&
+           std::isdigit(static_cast<unsigned char>(tok[1]));
+  }
+  return tok.find('.') != std::string::npos ||
+         tok.find('e') != std::string::npos ||
+         tok.find('E') != std::string::npos;
+}
+
+/// Token (identifier/number, possibly dotted member chain) ending at `end`
+/// (exclusive), scanning backwards. Trailing balanced "[...]"/"(...)"
+/// groups are skipped so "query_costs[x]" yields "query_costs".
+std::string TokenBefore(const std::string& s, size_t end) {
+  size_t p = end;
+  while (p > 0 && s[p - 1] == ' ') --p;
+  while (p > 0 && (s[p - 1] == ']' || s[p - 1] == ')')) {
+    const char open = s[p - 1] == ']' ? '[' : '(';
+    const char close = s[p - 1];
+    int depth = 0;
+    while (p > 0) {
+      --p;
+      if (s[p] == close) ++depth;
+      if (s[p] == open && --depth == 0) break;
+    }
+    if (depth != 0) return "";  // unbalanced on this line: give up
+  }
+  const size_t stop = p;
+  while (p > 0 && (IsIdentChar(s[p - 1]) || s[p - 1] == '.')) --p;
+  return s.substr(p, stop - p);
+}
+
+std::string TokenAfter(const std::string& s, size_t begin) {
+  size_t p = begin;
+  while (p < s.size() && s[p] == ' ') ++p;
+  const size_t start = p;
+  while (p < s.size() && (IsIdentChar(s[p]) || s[p] == '.')) ++p;
+  return s.substr(start, p - start);
+}
+
+void CheckDoubleCompare(Context* ctx) {
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc) continue;
+    // The one approved home for raw FP equality, and the generic CHECK
+    // macros (whose ==/!= instantiate over every comparable type).
+    if (EndsWith(f.path, "common/float_cmp.h") ||
+        EndsWith(f.path, "common/check.h")) {
+      continue;
+    }
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      if (s.find("operator==") != std::string::npos ||
+          s.find("operator!=") != std::string::npos) {
+        continue;
+      }
+      for (size_t p = 0; p + 1 < s.size(); ++p) {
+        const bool eq = s[p] == '=' && s[p + 1] == '=';
+        const bool ne = s[p] == '!' && s[p + 1] == '=';
+        if (!eq && !ne) continue;
+        // Exclude <=, >=, === (no such thing), and assignment ==.
+        if (p > 0 && (s[p - 1] == '<' || s[p - 1] == '>' || s[p - 1] == '=' ||
+                      s[p - 1] == '!')) {
+          continue;
+        }
+        if (p + 2 < s.size() && s[p + 2] == '=') continue;
+        const std::string left = TokenBefore(s, p);
+        const std::string right = TokenAfter(s, p + 2);
+        // Pointer/sentinel comparisons are not value comparisons.
+        if (left == "nullptr" || right == "nullptr") continue;
+        const bool cost_like = CostLikeToken(left) || CostLikeToken(right);
+        const bool fp_lit =
+            FloatLiteralToken(left) || FloatLiteralToken(right);
+        if (cost_like || fp_lit) {
+          ctx->Report(
+              f, static_cast<int>(l + 1), "double-compare",
+              "raw " + std::string(eq ? "==" : "!=") + " on " +
+                  (fp_lit ? "a floating-point literal" : "a cost-like value") +
+                  " ('" + (left.empty() ? "?" : left) + "' vs '" +
+                  (right.empty() ? "?" : right) +
+                  "'); use common/float_cmp.h (ExactlyEqual/ExactlyZero for "
+                  "deliberate bitwise tests, ApproxEqual for tolerances)");
+        }
+      }
+    }
+  }
+}
+
+void CheckMissingCheckInclude(Context* ctx) {
+  // Per-file include closure restricted to the scanned set.
+  std::map<std::string, size_t> by_path;
+  for (size_t i = 0; i < ctx->files.size(); ++i) {
+    by_path[ctx->files[i].path] = i;
+  }
+  auto resolve = [&](const FileView& from, const std::string& inc) -> int {
+    if (inc.find('/') == std::string::npos) {
+      const size_t slash = from.path.rfind('/');
+      const std::string sibling =
+          slash == std::string::npos ? inc
+                                     : from.path.substr(0, slash + 1) + inc;
+      const auto it = by_path.find(sibling);
+      return it == by_path.end() ? -1 : static_cast<int>(it->second);
+    }
+    for (const auto& [path, idx] : by_path) {
+      if (EndsWith(path, "/" + inc) || path == inc) {
+        return static_cast<int>(idx);
+      }
+    }
+    return -1;
+  };
+  const size_t n = ctx->files.size();
+  // closure_has_check[i]: common/check.h reachable from i via includes.
+  std::vector<int> state(n, -1);  // -1 unknown, 0 no, 1 yes
+  std::function<bool(size_t, std::vector<char>&)> reaches =
+      [&](size_t i, std::vector<char>& visiting) -> bool {
+    if (state[i] >= 0) return state[i] == 1;
+    if (visiting[i]) return false;  // cycle: handled by include-cycle check
+    visiting[i] = 1;
+    bool found = EndsWith(ctx->files[i].path, "common/check.h");
+    for (const auto& [line, inc] : ctx->files[i].includes) {
+      if (found) break;
+      if (inc == "common/check.h" || EndsWith(inc, "/check.h")) {
+        found = true;
+        break;
+      }
+      const int t = resolve(ctx->files[i], inc);
+      if (t >= 0 && reaches(static_cast<size_t>(t), visiting)) found = true;
+    }
+    visiting[i] = 0;
+    state[i] = found ? 1 : 0;
+    return found;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const FileView& f = ctx->files[i];
+    if (f.is_cmake || EndsWith(f.path, "common/check.h")) continue;
+    bool uses = false;
+    int first_line = 0;
+    for (size_t l = 0; l < f.code.size() && !uses; ++l) {
+      if (!FindWord(f.code[l], "IDXSEL_CHECK").empty() ||
+          f.code[l].find("IDXSEL_CHECK_") != std::string::npos ||
+          !FindWord(f.code[l], "IDXSEL_DCHECK").empty() ||
+          f.code[l].find("IDXSEL_DCHECK_") != std::string::npos) {
+        uses = true;
+        first_line = static_cast<int>(l + 1);
+      }
+    }
+    if (!uses) continue;
+    std::vector<char> visiting(n, 0);
+    if (!reaches(i, visiting)) {
+      ctx->Report(f, first_line, "missing-check-include",
+                  "IDXSEL_CHECK/IDXSEL_DCHECK used but common/check.h is "
+                  "not in this file's include closure");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L3: orphan sources (build-graph check over CMakeLists.txt inputs)
+
+void CheckOrphanSources(Context* ctx) {
+  if (!ctx->options.orphan_check) return;
+  // Gather CMake content: per-directory source lists and the union of all
+  // idxsel_* target references in tests/ CMake files.
+  struct CMakeDir {
+    std::set<std::string> sources;  // .cc files named in this CMakeLists
+    std::vector<std::string> libraries;  // add_library target names
+  };
+  std::map<std::string, CMakeDir> dirs;  // directory path -> info
+  std::set<std::string> test_referenced;
+  bool have_src_cmake = false;
+  bool have_tests_cmake = false;
+  for (const FileView& f : ctx->files) {
+    if (!f.is_cmake) continue;
+    const size_t slash = f.path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : f.path.substr(0, slash);
+    CMakeDir& d = dirs[dir];
+    // Tokenize on non-identifier/path characters.
+    std::string all;
+    for (const std::string& line : f.code) all += line + "\n";
+    std::vector<std::string> toks;
+    std::string tok;
+    for (const char c : all) {
+      if (IsIdentChar(c) || c == '.' || c == '/') {
+        tok += c;
+      } else if (!tok.empty()) {
+        toks.push_back(tok);
+        tok.clear();
+      }
+    }
+    if (!tok.empty()) toks.push_back(tok);
+    for (size_t t = 0; t < toks.size(); ++t) {
+      if ((toks[t] == "add_library" || toks[t] == "add_executable") &&
+          t + 1 < toks.size()) {
+        if (toks[t] == "add_library") d.libraries.push_back(toks[t + 1]);
+      }
+      if (EndsWith(toks[t], ".cc")) d.sources.insert(toks[t]);
+    }
+    if (f.scope == Scope::kSrc) have_src_cmake = true;
+    if (f.scope == Scope::kTests) {
+      have_tests_cmake = true;
+      for (const std::string& t : toks) {
+        if (t.rfind("idxsel_", 0) == 0) test_referenced.insert(t);
+      }
+    }
+  }
+  if (!have_src_cmake) return;  // nothing to check against
+
+  // (a) every src/ .cc must be named by its directory's CMakeLists.txt.
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc || !EndsWith(f.path, ".cc")) {
+      continue;
+    }
+    const size_t slash = f.path.rfind('/');
+    const std::string dir =
+        slash == std::string::npos ? "" : f.path.substr(0, slash);
+    const std::string base =
+        slash == std::string::npos ? f.path : f.path.substr(slash + 1);
+    const auto it = dirs.find(dir);
+    if (it == dirs.end() || !it->second.sources.count(base)) {
+      ctx->Report(f, 1, "orphan-source",
+                  "src/ source file is not compiled into any target by " +
+                      (dir.empty() ? std::string("its") : dir + "/") +
+                      "CMakeLists.txt");
+    }
+  }
+
+  // (b) every src/ library must be referenced by the tests CMake graph.
+  if (!have_tests_cmake) return;
+  for (const auto& [dir, d] : dirs) {
+    for (const std::string& lib : d.libraries) {
+      if (lib.rfind("idxsel_", 0) != 0) continue;
+      if (dir.find("/src/") == std::string::npos &&
+          dir.rfind("src/", 0) != 0 && dir != "src") {
+        continue;
+      }
+      if (!test_referenced.count(lib)) {
+        // Attribute to the directory's CMakeLists.txt.
+        for (const FileView& f : ctx->files) {
+          if (f.is_cmake && f.path == dir + "/CMakeLists.txt") {
+            ctx->Report(f, 1, "orphan-source",
+                        "library '" + lib +
+                            "' is not linked by any test target in "
+                            "tests/CMakeLists.txt");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression application
+
+void ApplySuppressions(Context* ctx) {
+  const std::set<std::string> known(KnownChecks().begin(),
+                                    KnownChecks().end());
+  // Index views by path for comment lookup.
+  std::map<std::string, const FileView*> by_path;
+  for (const FileView& f : ctx->files) by_path[f.path] = &f;
+
+  std::vector<Finding> kept;
+  std::set<std::pair<std::string, int>> reported_bad_suppression;
+  for (Finding& finding : ctx->findings) {
+    const FileView* f = by_path[finding.path];
+    bool suppressed = false;
+    if (f != nullptr) {
+      for (const int l : {finding.line, finding.line - 1}) {
+        if (l < 1 || static_cast<size_t>(l) > f->comments.size()) continue;
+        // A preceding-line suppression must be a comment-only line.
+        if (l != finding.line) {
+          const std::string& code = f->code[static_cast<size_t>(l - 1)];
+          if (code.find_first_not_of(" \t") != std::string::npos) continue;
+        }
+        for (const Suppression& s :
+             ParseSuppressions(f->comments[static_cast<size_t>(l - 1)])) {
+          if (s.check != finding.check) continue;
+          if (!s.has_reason) {
+            if (reported_bad_suppression.insert({finding.path, l}).second) {
+              kept.push_back(
+                  {finding.path, l, "suppression-missing-reason",
+                   "suppression of '" + s.check +
+                       "' must carry a written reason: idxsel-lint: allow(" +
+                       s.check + ") reason=<why this is sound>"});
+            }
+            continue;
+          }
+          suppressed = true;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(finding));
+  }
+
+  // Suppressions naming unknown checks are typos that would silently stop
+  // protecting the line once the check is renamed — surface them.
+  for (const FileView& f : ctx->files) {
+    for (size_t l = 0; l < f.comments.size(); ++l) {
+      for (const Suppression& s : ParseSuppressions(f.comments[l])) {
+        if (!known.count(s.check)) {
+          kept.push_back({f.path, static_cast<int>(l + 1), "unknown-check",
+                          "suppression names unknown check '" + s.check +
+                              "'; known: see --list-checks"});
+        }
+      }
+    }
+  }
+  ctx->findings = std::move(kept);
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownChecks() {
+  static const std::vector<std::string> checks = {
+      "layering",          "include-cycle",
+      "determinism-random", "determinism-clock",
+      "unordered-iter",    "double-compare",
+      "missing-check-include", "orphan-source",
+      "suppression-missing-reason", "unknown-check",
+  };
+  return checks;
+}
+
+std::vector<Finding> LintFiles(const std::vector<FileInput>& files,
+                               const Options& options) {
+  Context ctx;
+  ctx.options = options;
+  ctx.files.reserve(files.size());
+  for (const FileInput& in : files) {
+    FileView view;
+    view.path = Normalize(in.path);
+    view.segs = Segments(view.path);
+    view.scope = ScopeOf(view.segs);
+    view.module = ModuleOf(view.segs);
+    view.is_cmake = EndsWith(view.path, "CMakeLists.txt");
+    BuildView(in.content, &view);
+    ctx.files.push_back(std::move(view));
+  }
+  CheckLayering(&ctx);
+  CheckIncludeCycles(&ctx);
+  CheckRandom(&ctx);
+  CheckClock(&ctx);
+  CheckUnorderedIter(&ctx);
+  CheckDoubleCompare(&ctx);
+  CheckMissingCheckInclude(&ctx);
+  CheckOrphanSources(&ctx);
+  ApplySuppressions(&ctx);
+  std::sort(ctx.findings.begin(), ctx.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return ctx.findings;
+}
+
+bool LintPaths(const std::vector<std::string>& paths, const Options& options,
+               std::vector<Finding>* findings, std::string* error) {
+  namespace fs = std::filesystem;
+  std::vector<FileInput> inputs;
+  std::set<std::string> seen;
+  auto add_file = [&](const fs::path& p) -> bool {
+    const std::string norm = Normalize(p.string());
+    if (!seen.insert(norm).second) return true;
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + p.string();
+      return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    inputs.push_back({norm, ss.str()});
+    return true;
+  };
+  auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".h" || p.filename() == "CMakeLists.txt";
+  };
+  for (const std::string& raw : paths) {
+    const fs::path p(raw);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && wanted(it->path())) {
+          if (!add_file(it->path())) return false;
+        }
+      }
+      // A "src" root implies the sibling tests/CMakeLists.txt matters for
+      // the orphan-source link check.
+      if (p.filename() == "src") {
+        const fs::path tests = p.parent_path() / "tests" / "CMakeLists.txt";
+        if (fs::exists(tests, ec)) {
+          if (!add_file(tests)) return false;
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      if (!add_file(p)) return false;
+    } else {
+      if (error != nullptr) *error = "no such file or directory: " + raw;
+      return false;
+    }
+  }
+  *findings = LintFiles(inputs, options);
+  return true;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.check + "] " + finding.message;
+}
+
+}  // namespace idxsel::lint

@@ -1,0 +1,81 @@
+// idxsel_lint — project-rule static analysis for the idxsel tree.
+//
+// A lightweight, libclang-free linter: files are reduced to a
+// comment/string-stripped "code view" by a small tokenizer, and every
+// project rule runs as a named, individually suppressible check over that
+// view (plus the CMakeLists.txt files for build-graph rules). The checks
+// encode guarantees the test suite cannot see from the outside:
+//
+//   L1  layering          cross-module #include must follow the DESIGN.md
+//                         dependency DAG; kernel/exec never include obs
+//       include-cycle     the quoted-include graph must be acyclic
+//   L2  determinism-random  rand()/srand()/std::random_device in src/
+//                           outside rt (seeded PRNGs live in common/random.h)
+//       determinism-clock   wall-clock (system_clock, time(), clock(),
+//                           gettimeofday) in src/ outside rt/obs
+//       unordered-iter      range-for over unordered containers in
+//                           src/core, src/selection, src/mip — selection
+//                           decisions iterate deterministic orders
+//   L3  double-compare     raw ==/!= on cost-like doubles or float
+//                          literals outside the approved helpers
+//                          (common/float_cmp.h)
+//       missing-check-include  IDXSEL_CHECK*/IDXSEL_DCHECK* used without
+//                              common/check.h in the include closure
+//       orphan-source      src/ .cc not compiled into its module library,
+//                          or a src/ library no test target links
+//
+// Suppression syntax (same line or the line directly above):
+//   // idxsel-lint: allow(<check>) reason=<non-empty explanation>
+// A suppression without a reason is itself reported
+// (suppression-missing-reason), as is one naming an unknown check
+// (unknown-check). See doc/static_analysis.md.
+
+#ifndef IDXSEL_TOOLS_IDXSEL_LINT_LINT_H_
+#define IDXSEL_TOOLS_IDXSEL_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace idxsel::lint {
+
+struct Finding {
+  std::string path;     ///< file path as supplied (normalized to '/')
+  int line = 0;         ///< 1-based
+  std::string check;    ///< stable check name, usable in allow(...)
+  std::string message;
+};
+
+struct FileInput {
+  std::string path;
+  std::string content;
+};
+
+struct Options {
+  /// Disables the orphan-source build-graph check (used by callers that
+  /// lint loose files without their CMakeLists.txt context).
+  bool orphan_check = true;
+};
+
+/// Runs every check over the given in-memory files. CMakeLists.txt inputs
+/// feed the build-graph checks; all other inputs are treated as C++.
+/// Findings come back sorted by (path, line, check).
+std::vector<Finding> LintFiles(const std::vector<FileInput>& files,
+                               const Options& options);
+
+/// Filesystem front-end: walks the given files/directories (collecting
+/// .cc/.h/CMakeLists.txt; for a directory root "x/src" the sibling
+/// "x/tests/CMakeLists.txt" is pulled in too, so the orphan-source check
+/// sees the test link graph), then delegates to LintFiles. Returns false
+/// and sets *error on I/O failure.
+bool LintPaths(const std::vector<std::string>& paths, const Options& options,
+               std::vector<Finding>* findings, std::string* error);
+
+/// "path:line: [check] message" — the one true diagnostic format.
+std::string FormatFinding(const Finding& finding);
+
+/// Names of every check, for --list-checks and suppression validation.
+const std::vector<std::string>& KnownChecks();
+
+}  // namespace idxsel::lint
+
+#endif  // IDXSEL_TOOLS_IDXSEL_LINT_LINT_H_

@@ -1,0 +1,62 @@
+// idxsel_lint CLI. Usage:
+//   idxsel_lint [--no-orphan-check] [--list-checks] <path>...
+// Exit status: 0 clean, 1 findings, 2 usage/I-O error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "idxsel_lint/lint.h"
+
+int main(int argc, char** argv) {
+  idxsel::lint::Options options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const std::string& check : idxsel::lint::KnownChecks()) {
+        std::printf("%s\n", check.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--no-orphan-check") {
+      options.orphan_check = false;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: idxsel_lint [--no-orphan-check] [--list-checks] "
+          "<path>...\n"
+          "Lints .cc/.h/CMakeLists.txt under the given paths against the\n"
+          "idxsel project rules (layering, determinism, hygiene).\n"
+          "Suppress a finding with: // idxsel-lint: allow(<check>) "
+          "reason=<why>\n");
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "idxsel_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "idxsel_lint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  std::vector<idxsel::lint::Finding> findings;
+  std::string error;
+  if (!idxsel::lint::LintPaths(paths, options, &findings, &error)) {
+    std::fprintf(stderr, "idxsel_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const auto& finding : findings) {
+    std::printf("%s\n", idxsel::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "idxsel_lint: %zu finding%s\n", findings.size(),
+                 findings.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}
