@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "candidates/candidates.h"
 #include "cophy/cophy.h"
@@ -42,6 +43,46 @@ inline double CophyTimeLimit() {
   return FullMode() ? 60.0 : 5.0;
 }
 
+// ---------------------------------------------------- sidecar provenance
+// Every bench JSON sidecar carries the same header so two runs can be
+// compared with their context attached: the schema tag of the document,
+// plus a provenance object with the git SHA and build type baked in at
+// configure time (benches.cmake) and the machine's hardware concurrency.
+
+#if !defined(IDXSEL_GIT_SHA)
+#define IDXSEL_GIT_SHA "unknown"
+#endif
+#if !defined(IDXSEL_BUILD_TYPE)
+#define IDXSEL_BUILD_TYPE "unspecified"
+#endif
+
+/// The shared provenance fragment: `"provenance": {...}` (no trailing
+/// comma or newline — callers splice it where their document needs it).
+inline std::string SidecarProvenanceJson() {
+  return std::string("\"provenance\": {\"git_sha\": \"" IDXSEL_GIT_SHA
+                     "\", \"build_type\": \"" IDXSEL_BUILD_TYPE
+                     "\", \"hardware_concurrency\": ") +
+         std::to_string(std::thread::hardware_concurrency()) + "}";
+}
+
+/// Opening fields of a custom sidecar document:
+/// `  "schema": "<schema>",\n  "provenance": {...},\n`.
+inline std::string SidecarHeaderJson(const char* schema) {
+  return std::string("  \"schema\": \"") + schema + "\",\n  " +
+         SidecarProvenanceJson() + ",\n";
+}
+
+/// Splices the provenance fragment right after the opening `{` of a
+/// document that already carries its own schema field (the RunReport
+/// sidecars of ObsSession). Returns the body unchanged when it is not a
+/// JSON object.
+inline std::string WithSidecarProvenance(std::string body) {
+  const size_t brace = body.find('{');
+  if (brace == std::string::npos) return body;
+  return body.substr(0, brace + 1) + "\n  " + SidecarProvenanceJson() + "," +
+         body.substr(brace + 1);
+}
+
 /// Brackets a bench binary with observability: enables obs (unless the
 /// IDXSEL_OBS environment variable says otherwise) and, on destruction,
 /// writes `<stem>.metrics.json` and `<stem>.trace.json` into the working
@@ -55,8 +96,10 @@ class ObsSession {
 
   ~ObsSession() {
     const obs::RunReport report = scope_.Finish();
-    WriteFile(stem_ + ".metrics.json", report.MetricsJson());
-    WriteFile(stem_ + ".trace.json", report.TraceJson());
+    WriteFile(stem_ + ".metrics.json",
+              WithSidecarProvenance(report.MetricsJson()));
+    WriteFile(stem_ + ".trace.json",
+              WithSidecarProvenance(report.TraceJson()));
     std::printf(
         "observability: %s.metrics.json + %s.trace.json written "
         "(load the trace via chrome://tracing or ui.perfetto.dev)\n",

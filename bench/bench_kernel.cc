@@ -230,7 +230,7 @@ std::string JsonDocument(const workload::Workload& w, double budget_w,
   const double legacy_steps_per_rep =
       legacy.step_ms.empty() ? 0.0 : static_cast<double>(legacy.step_ms.size());
   char buf[2048];
-  std::string out = "{\n  \"schema\": \"idxsel.bench_kernel.v1\",\n";
+  std::string out = "{\n" + SidecarHeaderJson("idxsel.bench_kernel.v1");
   std::snprintf(buf, sizeof buf,
                 "  \"workload\": {\"tables\": 2, \"attributes\": %zu, "
                 "\"queries\": %zu, \"budget_w\": %.2f},\n",

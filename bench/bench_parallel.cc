@@ -166,7 +166,7 @@ void Run() {
   PrintSeries("Advisor portfolio", portfolio);
 
   // -------------------------------------------------------- JSON sidecar
-  std::string json = "{\n";
+  std::string json = "{\n" + SidecarHeaderJson("idxsel.bench_parallel.v1");
   json += "  \"workload\": {\"tables\": 10, \"attributes\": " +
           std::to_string(setup.w.num_attributes()) +
           ", \"queries\": " + std::to_string(setup.w.num_queries()) + "},\n";

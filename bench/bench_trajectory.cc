@@ -1,0 +1,268 @@
+// Tracked perf trajectory — the repo's PR-over-PR regression instrument.
+//
+// Runs H6 and the advisor portfolio over a ladder of (N, Q) scale points
+// and records, per point, the deterministic work metrics (committed
+// steps, what-if calls, race winner) next to the timing-dependent ones
+// (steps/sec, wall seconds, allocations/step from a global operator-new
+// tally) plus the process peak RSS (obs::ResourceSampler / getrusage).
+//
+// Emits `bench_trajectory.json` (sidecar) and `BENCH_trajectory.json`
+// (same document; run the binary from the repo root to refresh the
+// committed baseline) with schema idxsel.bench_trajectory.v1. CI's
+// perf-smoke job replays this bench and gates the diff with
+// `idxsel_report check-trajectory`: deterministic fields must match the
+// baseline exactly; steps/sec may not drop more than 20% and peak RSS
+// may not grow more than 15%. See doc/observability.md ("Perf
+// trajectory").
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "bench_common.h"
+#include "common/format.h"
+#include "obs/resource.h"
+
+// ------------------------------------------------- allocation accounting
+
+// The replacement operators below pair new->malloc with delete->free by
+// construction; GCC's heuristic cannot see through the odr-replacement
+// and reports a mismatch at inlined call sites.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace idxsel::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScalePoint {
+  size_t attributes_per_table;
+  size_t queries_per_table;
+};
+
+struct H6Point {
+  uint64_t steps = 0;         ///< committed rounds (deterministic)
+  uint64_t whatif_calls = 0;  ///< engine calls, serial run (deterministic)
+  double seconds = 0.0;       ///< warm-rep mean wall seconds
+  double steps_per_sec = 0.0;
+  double allocations_per_step = 0.0;
+};
+
+struct PortfolioPoint {
+  std::string winner;         ///< executed strategy key (deterministic)
+  uint64_t whatif_calls = 0;  ///< serial run (deterministic)
+  double seconds = 0.0;
+};
+
+struct TrajectoryPoint {
+  size_t n = 0;
+  size_t q = 0;
+  H6Point h6;
+  PortfolioPoint portfolio;
+  uint64_t peak_rss_kb = 0;  ///< process high-water after this point
+};
+
+/// Serial H6 at budget w: first rep cold (excluded from timing), the rest
+/// steady-state warm. threads=1 keeps whatif_calls deterministic.
+H6Point RunH6(costmodel::WhatIfEngine& engine, double budget, int reps) {
+  H6Point point;
+  core::RecursiveOptions options;
+  options.budget = budget;
+  options.threads = 1;
+  double total_seconds = 0.0;
+  uint64_t total_allocations = 0;
+  int warm_reps = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t allocs_before =
+        g_allocations.load(std::memory_order_relaxed);
+    const double start = NowSeconds();
+    const core::RecursiveResult r = core::SelectRecursive(engine, options);
+    const double elapsed = NowSeconds() - start;
+    if (rep == 0) {
+      point.steps = r.trace.size();
+      point.whatif_calls = r.whatif_calls;
+      continue;  // cold: interning + backend pricing, not steady state
+    }
+    total_seconds += elapsed;
+    total_allocations +=
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+    ++warm_reps;
+  }
+  if (warm_reps > 0) {
+    point.seconds = total_seconds / warm_reps;
+    const double steps = static_cast<double>(point.steps);
+    point.steps_per_sec = point.seconds > 0.0 ? steps / point.seconds : 0.0;
+    point.allocations_per_step =
+        steps > 0.0 ? static_cast<double>(total_allocations) /
+                          (steps * static_cast<double>(warm_reps))
+                    : 0.0;
+  }
+  return point;
+}
+
+/// Serial portfolio race (H6 primary vs H4/H5) on a fresh engine so each
+/// point's what-if accounting starts from zero.
+PortfolioPoint RunPortfolio(const workload::Workload& w, double budget) {
+  ModelSetup setup(w);
+  advisor::AdvisorOptions options;
+  options.strategy = advisor::StrategyKind::kRecursive;
+  options.portfolio = {advisor::StrategyKind::kH4,
+                       advisor::StrategyKind::kH5};
+  options.candidate_limit = 200;
+  options.budget_bytes = budget;
+  options.threads = 1;
+  PortfolioPoint point;
+  const double start = NowSeconds();
+  const auto rec = advisor::Recommend(*setup.engine, options);
+  point.seconds = NowSeconds() - start;
+  if (rec.ok()) {
+    point.winner = advisor::StrategyKey(rec->executed_strategy);
+    point.whatif_calls = rec->whatif_calls;
+  } else {
+    point.winner = "error";
+  }
+  return point;
+}
+
+std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
+                         double budget_w, int reps, uint64_t peak_rss_kb) {
+  char buf[512];
+  std::string out = "{\n" + SidecarHeaderJson("idxsel.bench_trajectory.v1");
+  std::snprintf(buf, sizeof buf, "  \"budget_w\": %.2f,\n  \"reps\": %d,\n",
+                budget_w, reps);
+  out += buf;
+  out += "  \"points\": [";
+  bool first = true;
+  for (const TrajectoryPoint& p : points) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"n\": %zu, \"q\": %zu,\n"
+        "     \"h6\": {\"steps\": %llu, \"whatif_calls\": %llu, "
+        "\"seconds\": %.6f, \"steps_per_sec\": %.2f, "
+        "\"allocations_per_step\": %.1f},\n"
+        "     \"portfolio\": {\"winner\": \"%s\", \"whatif_calls\": %llu, "
+        "\"seconds\": %.6f},\n"
+        "     \"peak_rss_kb\": %llu}",
+        p.n, p.q, static_cast<unsigned long long>(p.h6.steps),
+        static_cast<unsigned long long>(p.h6.whatif_calls), p.h6.seconds,
+        p.h6.steps_per_sec, p.h6.allocations_per_step,
+        p.portfolio.winner.c_str(),
+        static_cast<unsigned long long>(p.portfolio.whatif_calls),
+        p.portfolio.seconds,
+        static_cast<unsigned long long>(p.peak_rss_kb));
+    out += buf;
+  }
+  out += "\n  ],\n";
+  std::snprintf(buf, sizeof buf, "  \"peak_rss_kb\": %llu\n}\n",
+                static_cast<unsigned long long>(peak_rss_kb));
+  out += buf;
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_trajectory: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("results written to %s\n", path.c_str());
+}
+
+void Run() {
+  const int reps = FullMode() ? 7 : 3;
+  const double budget_w = 0.5;
+  const std::vector<ScalePoint> ladder = FullMode()
+      ? std::vector<ScalePoint>{{25, 25}, {50, 50}, {75, 75}, {100, 100}}
+      : std::vector<ScalePoint>{{20, 20}, {35, 35}, {50, 50}};
+
+  std::printf(
+      "Perf trajectory: H6 + portfolio over %zu (N, Q) scale points, "
+      "%d reps each (first cold, excluded).\n\n",
+      ladder.size(), reps);
+
+  obs::ResourceSampler sampler;
+  std::vector<TrajectoryPoint> points;
+  TablePrinter table({"N", "Q", "h6 steps", "what-if calls", "steps/sec",
+                      "allocs/step", "race winner", "peak RSS (MB)"});
+  for (const ScalePoint& scale : ladder) {
+    workload::ScalableWorkloadParams params;
+    params.num_tables = 2;
+    params.attributes_per_table = scale.attributes_per_table;
+    params.queries_per_table = scale.queries_per_table;
+    workload::Workload w = workload::GenerateScalableWorkload(params);
+
+    const costmodel::CostModel model(&w);
+    const double budget = model.Budget(budget_w);
+
+    TrajectoryPoint point;
+    point.n = w.num_attributes();
+    point.q = w.num_queries();
+    {
+      ModelSetup setup(w);
+      point.h6 = RunH6(*setup.engine, budget, reps);
+    }
+    point.portfolio = RunPortfolio(w, budget);
+    point.peak_rss_kb = static_cast<uint64_t>(sampler.Delta().peak_rss_kb);
+    points.push_back(point);
+
+    table.AddRow({std::to_string(point.n), std::to_string(point.q),
+                  FormatCount(static_cast<int64_t>(point.h6.steps)),
+                  FormatCount(static_cast<int64_t>(point.h6.whatif_calls)),
+                  FormatDouble(point.h6.steps_per_sec, 1),
+                  FormatDouble(point.h6.allocations_per_step, 1),
+                  point.portfolio.winner,
+                  FormatDouble(static_cast<double>(point.peak_rss_kb) /
+                                   1024.0,
+                               1)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  const uint64_t peak_rss_kb =
+      static_cast<uint64_t>(sampler.Delta().peak_rss_kb);
+  const std::string json = JsonDocument(points, budget_w, reps, peak_rss_kb);
+  WriteJson("bench_trajectory.json", json);
+  WriteJson("BENCH_trajectory.json", json);
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::ObsSession obs("bench_trajectory");
+  idxsel::bench::Run();
+  return 0;
+}

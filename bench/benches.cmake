@@ -2,6 +2,23 @@
 # Included from the top-level CMakeLists so binaries land in build/bench/
 # with nothing else next to them.
 
+# Provenance baked into every bench binary so the JSON sidecars are
+# self-describing across checkouts (bench_common.h SidecarProvenanceJson).
+execute_process(
+  COMMAND git rev-parse --short=12 HEAD
+  WORKING_DIRECTORY "${CMAKE_SOURCE_DIR}"
+  OUTPUT_VARIABLE IDXSEL_GIT_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT IDXSEL_GIT_SHA)
+  set(IDXSEL_GIT_SHA "unknown")
+endif()
+if(CMAKE_BUILD_TYPE)
+  set(IDXSEL_SIDECAR_BUILD_TYPE "${CMAKE_BUILD_TYPE}")
+else()
+  set(IDXSEL_SIDECAR_BUILD_TYPE "unspecified")
+endif()
+
 function(idxsel_bench name)
   add_executable(${name} bench/${name}.cc)
   target_link_libraries(${name} PRIVATE
@@ -10,6 +27,9 @@ function(idxsel_bench name)
     idxsel_candidates idxsel_lp idxsel_mip idxsel_cophy idxsel_selection
     idxsel_core
     idxsel_engine idxsel_frontier idxsel_advisor idxsel_analysis)
+  target_compile_definitions(${name} PRIVATE
+    IDXSEL_GIT_SHA="${IDXSEL_GIT_SHA}"
+    IDXSEL_BUILD_TYPE="${IDXSEL_SIDECAR_BUILD_TYPE}")
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY "${CMAKE_BINARY_DIR}/bench")
 endfunction()
@@ -34,6 +54,7 @@ idxsel_bench(bench_updates)
 idxsel_bench(bench_shuffle)
 idxsel_bench(bench_robustness)
 idxsel_bench(bench_parallel)
+idxsel_bench(bench_trajectory)
 idxsel_gbench(bench_engine_micro)
 idxsel_gbench(bench_solver_micro)
 idxsel_gbench(bench_obs_micro)

@@ -15,6 +15,10 @@
 //   4. SelectRecursive — the paper's contribution
 //   5. obs::RunScope  — what the run cost (what-if calls, cache hit rate,
 //                       wall time per phase)
+//
+// Run with IDXSEL_JOURNAL=1 to also export the decision journal — why
+// each index was created or extended, and what lost to it — as
+// quickstart.journal.jsonl (render it with tools/idxsel_report).
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   //      into the run report printed at the bottom.
   obs::SetEnabled(true);
   obs::RunScope obs_run("quickstart H6");
+  obs::JournalScope journal_scope({"h6"});
   const costmodel::CostModel model(&w);
   costmodel::ModelBackend backend(&model);
   costmodel::WhatIfEngine engine(&w, &backend);
@@ -110,7 +115,19 @@ int main(int argc, char** argv) {
               100.0 * result.objective / base);
 
   // 5. What did that run cost us? Counters (what-if calls, cache hit
-  //    rate, selector steps) and the span tree of the phases.
+  //    rate, selector steps) and the span tree of the phases. With
+  //    IDXSEL_JOURNAL=1 the decision journal rides along as a sidecar.
+  const std::vector<obs::JournalRecord> journal = journal_scope.Finish();
+  if (!journal.empty()) {
+    const std::string jsonl = obs::JournalToJsonl(journal);
+    if (std::FILE* f = std::fopen("quickstart.journal.jsonl", "w")) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+      std::printf("\ndecision journal: quickstart.journal.jsonl "
+                  "(%zu records; render with tools/idxsel_report)\n",
+                  journal.size());
+    }
+  }
   std::printf("\n%s", obs_run.Finish().Summary().c_str());
   return 0;
 }

@@ -6,8 +6,10 @@
 #include <utility>
 
 #include "candidates/candidates.h"
+#include "common/float_cmp.h"
 #include "common/format.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "cophy/cophy.h"
 #include "costmodel/ddl.h"
 #include "exec/thread_pool.h"
@@ -159,6 +161,10 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   // snapshots per Recommend().
   obs::RunScope obs_scope(StrategyName(options.strategy));
 #endif
+  // Brackets the selection journal (no-op unless obs::JournalEnabled()).
+  // The lane order is installed below once the race list is resolved, so
+  // Finish() serializes concurrently-racing lanes deterministically.
+  obs::JournalScope journal_scope;
 
   // The advisor-wide wall-clock budget; threaded into every stage below.
   // Unbounded (plus no token) when no limit is configured, in which case
@@ -204,6 +210,25 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
     if (std::find(lanes.begin(), lanes.end(), extra) == lanes.end()) {
       lanes.push_back(extra);
     }
+  }
+  {
+    // Lane buckets of the journal: the race list in order, then the mip
+    // solver sub-records of a CoPhy lane, then the fallback heuristic,
+    // then the advisor's own verdict records. Everything after the race
+    // list is emitted serially after the lanes joined, so arrival order
+    // inside each bucket is deterministic.
+    std::vector<std::string> lane_order;
+    for (StrategyKind lane : lanes) lane_order.push_back(StrategyKey(lane));
+    const auto add_unique = [&](const char* key) {
+      if (std::find(lane_order.begin(), lane_order.end(), key) ==
+          lane_order.end()) {
+        lane_order.push_back(key);
+      }
+    };
+    add_unique("mip");
+    add_unique("h1");  // fallback records
+    add_unique("advisor");
+    journal_scope.SetLaneOrder(std::move(lane_order));
   }
   const size_t threads = exec::ResolveThreads(options.threads);
 
@@ -260,16 +285,39 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
     // with their anytime incumbents.
     size_t winner = lanes.size();
     double winner_cost = std::numeric_limits<double>::infinity();
+    // Per-lane verdicts for the journal, captured from the values the
+    // reduction computes anyway (no extra engine calls when journaling).
+    std::vector<const char*> lane_verdict(lanes.size(), "feasible");
+    std::vector<double> lane_cost(lanes.size(), 0.0);
     for (size_t i = 0; i < lanes.size(); ++i) {
-      if (outcomes[i].hard_error) continue;
+      if (outcomes[i].hard_error) {
+        lane_verdict[i] = "hard-error";
+        continue;
+      }
       if (engine.ConfigMemory(outcomes[i].selection) >
           rec.budget * (1.0 + 1e-9)) {
+        lane_verdict[i] = "infeasible";
         continue;
       }
       const double cost = engine.WorkloadCost(outcomes[i].selection);
+      lane_cost[i] = cost;
       if (cost < winner_cost) {
         winner_cost = cost;
         winner = i;
+      }
+    }
+    if (telemetry::JournalActive()) {
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        telemetry::JournalEvent event;
+        event.strategy = "advisor";
+        event.action = "lane";
+        event.round = i + 1;
+        event.winner = StrategyKey(lanes[i]);
+        event.objective_after = lane_cost[i];
+        std::string note = lane_verdict[i];
+        if (i == winner) note += " race-winner";
+        event.note = note.c_str();
+        telemetry::EmitJournal(event);
       }
     }
     if (winner == lanes.size()) {
@@ -330,6 +378,18 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
       rec.fell_back = true;
       rec.executed_strategy = StrategyKind::kH1;
     }
+    if (telemetry::JournalActive()) {
+      telemetry::JournalEvent event;
+      event.strategy = "advisor";
+      event.action = "fallback";
+      event.winner = StrategyKey(rec.executed_strategy);
+      event.objective_after =
+          rec.fell_back ? fb.objective : primary_cost;
+      event.note = rec.fell_back
+                       ? "fallback heuristic replaced the primary incumbent"
+                       : "primary incumbent kept (fallback not cheaper)";
+      telemetry::EmitJournal(event);
+    }
   }
   }  // recommend_span closes here.
 
@@ -338,6 +398,24 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   rec.memory = engine.ConfigMemory(rec.selection);
   rec.cost_after = engine.WorkloadCost(rec.selection);
   rec.degraded = !rec.status.ok() || rec.fell_back || !engine.health().ok();
+  if (telemetry::JournalActive()) {
+    // The advisor's closing verdict — deliberately free of wall-clock
+    // fields so the journal stays byte-identical run-to-run.
+    telemetry::JournalEvent event;
+    event.strategy = "advisor";
+    event.action = "decision";
+    event.winner = StrategyKey(rec.executed_strategy);
+    event.objective_before = rec.cost_before;
+    event.objective_after = rec.cost_after;
+    event.memory_after = rec.memory;
+    std::string note = std::string("strategy=") + StrategyKey(rec.strategy);
+    if (rec.dnf) note += " dnf";
+    if (rec.fell_back) note += " fell-back";
+    if (rec.degraded) note += " degraded";
+    event.note = note.c_str();
+    telemetry::EmitJournal(event);
+  }
+  rec.journal = journal_scope.Finish();
 #if defined(IDXSEL_OBS)
   {
     obs::Registry& registry = obs::Registry::Default();
@@ -354,6 +432,69 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   }
 #endif
   return rec;
+}
+
+std::string Recommendation::Explain(const costmodel::Index& index) const {
+#if !defined(IDXSEL_OBS)
+  (void)index;
+  return "observability disabled: this build was configured with "
+         "-DIDXSEL_ENABLE_OBS=OFF, so no selection journal exists. "
+         "Rebuild with IDXSEL_ENABLE_OBS=ON and enable the journal "
+         "(IDXSEL_JOURNAL=1 or obs::SetJournalEnabled(true)) to record "
+         "decision provenance.";
+#else
+  const std::string label = index.ToString();
+  std::string out = "explain " + label + ":\n";
+  out += selection.Contains(index)
+             ? "  in the recommended selection\n"
+             : "  not in the recommended selection\n";
+  if (journal.empty()) {
+    out += "  no journal was recorded for this run; enable it with "
+           "IDXSEL_JOURNAL=1 or obs::SetJournalEnabled(true) before "
+           "Recommend()\n";
+    return out;
+  }
+  size_t mentions = 0;
+  const auto line_head = [](const obs::JournalRecord& r) {
+    return "  [" + r.strategy + "/" + r.action + " round " +
+           std::to_string(r.round) + "] ";
+  };
+  for (const obs::JournalRecord& r : journal) {
+    if (r.winner == label &&
+        (r.action == "commit" || r.action == "pick" || r.action == "swap")) {
+      ++mentions;
+      out += line_head(r) + "chosen: ratio " + FormatDouble(r.winner_ratio, 6);
+      if (!ExactlyZero(r.margin)) {
+        out += ", margin " + FormatDouble(r.margin, 6) + " over runner-up";
+      }
+      out += "\n";
+      continue;
+    }
+    if (r.winner == label && r.action == "prune") {
+      ++mentions;
+      out += line_head(r) + "pruned: " + r.note + "\n";
+      continue;
+    }
+    for (const obs::JournalCandidate& c : r.candidates) {
+      if (c.index != label) continue;
+      ++mentions;
+      if (!c.reject.empty()) {
+        out += line_head(r) + "rejected (" + c.reject + "): benefit " +
+               FormatDouble(c.benefit, 6) + ", memory delta " +
+               FormatDouble(c.memory_delta, 0) + ", ratio " +
+               FormatDouble(c.ratio, 6) + "\n";
+      } else if (r.winner != label) {
+        out += line_head(r) + "selected (memory " +
+               FormatDouble(c.memory_delta, 0) + ")\n";
+      }
+    }
+  }
+  if (mentions == 0) {
+    out += "  never appeared in any journaled decision (it was not an "
+           "eligible candidate move of any round)\n";
+  }
+  return out;
+#endif
 }
 
 std::string RenderReport(WhatIfEngine& engine, const Recommendation& rec,

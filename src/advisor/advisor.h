@@ -19,6 +19,7 @@
 #include "costmodel/index.h"
 #include "costmodel/what_if.h"
 #include "mip/branch_and_bound.h"
+#include "obs/journal.h"
 #include "obs/report.h"
 
 namespace idxsel::advisor {
@@ -143,6 +144,22 @@ struct Recommendation {
   /// while Recommend() was executing. Populated in IDXSEL_OBS builds
   /// (counters always; spans only while obs::Enabled()); empty otherwise.
   obs::RunReport report;
+  /// Selection journal of this run: one structured decision record per
+  /// committed round of every strategy lane (schema idxsel.journal.v1),
+  /// in deterministic lane order — byte-identical at any thread count,
+  /// kernel on or off. Populated in IDXSEL_OBS builds while the journal
+  /// is enabled (obs::SetJournalEnabled / IDXSEL_JOURNAL=1); empty
+  /// otherwise. Export with obs::JournalToJsonl as a *.journal.jsonl
+  /// sidecar; query with Explain().
+  std::vector<obs::JournalRecord> journal;
+
+  /// "Why was/wasn't `index` selected?" — renders the journal evidence
+  /// about one index: the committing/picking record, rejection reasons
+  /// with benefit/memory ratios, prunes and swaps it appears in. Returns
+  /// a well-formed "observability disabled" stub when built with
+  /// -DIDXSEL_ENABLE_OBS=OFF, and points at IDXSEL_JOURNAL when the
+  /// journal was off during the run.
+  std::string Explain(const costmodel::Index& index) const;
 };
 
 /// Runs the configured strategy against `engine`'s workload.

@@ -15,12 +15,14 @@ namespace idxsel::audit {
 
 namespace {
 
+#if defined(IDXSEL_KERNEL)
 /// Bit-identical double comparison: the dense tables and the hashed
 /// caches must hold the *same* computation's result, so even a 1-ulp
 /// difference is a coherence bug, and NaN payloads must round-trip.
 bool SameBits(double a, double b) {
   return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
 }
+#endif
 
 }  // namespace
 

@@ -12,6 +12,16 @@
 //
 // Add a slot by extending the enum, the name table, and the kind table in
 // lockstep; doc/observability.md lists the published names.
+//
+// The second half of this header is the *selection-journal bridge*: a
+// structured decision record (JournalEvent) plus a process-wide sink
+// pointer. Strategy layers build an event on the stack out of borrowed
+// const char* / plain doubles — no allocation, no obs types — and hand it
+// to EmitJournal(); obs installs a sink that copies the event into owned
+// obs::JournalRecord storage. When no sink is installed (obs off, or the
+// journal disabled at run time) JournalActive() is false and emitting
+// layers skip even the label formatting. Same layering story as the
+// slots: kernel/exec/selection may emit, only obs may consume.
 
 #ifndef IDXSEL_COMMON_TELEMETRY_H_
 #define IDXSEL_COMMON_TELEMETRY_H_
@@ -28,6 +38,7 @@ enum class Slot : size_t {
   kExecSteals,         ///< counter "idxsel.exec.steals"
   kExecParallelFors,   ///< counter "idxsel.exec.parallel_fors"
   kExecPoolThreads,    ///< gauge   "idxsel.exec.pool_threads"
+  kKernelArenaInterns, ///< counter "idxsel.kernel.arena_interns"
   kSlotCount,
 };
 
@@ -47,6 +58,8 @@ constexpr const char* SlotName(Slot slot) {
       return "idxsel.exec.parallel_fors";
     case Slot::kExecPoolThreads:
       return "idxsel.exec.pool_threads";
+    case Slot::kKernelArenaInterns:
+      return "idxsel.kernel.arena_interns";
     case Slot::kSlotCount:
       break;
   }
@@ -92,6 +105,79 @@ inline void ResetAll() {
     if (KindOf(static_cast<Slot>(s)) == SlotKind::kCounter) {
       internal::Table()[s].store(0, std::memory_order_relaxed);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection-journal bridge.
+// ---------------------------------------------------------------------------
+
+/// One candidate move weighed during a decision. All pointers borrow from
+/// the emitting frame; sinks must copy before returning.
+struct JournalCandidate {
+  const char* index = nullptr;   ///< canonical index label, e.g. "(3,7)"
+  const char* reject = nullptr;  ///< nullptr for the winner; else a stable
+                                 ///< reason: "budget-exceeded", "dominated",
+                                 ///< "sanitized-whatif", "timeout",
+                                 ///< "no-benefit"
+  double benefit = 0.0;          ///< workload-cost reduction of the move
+  double memory_delta = 0.0;     ///< bytes the move adds (may be +inf when
+                                 ///< the what-if size was sanitized)
+  double ratio = 0.0;            ///< benefit / memory_delta, the H6 key
+};
+
+/// One committed decision (or terminal event) of one strategy. Borrowed
+/// storage, same rule as JournalCandidate.
+struct JournalEvent {
+  const char* strategy = nullptr;  ///< StrategyKey-style label: "h6", ...
+  const char* action = nullptr;    ///< "commit", "prune", "swap", "pick",
+                                   ///< "solve", "stop", "lane", "winner"
+  uint64_t round = 0;              ///< 1-based decision ordinal in the run
+  const char* winner = nullptr;    ///< label of the chosen index (nullptr
+                                   ///< for terminal/no-pick events)
+  double winner_ratio = 0.0;       ///< winner's benefit/memory ratio
+  double margin = 0.0;             ///< winner_ratio minus best runner-up
+                                   ///< ratio (0 when unopposed)
+  double objective_before = 0.0;   ///< workload cost entering the round
+  double objective_after = 0.0;    ///< workload cost after the commit
+  double memory_after = 0.0;       ///< bytes used after the commit
+  uint64_t sanitized_whatif = 0;   ///< what-if answers sanitized this round
+  const JournalCandidate* candidates = nullptr;  ///< losers + winner
+  size_t num_candidates = 0;
+  const char* note = nullptr;      ///< optional free text (nullptr ok)
+};
+
+/// Sink contract: copy the event synchronously; may be called from any
+/// thread (strategies emit only at serial points, but portfolio lanes run
+/// concurrently with each other).
+using JournalSink = void (*)(const JournalEvent& event);
+
+namespace internal {
+
+inline std::atomic<JournalSink>& JournalSinkSlot() {
+  static std::atomic<JournalSink> sink{nullptr};
+  return sink;
+}
+
+}  // namespace internal
+
+/// Installs (or, with nullptr, removes) the process-wide journal sink.
+inline void SetJournalSink(JournalSink sink) {
+  internal::JournalSinkSlot().store(sink, std::memory_order_release);
+}
+
+/// Cheap emit-side gate: true iff a sink is installed. Emitters should
+/// check this before doing any label formatting.
+inline bool JournalActive() {
+  return internal::JournalSinkSlot().load(std::memory_order_acquire) !=
+         nullptr;
+}
+
+/// Hands one event to the installed sink (no-op when none).
+inline void EmitJournal(const JournalEvent& event) {
+  if (JournalSink sink =
+          internal::JournalSinkSlot().load(std::memory_order_acquire)) {
+    sink(event);
   }
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+#include <vector>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "obs/obs.h"
 
 namespace idxsel::cophy {
@@ -166,6 +169,37 @@ CophyResult SolveProblem(mip::Problem problem, const CandidateSet& candidates,
     result.selection.Insert(candidates[mapping[canonical]]);
   }
   IDXSEL_OBS_ONLY(span.SetArg("nodes", static_cast<double>(result.nodes));)
+
+  // Decision provenance: one record per solve, built exclusively from the
+  // deterministic end-state (selection, objective, status). Node counts,
+  // bounds, and gaps are timing-dependent under parallel branch-and-bound
+  // (shared-incumbent pruning), so they stay out of the journal — see
+  // doc/parallelism.md.
+  if (telemetry::JournalActive()) {
+    std::vector<std::string> labels;
+    std::vector<telemetry::JournalCandidate> picked;
+    labels.reserve(solved.selected.size());
+    picked.reserve(solved.selected.size());
+    for (uint32_t canonical : solved.selected) {
+      labels.push_back(candidates[mapping[canonical]].ToString());
+      telemetry::JournalCandidate candidate;
+      candidate.index = labels.back().c_str();
+      candidate.memory_delta = problem.candidate_memory[canonical];
+      picked.push_back(candidate);
+    }
+    telemetry::JournalEvent event;
+    event.strategy = "cophy";
+    event.action = "solve";
+    event.round = 1;
+    event.objective_after = result.objective;
+    event.candidates = picked.data();
+    event.num_candidates = picked.size();
+    const std::string note =
+        std::string(result.dnf ? "timeout" : "ok") +
+        " selected=" + std::to_string(solved.selected.size());
+    event.note = note.c_str();
+    telemetry::EmitJournal(event);
+  }
   return result;
 }
 

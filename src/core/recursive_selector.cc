@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <optional>
 #include <unordered_map>
 
@@ -9,6 +10,7 @@
 #include "common/check.h"
 #include "common/float_cmp.h"
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "exec/shared_deadline.h"
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
@@ -136,6 +138,10 @@ class Runner {
   RecursiveResult Run() {
     IDXSEL_OBS_SPAN(run_span, "selector", "h6.run");
     Stopwatch watch;
+    // Sampled once per run: a sink installed mid-run must not make later
+    // rounds journal while earlier ones did not (or vice versa), which
+    // would break byte-identity between otherwise identical runs.
+    journal_ = telemetry::JournalActive();
 
     // Dead-on-arrival budgets (advisor spent it all upstream) return the
     // empty — trivially feasible — incumbent without touching the engine.
@@ -180,6 +186,7 @@ class Runner {
           "round", static_cast<double>(result.trace.size()));)
       Move best;
       Move runner_up;
+      if (journal_) ResetRoundLog();
       if (opts_.multi_index_eval) {
         EvaluateNewSinglesMulti(&best, &runner_up);
         EvaluateAppendsMulti(&best, &runner_up);
@@ -198,7 +205,10 @@ class Runner {
       // committing its "best" would bias construction toward whatever the
       // enumeration happened to visit first. Keep the pre-round incumbent.
       if (poller_.expired()) break;
-      if (!best.valid || best.ratio <= opts_.min_ratio) break;
+      if (!best.valid || best.ratio <= opts_.min_ratio) {
+        stop_reason_ = best.valid ? "min-ratio" : "no-eligible-move";
+        break;
+      }
       // Kernel-mode candidates travel as interned ids; the one committed
       // (and the traced runner-up) are the only ones ever materialized.
       MaterializeMove(&best);
@@ -231,6 +241,13 @@ class Runner {
       }
 #endif
 
+      if (journal_) {
+        EmitCommitRecord(best, runner_up, objective_before, objective_after);
+        // A max-steps exit skips the next round's reset; clear here so the
+        // stop record never re-lists rejects the commit already carries.
+        ResetRoundLog();
+      }
+
       ConstructionStep step;
       step.kind = best.kind;
       if (best.kind == StepKind::kAppend ||
@@ -254,6 +271,8 @@ class Runner {
       if (opts_.prune_unused) PruneUnused(&result);
       result.frontier.emplace_back(used_memory_, objective_);
     }
+
+    if (journal_) EmitStopRecord();
 
     // The repair pass relies on the one-index bookkeeping.
     if (opts_.swap_repair && !opts_.multi_index_eval) SwapRepair(&result);
@@ -290,6 +309,192 @@ class Runner {
   }
 
  private:
+  // -- Selection journal (decision provenance) -------------------------------
+  //
+  // Emitted through the telemetry bridge (common/telemetry.h), never
+  // through obs directly, and only at serial points — Consider() and the
+  // commit block run single-threaded in both the serial and the parallel
+  // evaluation paths, so the journal is byte-identical at any thread
+  // count, kernel on or off (kernel-mode moves carry bit-identical values
+  // and materialize to the same labels).
+
+  /// Listed rejected moves per round; everything beyond is only counted.
+  static constexpr size_t kJournalRejectCap = 32;
+
+  struct RejectedMove {
+    Move move;
+    const char* reason;
+  };
+
+  void ResetRoundLog() {
+    round_rejects_.clear();
+    round_evals_ = 0;
+    round_no_benefit_ = 0;
+    round_budget_exceeded_ = 0;
+    round_sanitized_ = 0;
+  }
+
+  void LogRejectedMove(Move move, const char* reason) {
+    if (reason[0] == 's') {
+      ++round_sanitized_;
+    } else {
+      ++round_budget_exceeded_;
+    }
+    if (round_rejects_.size() < kJournalRejectCap) {
+      round_rejects_.push_back(RejectedMove{std::move(move), reason});
+    }
+  }
+
+  /// Canonical label of a move's resulting index; kernel-mode moves that
+  /// were never materialized resolve through the (const, stats-free)
+  /// arena lookup.
+  std::string MoveLabel(const Move& move) const {
+#if defined(IDXSEL_KERNEL)
+    if (move.after.empty() && move.after_id != kernel::kInvalidIndexId) {
+      return engine_.MaterializeIndex(move.after_id).ToString();
+    }
+#endif
+    return move.after.ToString();
+  }
+
+  std::string RoundNote() const {
+    return "evals=" + std::to_string(round_evals_) +
+           " no_benefit=" + std::to_string(round_no_benefit_) +
+           " budget_exceeded=" + std::to_string(round_budget_exceeded_) +
+           " listed_rejects=" + std::to_string(round_rejects_.size());
+  }
+
+  /// Appends the round's capped reject list to `candidates`, with labels
+  /// owned by `labels` (pre-reserved so c_str() pointers stay stable).
+  void AppendRejects(std::vector<std::string>* labels,
+                     std::vector<telemetry::JournalCandidate>* candidates)
+      const {
+    for (const RejectedMove& rejected : round_rejects_) {
+      labels->push_back(MoveLabel(rejected.move));
+      telemetry::JournalCandidate candidate;
+      candidate.index = labels->back().c_str();
+      candidate.reject = rejected.reason;
+      candidate.benefit = rejected.move.benefit;
+      candidate.memory_delta = rejected.move.memory_delta;
+      candidate.ratio = rejected.move.memory_delta > 0.0
+                            ? rejected.move.benefit /
+                                  rejected.move.memory_delta
+                            : 0.0;
+      candidates->push_back(candidate);
+    }
+  }
+
+  void EmitCommitRecord(const Move& best, const Move& runner_up,
+                        double objective_before, double objective_after) {
+    std::vector<std::string> labels;
+    labels.reserve(2 + round_rejects_.size());
+    std::vector<telemetry::JournalCandidate> candidates;
+    candidates.reserve(2 + round_rejects_.size());
+
+    labels.push_back(best.after.ToString());
+    telemetry::JournalCandidate winner;
+    winner.index = labels.back().c_str();
+    winner.benefit = best.benefit;
+    winner.memory_delta = best.memory_delta;
+    winner.ratio = best.ratio;
+    candidates.push_back(winner);
+    if (runner_up.valid) {
+      labels.push_back(runner_up.after.ToString());
+      telemetry::JournalCandidate second;
+      second.index = labels.back().c_str();
+      second.reject = "dominated";
+      second.benefit = runner_up.benefit;
+      second.memory_delta = runner_up.memory_delta;
+      second.ratio = runner_up.ratio;
+      candidates.push_back(second);
+    }
+    AppendRejects(&labels, &candidates);
+
+    telemetry::JournalEvent event;
+    event.strategy = "h6";
+    event.action = "commit";
+    event.round = committed_rounds_;
+    event.winner = labels.front().c_str();
+    event.winner_ratio = best.ratio;
+    event.margin = runner_up.valid ? best.ratio - runner_up.ratio : 0.0;
+    event.objective_before = objective_before;
+    event.objective_after = objective_after;
+    event.memory_after = used_memory_;
+    event.sanitized_whatif = round_sanitized_;
+    event.candidates = candidates.data();
+    event.num_candidates = candidates.size();
+    const std::string note = RoundNote();
+    event.note = note.c_str();
+    telemetry::EmitJournal(event);
+  }
+
+  /// Terminal record. A timeout stop drops the in-flight round's reject
+  /// list: a deadline can fire anywhere mid-evaluation, so the partial
+  /// list is the one journal ingredient that is *not* deterministic.
+  void EmitStopRecord() {
+    telemetry::JournalEvent event;
+    event.strategy = "h6";
+    event.action = "stop";
+    event.round = committed_rounds_;
+    event.objective_after = objective_;
+    event.memory_after = used_memory_;
+    std::vector<std::string> labels;
+    std::vector<telemetry::JournalCandidate> candidates;
+    if (poller_.expired()) {
+      event.note = "timeout";
+    } else {
+      event.note = stop_reason_;
+      event.sanitized_whatif = round_sanitized_;
+      labels.reserve(round_rejects_.size());
+      candidates.reserve(round_rejects_.size());
+      AppendRejects(&labels, &candidates);
+      event.candidates = candidates.data();
+      event.num_candidates = candidates.size();
+    }
+    telemetry::EmitJournal(event);
+  }
+
+  void EmitPruneRecord(const Index& pruned, double objective_before,
+                       double objective_after, double memory_delta) {
+    const std::string label = pruned.ToString();
+    telemetry::JournalEvent event;
+    event.strategy = "h6";
+    event.action = "prune";
+    event.round = committed_rounds_;
+    event.winner = label.c_str();
+    event.objective_before = objective_before;
+    event.objective_after = objective_after;
+    event.memory_after = used_memory_;
+    telemetry::JournalCandidate candidate;
+    candidate.index = label.c_str();
+    candidate.reject = "dominated";
+    candidate.memory_delta = memory_delta;
+    event.candidates = &candidate;
+    event.num_candidates = 1;
+    event.note = "unused by every query";
+    telemetry::EmitJournal(event);
+  }
+
+  void EmitSwapRecord(const Index& added, const std::vector<Index>& evicted,
+                      double objective_before, double objective_after) {
+    const std::string label = added.ToString();
+    std::string note = "evicted=";
+    for (size_t e = 0; e < evicted.size(); ++e) {
+      if (e != 0) note += ',';
+      note += evicted[e].ToString();
+    }
+    telemetry::JournalEvent event;
+    event.strategy = "h6";
+    event.action = "swap";
+    event.round = committed_rounds_;
+    event.winner = label.c_str();
+    event.objective_before = objective_before;
+    event.objective_after = objective_after;
+    event.memory_after = used_memory_;
+    event.note = note.c_str();
+    telemetry::EmitJournal(event);
+  }
+
   // -- Reconfiguration accounting -------------------------------------------
 
   bool InExisting(const Index& k) const {
@@ -425,8 +630,29 @@ class Runner {
 
   void Consider(Move move, Move* best, Move* runner_up) {
     ++candidate_evals_;
-    if (!(move.benefit > kEps) || !(move.memory_delta > 0.0)) return;
-    if (used_memory_ + move.memory_delta > opts_.budget + kEps) return;
+    if (journal_) ++round_evals_;
+    if (!(move.benefit > kEps) || !(move.memory_delta > 0.0)) {
+      // A non-finite memory delta can only come from a sanitized what-if
+      // size (WhatIfEngine maps garbage sizes to +infinity); everything
+      // else here simply does not improve the objective.
+      if (journal_) {
+        if (!std::isfinite(move.memory_delta)) {
+          LogRejectedMove(std::move(move), "sanitized-whatif");
+        } else {
+          ++round_no_benefit_;
+        }
+      }
+      return;
+    }
+    if (used_memory_ + move.memory_delta > opts_.budget + kEps) {
+      if (journal_) {
+        const char* reason = std::isfinite(move.memory_delta)
+                                 ? "budget-exceeded"
+                                 : "sanitized-whatif";
+        LogRejectedMove(std::move(move), reason);
+      }
+      return;
+    }
     move.ratio = move.benefit / move.memory_delta;
     move.valid = true;
     // A ratio tie means the deterministic tuple ordering — not the step
@@ -1167,6 +1393,11 @@ class Runner {
         step.kind = StepKind::kSwap;
         step.after = k;
         step.objective_before = objective_;
+        std::vector<Index> evicted_indexes;
+        if (journal_) {
+          evicted_indexes.reserve(evict.size());
+          for (size_t p : evict) evicted_indexes.push_back(selected_[p]);
+        }
         selected_.assign(hypothetical.indexes().begin(),
                          hypothetical.indexes().end());
 #if defined(IDXSEL_KERNEL)
@@ -1186,6 +1417,10 @@ class Runner {
         result->trace.push_back(step);
         result->frontier.emplace_back(used_memory_, objective_);
         ++swap_steps_;
+        if (journal_) {
+          EmitSwapRecord(k, evicted_indexes, step.objective_before,
+                         step.objective_after);
+        }
         improved = true;
         break;  // re-derive eviction order against the new state
       }
@@ -1214,6 +1449,10 @@ class Runner {
       result->trace.push_back(step);
       ++prune_steps_;
       used_memory_ -= engine_.IndexMemory(selected_[p]);
+      if (journal_) {
+        EmitPruneRecord(selected_[p], step.objective_before,
+                        step.objective_after, step.memory_delta);
+      }
       selected_.erase(selected_.begin() + static_cast<long>(p));
 #if defined(IDXSEL_KERNEL)
       if (use_kernel_) {
@@ -1276,6 +1515,16 @@ class Runner {
   double objective_ = 0.0;
   double used_memory_ = 0.0;
   Index replaced_;
+
+  // Journal state; only touched at serial points and only while a sink was
+  // installed when the run began (see Run()).
+  bool journal_ = false;
+  const char* stop_reason_ = "max-steps";
+  std::vector<RejectedMove> round_rejects_;
+  uint64_t round_evals_ = 0;
+  uint64_t round_no_benefit_ = 0;
+  uint64_t round_budget_exceeded_ = 0;
+  uint64_t round_sanitized_ = 0;
 
   // Run telemetry, published to obs::Registry in one batch (see Run()).
   uint64_t committed_rounds_ = 0;

@@ -203,7 +203,15 @@ double WhatIfEngine::CostWithIndex(QueryId j, const Index& k) {
     double c;
     {
       IDXSEL_OBS_ONLY(BackendCallTimer timer(obs_latency_);)
-      c = backend_->CostWithIndex(j, k);
+      // Ask the backend about the *canonical* index, not k: the cached
+      // value must be a pure function of the key. f_j is mathematically
+      // equal on every index sharing the key (same coverable prefix
+      // set), but the backend may round the two computations differently
+      // in the last ulp — and racing strategies reach the same key
+      // through different k's, so computing with k would make the cached
+      // value depend on who got here first (CostWithConfig already
+      // computes with its canonical key for the same reason).
+      c = backend_->CostWithIndex(j, key.index);
     }
     // Garbage f_j(k) falls back to f_j(0): the index looks useless for the
     // query, never harmful and never spuriously beneficial. (Guarded so the

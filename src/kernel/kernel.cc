@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/telemetry.h"
+
 namespace idxsel::kernel {
 
 // -- IndexArena -------------------------------------------------------------
@@ -70,6 +72,9 @@ IndexId IndexArena::Intern(const AttributeId* attrs, uint32_t width) {
   }
 
   const IndexId id = static_cast<IndexId>(n);
+  // Telemetry slot, not obs: the kernel sits beside obs in the layering
+  // DAG and must not include its headers (common/telemetry.h, L3 lint).
+  telemetry::Add(telemetry::Slot::kKernelArenaInterns);
   interned_.emplace(h, id);
   // Publish the count last: readers that observe id < size() see a fully
   // initialized entry (release store pairs with entry()'s acquire load).

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
 
@@ -707,11 +708,32 @@ std::vector<uint32_t> GreedyByDensity(const Problem& problem) {
 
 SolveResult Solve(const Problem& problem, const SolveOptions& options) {
   const size_t threads = exec::ResolveThreads(options.threads);
+  SolveResult result;
   if (threads <= 1 || problem.num_candidates() == 0) {
     Engine engine(problem, options);
-    return engine.Run();
+    result = engine.Run();
+  } else {
+    result = SolveParallel(problem, options, threads);
   }
-  return SolveParallel(problem, options, threads);
+  // Decision provenance for the solver layer, emitted through the
+  // telemetry bridge (the mip layer must not see obs). Only the
+  // thread-count-independent end-state goes in: node/cutoff counts,
+  // bounds, and the gap vary run-to-run under shared-incumbent pruning.
+  if (telemetry::JournalActive()) {
+    telemetry::JournalEvent event;
+    event.strategy = "mip";
+    event.action = "solve";
+    event.round = 1;
+    event.objective_after = result.objective;
+    const std::string note =
+        std::string(result.status.ok()
+                        ? (result.proven_optimal ? "optimal" : "gap-target")
+                        : "limit") +
+        " selected=" + std::to_string(result.selected.size());
+    event.note = note.c_str();
+    telemetry::EmitJournal(event);
+  }
+  return result;
 }
 
 }  // namespace idxsel::mip

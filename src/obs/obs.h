@@ -16,8 +16,10 @@
 #ifndef IDXSEL_OBS_OBS_H_
 #define IDXSEL_OBS_OBS_H_
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/resource.h"
 #include "obs/runtime.h"
 #include "obs/trace.h"
 

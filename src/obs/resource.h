@@ -1,0 +1,91 @@
+// Process resource sampling for the perf-trajectory harness.
+//
+// Thin header-only wrapper over getrusage(RUSAGE_SELF): SampleResources()
+// returns a point-in-time ResourceUsage, ResourceSampler brackets a
+// measured region and reports CPU-time deltas plus the peak RSS observed
+// by the kernel so far (ru_maxrss is a high-water mark, not a level — the
+// "delta" of a high-water mark is simply its final value). On platforms
+// without <sys/resource.h> everything compiles and returns zeros, so the
+// bench harnesses stay portable.
+//
+// Deliberately timestamp-free output consumers: peak RSS and CPU seconds
+// feed BENCH_trajectory.json (schema idxsel.bench_trajectory.v1), never
+// the selection journal, which must stay byte-identical across machines.
+
+#ifndef IDXSEL_OBS_RESOURCE_H_
+#define IDXSEL_OBS_RESOURCE_H_
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IDXSEL_OBS_HAS_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace idxsel::obs {
+
+/// One getrusage(RUSAGE_SELF) sample, normalized.
+struct ResourceUsage {
+  double user_seconds = 0.0;    ///< ru_utime
+  double system_seconds = 0.0;  ///< ru_stime
+  int64_t peak_rss_kb = 0;      ///< ru_maxrss, kilobytes (high-water mark)
+  int64_t minor_faults = 0;     ///< ru_minflt
+  int64_t major_faults = 0;     ///< ru_majflt
+  int64_t voluntary_switches = 0;    ///< ru_nvcsw
+  int64_t involuntary_switches = 0;  ///< ru_nivcsw
+};
+
+inline ResourceUsage SampleResources() {
+  ResourceUsage usage;
+#if defined(IDXSEL_OBS_HAS_RUSAGE)
+  struct rusage ru = {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    const auto seconds = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) +
+             static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    usage.user_seconds = seconds(ru.ru_utime);
+    usage.system_seconds = seconds(ru.ru_stime);
+#if defined(__APPLE__)
+    usage.peak_rss_kb = static_cast<int64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+    usage.peak_rss_kb = static_cast<int64_t>(ru.ru_maxrss);  // kilobytes
+#endif
+    usage.minor_faults = static_cast<int64_t>(ru.ru_minflt);
+    usage.major_faults = static_cast<int64_t>(ru.ru_majflt);
+    usage.voluntary_switches = static_cast<int64_t>(ru.ru_nvcsw);
+    usage.involuntary_switches = static_cast<int64_t>(ru.ru_nivcsw);
+  }
+#endif
+  return usage;
+}
+
+/// Brackets a measured region: construction samples, Delta() samples again
+/// and returns the difference for the accumulating fields — peak_rss_kb is
+/// reported as the *current* high-water mark, not a difference.
+class ResourceSampler {
+ public:
+  ResourceSampler() : begin_(SampleResources()) {}
+
+  ResourceUsage Delta() const {
+    const ResourceUsage now = SampleResources();
+    ResourceUsage delta;
+    delta.user_seconds = now.user_seconds - begin_.user_seconds;
+    delta.system_seconds = now.system_seconds - begin_.system_seconds;
+    delta.peak_rss_kb = now.peak_rss_kb;
+    delta.minor_faults = now.minor_faults - begin_.minor_faults;
+    delta.major_faults = now.major_faults - begin_.major_faults;
+    delta.voluntary_switches =
+        now.voluntary_switches - begin_.voluntary_switches;
+    delta.involuntary_switches =
+        now.involuntary_switches - begin_.involuntary_switches;
+    return delta;
+  }
+
+ private:
+  ResourceUsage begin_;
+};
+
+}  // namespace idxsel::obs
+
+#endif  // IDXSEL_OBS_RESOURCE_H_

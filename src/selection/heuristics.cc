@@ -1,27 +1,115 @@
 #include "selection/heuristics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/telemetry.h"
 #include "obs/obs.h"
 
 namespace idxsel::selection {
 namespace {
 
-/// Walks `ranking` (already ordered best-first) and takes every candidate
-/// that still fits the budget. Expiry stops the walk: every candidate
-/// accepted before the cut stays — the fill is anytime.
+/// Listed budget-rejected candidates per greedy fill; beyond this they are
+/// only counted (mirrors the recursive selector's cap).
+constexpr size_t kJournalRejectCap = 32;
+
+/// Walks `scored` (already ordered best-first; `.first` is the strategy's
+/// ranking score, lower = better) and takes every candidate that still
+/// fits the budget. Expiry stops the walk: every candidate accepted
+/// before the cut stays — the fill is anytime.
+///
+/// When a selection-journal sink is installed (common/telemetry.h), every
+/// accepted pick emits a "pick" record under `journal_strategy` — `ratio`
+/// carries the ranking score — and the fill closes with a "stop" record
+/// listing the budget-rejected candidates (capped) with their reasons.
+/// Emission is fully serial, so journals are byte-identical across runs.
 IndexConfig GreedyFill(WhatIfEngine& engine, const CandidateSet& candidates,
-                       const std::vector<uint32_t>& ranking, double budget,
-                       rt::DeadlinePoller& poller) {
+                       const std::vector<std::pair<double, uint32_t>>& scored,
+                       double budget, rt::DeadlinePoller& poller,
+                       const char* journal_strategy) {
+  const bool journal = telemetry::JournalActive();
   IndexConfig config;
   double used = 0.0;
-  for (uint32_t c : ranking) {
+  uint64_t picks = 0;
+  uint64_t budget_exceeded = 0;
+  uint64_t sanitized = 0;
+  std::vector<std::string> reject_labels;
+  std::vector<telemetry::JournalCandidate> rejects;
+  for (const auto& [score, c] : scored) {
     if (poller.Expired()) break;
     const double mem = engine.IndexMemory(candidates[c]);
-    if (used + mem > budget) continue;
-    if (config.Insert(candidates[c])) used += mem;
+    if (used + mem > budget) {
+      if (journal) {
+        const bool was_sanitized = !std::isfinite(mem);
+        if (was_sanitized) {
+          ++sanitized;
+        } else {
+          ++budget_exceeded;
+        }
+        if (rejects.size() < kJournalRejectCap) {
+          reject_labels.push_back(candidates[c].ToString());
+          telemetry::JournalCandidate reject;
+          reject.reject =
+              was_sanitized ? "sanitized-whatif" : "budget-exceeded";
+          reject.memory_delta = mem;
+          reject.ratio = score;
+          rejects.push_back(reject);
+        }
+      }
+      continue;
+    }
+    if (config.Insert(candidates[c])) {
+      used += mem;
+      if (journal) {
+        const std::string label = candidates[c].ToString();
+        telemetry::JournalEvent event;
+        event.strategy = journal_strategy;
+        event.action = "pick";
+        event.round = ++picks;
+        event.winner = label.c_str();
+        event.winner_ratio = score;
+        event.memory_after = used;
+        telemetry::JournalCandidate winner;
+        winner.index = label.c_str();
+        winner.memory_delta = mem;
+        winner.ratio = score;
+        event.candidates = &winner;
+        event.num_candidates = 1;
+        telemetry::EmitJournal(event);
+      }
+    }
+  }
+  if (journal) {
+    telemetry::JournalEvent event;
+    event.strategy = journal_strategy;
+    event.action = "stop";
+    event.round = picks;
+    event.memory_after = used;
+    if (poller.expired()) {
+      // The reject list of a cut-short walk depends on where the deadline
+      // fired; keep the terminal record deterministic-ingredients-only.
+      event.note = "timeout";
+    } else {
+      // Labels were pushed in lockstep with rejects and the vector never
+      // reallocates strings themselves; bind pointers here, after both
+      // vectors stopped growing.
+      for (size_t r = 0; r < rejects.size(); ++r) {
+        rejects[r].index = reject_labels[r].c_str();
+      }
+      event.candidates = rejects.data();
+      event.num_candidates = rejects.size();
+      event.sanitized_whatif = sanitized;
+      const std::string note =
+          "scored=" + std::to_string(scored.size()) +
+          " budget_exceeded=" + std::to_string(budget_exceeded) +
+          " listed_rejects=" + std::to_string(rejects.size());
+      event.note = note.c_str();
+      telemetry::EmitJournal(event);
+      return config;
+    }
+    telemetry::EmitJournal(event);
   }
   return config;
 }
@@ -96,15 +184,15 @@ SelectionResult SelectRuleBased(WhatIfEngine& engine,
     scored.emplace_back(score_of(candidates[c]), c);
   }
   std::sort(scored.begin(), scored.end());
-  std::vector<uint32_t> ranking(scored.size());
-  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, candidates, ranking, budget, poller);
+  const bool h1 = heuristic == RuleHeuristic::kH1;
+  const bool h2 = heuristic == RuleHeuristic::kH2;
+  IndexConfig config =
+      GreedyFill(engine, candidates, scored, budget, poller,
+                 h1 ? "h1" : (h2 ? "h2" : "h3"));
   const double seconds = watch.ElapsedSeconds();
-  const char* name = heuristic == RuleHeuristic::kH1
-                         ? "H1"
-                         : (heuristic == RuleHeuristic::kH2 ? "H2" : "H3");
-  return Finish(name, engine, std::move(config), seconds, poller.expired());
+  return Finish(h1 ? "H1" : (h2 ? "H2" : "H3"), engine, std::move(config),
+                seconds, poller.expired());
 }
 
 SelectionResult SelectByBenefit(WhatIfEngine& engine,
@@ -128,10 +216,10 @@ SelectionResult SelectByBenefit(WhatIfEngine& engine,
     if (benefit > 0.0) scored.emplace_back(-benefit, c);
   }
   std::sort(scored.begin(), scored.end());
-  std::vector<uint32_t> ranking(scored.size());
-  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, *pool, ranking, budget, poller);
+  IndexConfig config =
+      GreedyFill(engine, *pool, scored, budget, poller,
+                 use_skyline ? "h4_skyline" : "h4");
   const double seconds = watch.ElapsedSeconds();
   return Finish(use_skyline ? "H4+skyline" : "H4", engine, std::move(config),
                 seconds, poller.expired());
@@ -154,10 +242,9 @@ SelectionResult SelectByBenefitPerSize(WhatIfEngine& engine,
     scored.emplace_back(-benefit / std::max(1.0, mem), c);
   }
   std::sort(scored.begin(), scored.end());
-  std::vector<uint32_t> ranking(scored.size());
-  for (size_t r = 0; r < scored.size(); ++r) ranking[r] = scored[r].second;
 
-  IndexConfig config = GreedyFill(engine, candidates, ranking, budget, poller);
+  IndexConfig config =
+      GreedyFill(engine, candidates, scored, budget, poller, "h5");
   const double seconds = watch.ElapsedSeconds();
   return Finish("H5", engine, std::move(config), seconds, poller.expired());
 }

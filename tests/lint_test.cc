@@ -53,6 +53,53 @@ TEST(LintLayeringTest, KernelIncludingObsIsNamedViolation) {
                     HasSubstr("common/telemetry.h")));
 }
 
+TEST(LintJournalBridgeTest, KernelTouchingJournalTypesIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("kernel/kernel.cc",
+           "void f() { obs::Journal::Default(); }\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "journal-bridge");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("src/kernel"),
+                    HasSubstr("telemetry::EmitJournal")));
+}
+
+TEST(LintJournalBridgeTest, SelectionIncludingJournalHeaderIsFlagged) {
+  // selection may include obs/obs.h (spans) under the layering DAG, but
+  // the journal header is the consumer side of the bridge — off limits.
+  const auto findings = LintFiles(
+      {Src("selection/heuristics.cc", "#include \"obs/journal.h\"\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings),
+            std::vector<std::string>{"journal-bridge"});
+  EXPECT_THAT(findings[0].message, HasSubstr("obs/journal.h"));
+}
+
+TEST(LintJournalBridgeTest, ObsAdvisorAndBridgeEmissionAreClean) {
+  const auto findings = LintFiles(
+      {Src("obs/journal.cc", "void g() { obs::Journal::Default(); }\n"),
+       Src("advisor/advisor.cc",
+           "#include \"obs/journal.h\"\n"
+           "void h() { obs::JournalScope scope; }\n"),
+       Src("core/recursive_selector.cc",
+           "#include \"common/telemetry.h\"\n"
+           "void e() { telemetry::JournalEvent ev; "
+           "telemetry::EmitJournal(ev); }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintJournalBridgeTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.cc",
+           "// idxsel-lint: allow(journal-bridge) reason=doc example\n"
+           "void f() { obs::JournalRecord r; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
 TEST(LintLayeringTest, CommonDependsOnNothing) {
   const auto findings = LintFiles(
       {Src("common/status.cc", "#include \"workload/workload.h\"\n")},

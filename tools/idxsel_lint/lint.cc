@@ -476,6 +476,40 @@ void CheckIncludeCycles(Context* ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// L1 companion: journal emission goes through the telemetry bridge
+
+/// Strategy and leaf layers emit decision records exclusively via
+/// telemetry::EmitJournal (common/telemetry.h); only obs (the sink) and
+/// advisor (JournalScope owner, Recommendation::journal) may touch the
+/// obs::Journal* types or include obs/journal.h. Direct consumption from
+/// an emitting layer would bypass the run scoping and the obs-off
+/// compile gate — see doc/observability.md ("Selection journal").
+void CheckJournalBridge(Context* ctx) {
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc) continue;
+    if (f.module == "obs" || f.module == "advisor") continue;
+    for (const auto& [line, inc] : f.includes) {
+      if (inc == "obs/journal.h") {
+        ctx->Report(f, line, "journal-bridge",
+                    "src/" + f.module +
+                        " must not include obs/journal.h; emit decision "
+                        "records through telemetry::EmitJournal "
+                        "(common/telemetry.h)");
+      }
+    }
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      if (f.code[l].find("obs::Journal") != std::string::npos) {
+        ctx->Report(f, static_cast<int>(l + 1), "journal-bridge",
+                    "src/" + f.module +
+                        " must not use obs::Journal* directly; emit through "
+                        "telemetry::EmitJournal, consume from src/obs or "
+                        "src/advisor only");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // L2: determinism
 
 bool DeterminismScoped(const FileView& f) {
@@ -971,6 +1005,7 @@ void ApplySuppressions(Context* ctx) {
 const std::vector<std::string>& KnownChecks() {
   static const std::vector<std::string> checks = {
       "layering",          "include-cycle",
+      "journal-bridge",
       "determinism-random", "determinism-clock",
       "unordered-iter",    "double-compare",
       "missing-check-include", "orphan-source",
@@ -996,6 +1031,7 @@ std::vector<Finding> LintFiles(const std::vector<FileInput>& files,
   }
   CheckLayering(&ctx);
   CheckIncludeCycles(&ctx);
+  CheckJournalBridge(&ctx);
   CheckRandom(&ctx);
   CheckClock(&ctx);
   CheckUnorderedIter(&ctx);

@@ -9,6 +9,9 @@
 //   L1  layering          cross-module #include must follow the DESIGN.md
 //                         dependency DAG; kernel/exec never include obs
 //       include-cycle     the quoted-include graph must be acyclic
+//       journal-bridge    decision records are emitted through
+//                         telemetry::EmitJournal; obs::Journal* and
+//                         obs/journal.h stay inside src/obs + src/advisor
 //   L2  determinism-random  rand()/srand()/std::random_device in src/
 //                           outside rt (seeded PRNGs live in common/random.h)
 //       determinism-clock   wall-clock (system_clock, time(), clock(),

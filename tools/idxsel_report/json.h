@@ -1,0 +1,49 @@
+// Minimal JSON reader for the report tool — just enough to load the
+// repo's own sidecars (journal JSONL, metrics/trace JSON, trajectory
+// baselines). Recursive descent, no dependencies, objects keep member
+// order so rendered output is stable. Not a general-purpose library: no
+// \uXXXX surrogate handling beyond pass-through, numbers parsed as
+// double (exact for the integer counters the sidecars carry).
+
+#ifndef IDXSEL_TOOLS_IDXSEL_REPORT_JSON_H_
+#define IDXSEL_TOOLS_IDXSEL_REPORT_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace idxsel::report {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  /// Object members in document order.
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> items;  ///< array elements
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks (missing key / wrong kind).
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// Parses one JSON document. Returns false and sets `error` (with a
+/// byte offset) on malformed input; trailing garbage is an error.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+/// Parses JSON Lines: one document per non-empty line. Stops at the
+/// first malformed line (error names the line number).
+bool ParseJsonl(std::string_view text, std::vector<JsonValue>* out,
+                std::string* error);
+
+}  // namespace idxsel::report
+
+#endif  // IDXSEL_TOOLS_IDXSEL_REPORT_JSON_H_

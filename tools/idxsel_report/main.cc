@@ -1,0 +1,195 @@
+// idxsel_report CLI — see report.h for the command inventory.
+//
+// Exit codes: 0 success / zero drift / gate passed, 1 drift found or
+// gate failed, 2 usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "idxsel_report/json.h"
+#include "idxsel_report/report.h"
+
+namespace idxsel::report {
+namespace {
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  idxsel_report render <sidecar>...\n"
+    "      renders *.journal.jsonl, *.metrics.json or a trajectory\n"
+    "      document as text (kind sniffed from the schema field)\n"
+    "  idxsel_report diff <a> <b>\n"
+    "      diffs two sidecars of the same kind; exit 0 on zero drift,\n"
+    "      1 when the runs differ\n"
+    "  idxsel_report check-trajectory <current> <baseline>\n"
+    "                [--max-steps-drop <share>] [--max-rss-growth <share>]\n"
+    "      CI perf gate vs the committed BENCH_trajectory.json;\n"
+    "      defaults: 0.20 steps/sec drop, 0.15 peak-RSS growth\n";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "idxsel_report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool IsJsonl(const std::string& path, const std::string& body) {
+  if (path.size() > 6 && path.rfind(".jsonl") == path.size() - 6) {
+    return true;
+  }
+  // A JSONL journal has one object per line; a pretty-printed document
+  // spreads one object over many lines.
+  const size_t newline = body.find('\n');
+  return newline != std::string::npos && newline + 1 < body.size() &&
+         body.compare(0, 1, "{") == 0 &&
+         body.find("\"seq\"") != std::string::npos;
+}
+
+int Render(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    std::string body;
+    if (!ReadFile(path, &body)) return 2;
+    std::printf("== %s ==\n", path.c_str());
+    std::string error;
+    if (IsJsonl(path, body)) {
+      std::vector<JsonValue> records;
+      if (!ParseJsonl(body, &records, &error)) {
+        std::fprintf(stderr, "idxsel_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+      }
+      std::fputs(RenderJournal(records).c_str(), stdout);
+      continue;
+    }
+    JsonValue doc;
+    if (!ParseJson(body, &doc, &error)) {
+      std::fprintf(stderr, "idxsel_report: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    const std::string schema = doc.StringOr("schema", "");
+    if (schema == "idxsel.bench_trajectory.v1") {
+      std::fputs(RenderTrajectory(doc).c_str(), stdout);
+    } else if (schema == "idxsel.metrics.v1" ||
+               doc.Find("counters") != nullptr) {
+      std::fputs(RenderMetrics(doc).c_str(), stdout);
+    } else {
+      std::printf("schema %s: no renderer, raw document follows\n%s\n",
+                  schema.empty() ? "(none)" : schema.c_str(), body.c_str());
+    }
+  }
+  return 0;
+}
+
+int Diff(const std::string& path_a, const std::string& path_b) {
+  std::string body_a;
+  std::string body_b;
+  if (!ReadFile(path_a, &body_a) || !ReadFile(path_b, &body_b)) return 2;
+  std::string error;
+  bool drift = false;
+  std::string out;
+  if (IsJsonl(path_a, body_a) || IsJsonl(path_b, body_b)) {
+    std::vector<JsonValue> a;
+    std::vector<JsonValue> b;
+    if (!ParseJsonl(body_a, &a, &error)) {
+      std::fprintf(stderr, "idxsel_report: %s: %s\n", path_a.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (!ParseJsonl(body_b, &b, &error)) {
+      std::fprintf(stderr, "idxsel_report: %s: %s\n", path_b.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    out = DiffJournals(a, b, &drift);
+  } else {
+    JsonValue a;
+    JsonValue b;
+    if (!ParseJson(body_a, &a, &error)) {
+      std::fprintf(stderr, "idxsel_report: %s: %s\n", path_a.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (!ParseJson(body_b, &b, &error)) {
+      std::fprintf(stderr, "idxsel_report: %s: %s\n", path_b.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    out = DiffDocuments(a, b, &drift);
+  }
+  std::printf("diff %s %s\n%s", path_a.c_str(), path_b.c_str(),
+              out.c_str());
+  return drift ? 1 : 0;
+}
+
+int CheckTrajectoryCommand(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  TrajectoryCheckOptions options;
+  for (size_t i = 2; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--max-steps-drop") {
+      options.max_steps_per_sec_drop = std::atof(args[i + 1].c_str());
+    } else if (args[i] == "--max-rss-growth") {
+      options.max_peak_rss_growth = std::atof(args[i + 1].c_str());
+    } else {
+      std::fprintf(stderr, "idxsel_report: unknown flag %s\n%s",
+                   args[i].c_str(), kUsage);
+      return 2;
+    }
+  }
+  std::string current_body;
+  std::string baseline_body;
+  if (!ReadFile(args[0], &current_body) ||
+      !ReadFile(args[1], &baseline_body)) {
+    return 2;
+  }
+  std::string error;
+  JsonValue current;
+  JsonValue baseline;
+  if (!ParseJson(current_body, &current, &error)) {
+    std::fprintf(stderr, "idxsel_report: %s: %s\n", args[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ParseJson(baseline_body, &baseline, &error)) {
+    std::fprintf(stderr, "idxsel_report: %s: %s\n", args[1].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const TrajectoryCheckResult result =
+      CheckTrajectory(current, baseline, options);
+  std::fputs(result.text.c_str(), stdout);
+  return result.ok ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string& command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "render" && !rest.empty()) return Render(rest);
+  if (command == "diff" && rest.size() == 2) {
+    return Diff(rest[0], rest[1]);
+  }
+  if (command == "check-trajectory") return CheckTrajectoryCommand(rest);
+  std::fputs(kUsage, stderr);
+  return 2;
+}
+
+}  // namespace
+}  // namespace idxsel::report
+
+int main(int argc, char** argv) { return idxsel::report::Main(argc, argv); }

@@ -1,0 +1,77 @@
+// idxsel_report — renders and compares the observability sidecars.
+//
+// Three commands over the repo's own JSON documents:
+//
+//   render            *.journal.jsonl (schema idxsel.journal.v1),
+//                     *.metrics.json (idxsel.metrics.v1) and
+//                     BENCH_trajectory.json (idxsel.bench_trajectory.v1)
+//                     as human-readable text
+//   diff              two runs' sidecars; reports changed picks, costs
+//                     and timings. Identical inputs report zero drift.
+//   check-trajectory  a fresh bench_trajectory.json against the
+//                     committed baseline: deterministic fields must
+//                     match exactly, steps/sec may drop at most 20% and
+//                     peak RSS may grow at most 15% (CI's perf gate)
+//
+// Library half (this header) is I/O-free and fuzz-friendly: everything
+// takes parsed JsonValues and returns strings, so tests feed documents
+// straight in. main.cc owns file loading and exit codes.
+
+#ifndef IDXSEL_TOOLS_IDXSEL_REPORT_REPORT_H_
+#define IDXSEL_TOOLS_IDXSEL_REPORT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "idxsel_report/json.h"
+
+namespace idxsel::report {
+
+/// Reads a numeric field that the journal may have written in its quoted
+/// non-finite form ("inf" / "-inf" / "nan").
+double NumberField(const JsonValue& obj, const std::string& key,
+                   double fallback);
+
+/// Human-readable journal: one line per decision record, grouped by
+/// strategy lane, with reject tallies.
+std::string RenderJournal(const std::vector<JsonValue>& records);
+
+/// Human-readable metrics sidecar: counters, gauges, histogram summaries.
+std::string RenderMetrics(const JsonValue& doc);
+
+/// Human-readable trajectory document: one line per (N, Q) point.
+std::string RenderTrajectory(const JsonValue& doc);
+
+/// Journal diff: aligns records by (strategy, action, round) and reports
+/// changed winners (picks), changed objectives (costs), and any other
+/// field drift. Sets *drift when the journals differ at all.
+std::string DiffJournals(const std::vector<JsonValue>& a,
+                         const std::vector<JsonValue>& b, bool* drift);
+
+/// Structural diff of two JSON documents (metrics, trajectory, any
+/// sidecar): reports every changed/added/removed leaf by path. Sets
+/// *drift when the documents differ at all.
+std::string DiffDocuments(const JsonValue& a, const JsonValue& b,
+                          bool* drift);
+
+struct TrajectoryCheckOptions {
+  double max_steps_per_sec_drop = 0.20;  ///< relative, vs baseline
+  double max_peak_rss_growth = 0.15;     ///< relative, vs baseline
+};
+
+struct TrajectoryCheckResult {
+  bool ok = true;
+  std::string text;  ///< one line per comparison, PASS/FAIL annotated
+};
+
+/// CI perf gate: `current` (fresh bench_trajectory.json) against
+/// `baseline` (committed BENCH_trajectory.json). Deterministic work
+/// metrics (h6 steps, what-if calls, race winner) must match exactly;
+/// the timing-dependent ones are gated by the thresholds above.
+TrajectoryCheckResult CheckTrajectory(const JsonValue& current,
+                                      const JsonValue& baseline,
+                                      const TrajectoryCheckOptions& options);
+
+}  // namespace idxsel::report
+
+#endif  // IDXSEL_TOOLS_IDXSEL_REPORT_REPORT_H_
