@@ -1,0 +1,372 @@
+// Serve-layer ablation — what the warm AdvisorService buys over cold
+// re-runs on a drifting workload (ISSUE 7 / ROADMAP item 1).
+//
+// Three measurements:
+//   1. Drift ladder: K single-template frequency shifts applied one per
+//      Pump() to a long-running service (engine + kernel tables stay
+//      warm) vs a *cold* advisor booted from scratch on the same drifted
+//      workload at every step. Reported per step: what-if backend calls
+//      and wall seconds for both paths, plus committed H6 steps/sec.
+//   2. Recovery-time-after-kill: the service is crashed mid-commit (an
+//      exception thrown from the commit-protocol hook, exactly like the
+//      chaos soak in tests/serve_test.cc) and restarted from its
+//      checkpoint + delta log; the Start() latency is the recovery time.
+//   3. Totals: aggregate incremental vs cold call volume over the ladder.
+//
+// With IDXSEL_BENCH_ASSERT=1 the binary turns into a perf-smoke check:
+// it exits non-zero unless every drift step's incremental round makes
+// strictly fewer what-if calls than the cold re-run (the acceptance
+// criterion of ISSUE 7) and the kill/restart really recovered from the
+// checkpoint (stats().recoveries == 1).
+//
+// Emits `bench_serve.json` (schema idxsel.bench_serve.v1) with the full
+// per-step table and recovery timings next to the usual obs sidecars.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/format.h"
+#include "serve/service.h"
+
+namespace idxsel::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using serve::AdvisorService;
+using serve::MakeModelBackendFactory;
+using serve::ServiceOptions;
+using serve::WorkloadDelta;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+bool AssertMode() {
+  const char* v = std::getenv("IDXSEL_BENCH_ASSERT");
+  return v != nullptr && v[0] == '1';
+}
+
+/// The generator emits a plain Workload; the service checkpoints its
+/// workload textually (workload::FormatWorkload), so it needs display
+/// names. Synthesized as "<table>.a<ordinal>" — valid identifiers that
+/// round-trip through the parser on recovery.
+workload::NamedWorkload Named(workload::Workload w) {
+  workload::NamedWorkload named;
+  named.attribute_names.reserve(w.num_attributes());
+  for (workload::AttributeId i = 0;
+       i < static_cast<workload::AttributeId>(w.num_attributes()); ++i) {
+    const workload::AttributeStats& a = w.attribute(i);
+    named.attribute_names.push_back(w.table(a.table).name + ".a" +
+                                    std::to_string(a.ordinal));
+  }
+  named.workload = std::move(w);
+  return named;
+}
+
+ServiceOptions BenchServiceOptions() {
+  ServiceOptions so;
+  so.advisor.threads = 1;  // deterministic what-if accounting
+  so.hooks.sleep = [](double) {};
+  return so;
+}
+
+/// One drift step: a single existing template's frequency is replaced.
+/// Purely a function of (step, Q) so every run drifts identically.
+WorkloadDelta DriftShift(const workload::Workload& w, size_t step) {
+  const auto j = static_cast<workload::QueryId>(
+      (step * 17 + 3) % w.num_queries());
+  const workload::Query& q = w.query(j);
+  WorkloadDelta d;
+  d.kind = serve::DeltaKind::kFrequencyShift;
+  d.table = q.table;
+  d.attributes = q.attributes;
+  d.frequency = static_cast<double>((step % 9 + 2) * 137);
+  return d;
+}
+
+struct StepPoint {
+  uint64_t incremental_calls = 0;
+  double incremental_seconds = 0.0;
+  uint64_t incremental_h6_steps = 0;
+  uint64_t cold_calls = 0;
+  double cold_seconds = 0.0;
+};
+
+struct RecoveryPoint {
+  double seconds = 0.0;
+  uint64_t replayed_deltas = 0;
+  uint64_t recoveries = 0;
+  uint64_t epoch = 0;
+};
+
+/// Thrown from the commit-protocol hook to simulate a mid-commit kill
+/// (same mechanism as the chaos soak; the service's durable state is
+/// whatever the crashed incarnation got onto disk).
+struct SimulatedKill {};
+
+std::string JsonDocument(const std::vector<StepPoint>& steps,
+                         uint64_t cold_boot_calls,
+                         const RecoveryPoint& recovery, size_t n, size_t q) {
+  char buf[256];
+  std::string out = "{\n" + SidecarHeaderJson("idxsel.bench_serve.v1");
+  std::snprintf(buf, sizeof buf,
+                "  \"attributes\": %zu,\n  \"queries\": %zu,\n"
+                "  \"cold_boot_whatif_calls\": %llu,\n",
+                n, q, static_cast<unsigned long long>(cold_boot_calls));
+  out += buf;
+  out += "  \"drift_steps\": [";
+  uint64_t incr_total = 0;
+  uint64_t cold_total = 0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const StepPoint& p = steps[i];
+    incr_total += p.incremental_calls;
+    cold_total += p.cold_calls;
+    out += i == 0 ? "\n" : ",\n";
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"step\": %zu, \"incremental_whatif_calls\": %llu, "
+        "\"incremental_seconds\": %.6f, \"h6_steps\": %llu, "
+        "\"cold_whatif_calls\": %llu, \"cold_seconds\": %.6f}",
+        i + 1, static_cast<unsigned long long>(p.incremental_calls),
+        p.incremental_seconds,
+        static_cast<unsigned long long>(p.incremental_h6_steps),
+        static_cast<unsigned long long>(p.cold_calls), p.cold_seconds);
+    out += buf;
+  }
+  out += "\n  ],\n";
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"incremental_whatif_calls_total\": %llu,\n"
+      "  \"cold_whatif_calls_total\": %llu,\n",
+      static_cast<unsigned long long>(incr_total),
+      static_cast<unsigned long long>(cold_total));
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"recovery\": {\"seconds\": %.6f, \"replayed_deltas\": %llu, "
+      "\"recoveries\": %llu, \"epoch\": %llu}\n}\n",
+      recovery.seconds,
+      static_cast<unsigned long long>(recovery.replayed_deltas),
+      static_cast<unsigned long long>(recovery.recoveries),
+      static_cast<unsigned long long>(recovery.epoch));
+  out += buf;
+  return out;
+}
+
+int Run() {
+  const size_t drift_steps = FullMode() ? 16 : 8;
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = FullMode() ? 50 : 25;
+  params.queries_per_table = FullMode() ? 100 : 50;
+  const workload::NamedWorkload base =
+      Named(workload::GenerateScalableWorkload(params));
+  const size_t n = base.workload.num_attributes();
+  const size_t q = base.workload.num_queries();
+
+  std::printf(
+      "Serve ablation: warm incremental re-selection vs cold re-run, "
+      "N=%zu, Q=%zu, %zu drift steps.\n\n",
+      n, q, drift_steps);
+
+  const std::string state_dir = "bench_serve_state";
+  std::filesystem::remove_all(state_dir);
+  std::filesystem::create_directories(state_dir);
+
+  // Long-running service with a crash switch on the commit hook (off
+  // until the recovery measurement below).
+  bool kill_next_commit = false;
+  ServiceOptions so = BenchServiceOptions();
+  so.dir = state_dir;
+  so.hooks.at = [&](const char* point) {
+    if (kill_next_commit && std::string(point) == "journal-appended") {
+      throw SimulatedKill{};
+    }
+  };
+  auto warm =
+      AdvisorService::Start(base, MakeModelBackendFactory(), so);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "bench_serve: Start failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  AdvisorService& svc = **warm;
+  auto boot = svc.Pump();
+  if (!boot.ok() || !boot->committed) {
+    std::fprintf(stderr, "bench_serve: first pump did not commit\n");
+    return 1;
+  }
+  const uint64_t cold_boot_calls = boot->whatif_calls;
+
+  int failures = 0;
+  std::vector<StepPoint> steps;
+  std::vector<WorkloadDelta> history;
+  TablePrinter table({"step", "incr calls", "incr ms", "h6 steps/s",
+                      "cold calls", "cold ms", "call ratio"});
+  for (size_t step = 0; step < drift_steps; ++step) {
+    const WorkloadDelta shift = DriftShift(base.workload, step);
+    history.push_back(shift);
+    StepPoint point;
+
+    // Warm path: the shift goes through the service; the engine caches
+    // and kernel tables survive (frequency shifts never rebuild).
+    {
+      const Status submitted = svc.Submit(shift);
+      if (!submitted.ok()) {
+        std::fprintf(stderr, "bench_serve: submit failed: %s\n",
+                     submitted.ToString().c_str());
+        return 1;
+      }
+      const double start = NowSeconds();
+      auto outcome = svc.Pump();
+      point.incremental_seconds = NowSeconds() - start;
+      if (!outcome.ok() || !outcome->committed) {
+        std::fprintf(stderr, "bench_serve: drift pump %zu did not commit\n",
+                     step + 1);
+        return 1;
+      }
+      point.incremental_calls = outcome->whatif_calls;
+      point.incremental_h6_steps =
+          svc.Answer().recommendation.trace.size();
+    }
+
+    // Cold path: a fresh in-memory service sees the same drifted
+    // workload (base + every shift so far) with everything cold.
+    {
+      auto cold = AdvisorService::Start(base, MakeModelBackendFactory(),
+                                        BenchServiceOptions());
+      if (!cold.ok()) return 1;
+      for (const WorkloadDelta& d : history) {
+        if (!(*cold)->Submit(d).ok()) return 1;
+      }
+      const double start = NowSeconds();
+      auto outcome = (*cold)->Pump();
+      point.cold_seconds = NowSeconds() - start;
+      if (!outcome.ok() || !outcome->committed) {
+        std::fprintf(stderr, "bench_serve: cold pump %zu did not commit\n",
+                     step + 1);
+        return 1;
+      }
+      point.cold_calls = outcome->whatif_calls;
+    }
+
+    const double ratio =
+        point.cold_calls > 0
+            ? static_cast<double>(point.incremental_calls) /
+                  static_cast<double>(point.cold_calls)
+            : 0.0;
+    const double steps_per_sec =
+        point.incremental_seconds > 0.0
+            ? static_cast<double>(point.incremental_h6_steps) /
+                  point.incremental_seconds
+            : 0.0;
+    table.AddRow({std::to_string(step + 1),
+                  FormatCount(static_cast<int64_t>(point.incremental_calls)),
+                  FormatDouble(point.incremental_seconds * 1e3, 3),
+                  FormatDouble(steps_per_sec, 1),
+                  FormatCount(static_cast<int64_t>(point.cold_calls)),
+                  FormatDouble(point.cold_seconds * 1e3, 3),
+                  FormatDouble(ratio, 3)});
+    if (AssertMode() && point.incremental_calls >= point.cold_calls) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: drift step %zu made %llu incremental "
+                   "what-if calls, not fewer than the cold re-run's %llu\n",
+                   step + 1,
+                   static_cast<unsigned long long>(point.incremental_calls),
+                   static_cast<unsigned long long>(point.cold_calls));
+      ++failures;
+    }
+    steps.push_back(point);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // ---- Recovery-time-after-kill -----------------------------------------
+  // Crash the warm service mid-commit (after the epoch journal fsync,
+  // before the checkpoint rename lands), then time a fresh Start() on
+  // the same state dir: checkpoint load + delta-log replay past the
+  // cursor. The answer must come back at the last committed epoch.
+  const uint64_t epoch_before_kill = svc.Answer().epoch;
+  kill_next_commit = true;
+  bool killed = false;
+  const Status submitted = svc.Submit(DriftShift(base.workload, drift_steps));
+  if (!submitted.ok()) return 1;
+  try {
+    (void)svc.Pump();
+  } catch (const SimulatedKill&) {
+    killed = true;
+  }
+  RecoveryPoint recovery;
+  {
+    ServiceOptions recover_options = BenchServiceOptions();
+    recover_options.dir = state_dir;
+    const double start = NowSeconds();
+    auto recovered = AdvisorService::Start(base, MakeModelBackendFactory(),
+                                           recover_options);
+    recovery.seconds = NowSeconds() - start;
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "bench_serve: recovery Start failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    recovery.replayed_deltas = (*recovered)->stats().replayed_deltas;
+    recovery.recoveries = (*recovered)->stats().recoveries;
+    recovery.epoch = (*recovered)->Answer().epoch;
+    (void)(*recovered)->Stop();
+  }
+  std::printf(
+      "recovery after mid-commit kill%s: %.3f ms to restart "
+      "(epoch %llu -> %llu, %llu deltas replayed, recoveries=%llu)\n\n",
+      killed ? "" : " (kill hook did not fire)", recovery.seconds * 1e3,
+      static_cast<unsigned long long>(epoch_before_kill),
+      static_cast<unsigned long long>(recovery.epoch),
+      static_cast<unsigned long long>(recovery.replayed_deltas),
+      static_cast<unsigned long long>(recovery.recoveries));
+  if (AssertMode()) {
+    if (!killed) {
+      std::fprintf(stderr, "ASSERT FAILED: kill hook never fired\n");
+      ++failures;
+    }
+    if (recovery.recoveries != 1) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: restart did not recover from the "
+                   "checkpoint (recoveries=%llu)\n",
+                   static_cast<unsigned long long>(recovery.recoveries));
+      ++failures;
+    }
+  }
+
+  const std::string json =
+      JsonDocument(steps, cold_boot_calls, recovery, n, q);
+  std::FILE* f = std::fopen("bench_serve.json", "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("results written to bench_serve.json\n");
+  }
+
+  std::printf(
+      "Expected shape: the warm service re-prices only what the shifted\n"
+      "template touches, so incremental call counts sit well below the\n"
+      "cold re-run at every step; recovery stays in the milliseconds.\n");
+  if (AssertMode() && failures == 0) {
+    std::printf(
+        "assert mode: incremental < cold at every drift step, "
+        "recovery from checkpoint confirmed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace idxsel::bench
+
+int main() {
+  idxsel::bench::ObsSession obs("bench_serve");
+  const int rc = idxsel::bench::Run();
+  return rc;
+}

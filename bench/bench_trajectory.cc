@@ -1,8 +1,9 @@
 // Tracked perf trajectory — the repo's PR-over-PR regression instrument.
 //
-// Runs H6 and the advisor portfolio over a ladder of (N, Q) scale points
-// and records, per point, the deterministic work metrics (committed
-// steps, what-if calls, race winner) next to the timing-dependent ones
+// Runs H6, the advisor portfolio, and a serve-layer cold-vs-incremental
+// round over a ladder of (N, Q) scale points and records, per point, the
+// deterministic work metrics (committed steps, what-if calls, race
+// winner, serve call counts) next to the timing-dependent ones
 // (steps/sec, wall seconds, allocations/step from a global operator-new
 // tally) plus the process peak RSS (obs::ResourceSampler / getrusage).
 //
@@ -28,6 +29,7 @@
 #include "bench_common.h"
 #include "common/format.h"
 #include "obs/resource.h"
+#include "serve/service.h"
 
 // ------------------------------------------------- allocation accounting
 
@@ -84,11 +86,23 @@ struct PortfolioPoint {
   double seconds = 0.0;
 };
 
+struct ServePoint {
+  uint64_t cold_whatif_calls = 0;         ///< first commit (deterministic)
+  uint64_t incremental_whatif_calls = 0;  ///< post-shift round (deterministic)
+  /// Committed epoch after the shift (deterministic; expected 2). The
+  /// incremental call count is often 0 — every (query, index) pair was
+  /// priced in the cold round — so this is what distinguishes "answered
+  /// from cache" from "never re-selected".
+  uint64_t epoch = 0;
+  double seconds = 0.0;  ///< incremental pump wall seconds
+};
+
 struct TrajectoryPoint {
   size_t n = 0;
   size_t q = 0;
   H6Point h6;
   PortfolioPoint portfolio;
+  ServePoint serve;
   uint64_t peak_rss_kb = 0;  ///< process high-water after this point
 };
 
@@ -154,6 +168,51 @@ PortfolioPoint RunPortfolio(const workload::Workload& w, double budget) {
   return point;
 }
 
+/// Serve layer: one in-memory AdvisorService per point — a cold first
+/// commit, then a single-template frequency shift re-selected on the
+/// warm engine. Both call counts are deterministic (threads=1); CI gates
+/// them exactly and the incremental count staying below the cold one is
+/// the serve layer's standing regression check (bench_serve drills in).
+ServePoint RunServe(const workload::Workload& w, double budget) {
+  ServePoint point;
+  workload::NamedWorkload base;
+  base.attribute_names.reserve(w.num_attributes());
+  for (workload::AttributeId i = 0;
+       i < static_cast<workload::AttributeId>(w.num_attributes()); ++i) {
+    const workload::AttributeStats& a = w.attribute(i);
+    base.attribute_names.push_back(w.table(a.table).name + ".a" +
+                                   std::to_string(a.ordinal));
+  }
+  base.workload = w;
+
+  serve::ServiceOptions options;
+  options.advisor.threads = 1;
+  options.advisor.budget_bytes = budget;
+  options.hooks.sleep = [](double) {};
+  auto service = serve::AdvisorService::Start(
+      base, serve::MakeModelBackendFactory(), options);
+  if (!service.ok()) return point;
+  const auto boot = (*service)->Pump();
+  if (!boot.ok()) return point;
+  point.cold_whatif_calls = boot->whatif_calls;
+
+  const workload::Query& hottest = w.query(0);
+  serve::WorkloadDelta shift;
+  shift.kind = serve::DeltaKind::kFrequencyShift;
+  shift.table = hottest.table;
+  shift.attributes = hottest.attributes;
+  shift.frequency = hottest.frequency * 3.0;
+  if (!(*service)->Submit(shift).ok()) return point;
+  const double start = NowSeconds();
+  const auto incremental = (*service)->Pump();
+  point.seconds = NowSeconds() - start;
+  if (incremental.ok() && incremental->committed) {
+    point.incremental_whatif_calls = incremental->whatif_calls;
+    point.epoch = incremental->epoch;
+  }
+  return point;
+}
+
 std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
                          double budget_w, int reps, uint64_t peak_rss_kb) {
   char buf[512];
@@ -174,6 +233,9 @@ std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
         "\"allocations_per_step\": %.1f},\n"
         "     \"portfolio\": {\"winner\": \"%s\", \"whatif_calls\": %llu, "
         "\"seconds\": %.6f},\n"
+        "     \"serve\": {\"cold_whatif_calls\": %llu, "
+        "\"incremental_whatif_calls\": %llu, \"epoch\": %llu, "
+        "\"seconds\": %.6f},\n"
         "     \"peak_rss_kb\": %llu}",
         p.n, p.q, static_cast<unsigned long long>(p.h6.steps),
         static_cast<unsigned long long>(p.h6.whatif_calls), p.h6.seconds,
@@ -181,6 +243,9 @@ std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
         p.portfolio.winner.c_str(),
         static_cast<unsigned long long>(p.portfolio.whatif_calls),
         p.portfolio.seconds,
+        static_cast<unsigned long long>(p.serve.cold_whatif_calls),
+        static_cast<unsigned long long>(p.serve.incremental_whatif_calls),
+        static_cast<unsigned long long>(p.serve.epoch), p.serve.seconds,
         static_cast<unsigned long long>(p.peak_rss_kb));
     out += buf;
   }
@@ -217,7 +282,8 @@ void Run() {
   obs::ResourceSampler sampler;
   std::vector<TrajectoryPoint> points;
   TablePrinter table({"N", "Q", "h6 steps", "what-if calls", "steps/sec",
-                      "allocs/step", "race winner", "peak RSS (MB)"});
+                      "allocs/step", "race winner", "serve incr/cold",
+                      "peak RSS (MB)"});
   for (const ScalePoint& scale : ladder) {
     workload::ScalableWorkloadParams params;
     params.num_tables = 2;
@@ -236,18 +302,22 @@ void Run() {
       point.h6 = RunH6(*setup.engine, budget, reps);
     }
     point.portfolio = RunPortfolio(w, budget);
+    point.serve = RunServe(w, budget);
     point.peak_rss_kb = static_cast<uint64_t>(sampler.Delta().peak_rss_kb);
     points.push_back(point);
 
-    table.AddRow({std::to_string(point.n), std::to_string(point.q),
-                  FormatCount(static_cast<int64_t>(point.h6.steps)),
-                  FormatCount(static_cast<int64_t>(point.h6.whatif_calls)),
-                  FormatDouble(point.h6.steps_per_sec, 1),
-                  FormatDouble(point.h6.allocations_per_step, 1),
-                  point.portfolio.winner,
-                  FormatDouble(static_cast<double>(point.peak_rss_kb) /
-                                   1024.0,
-                               1)});
+    table.AddRow(
+        {std::to_string(point.n), std::to_string(point.q),
+         FormatCount(static_cast<int64_t>(point.h6.steps)),
+         FormatCount(static_cast<int64_t>(point.h6.whatif_calls)),
+         FormatDouble(point.h6.steps_per_sec, 1),
+         FormatDouble(point.h6.allocations_per_step, 1),
+         point.portfolio.winner,
+         FormatCount(
+             static_cast<int64_t>(point.serve.incremental_whatif_calls)) +
+             "/" +
+             FormatCount(static_cast<int64_t>(point.serve.cold_whatif_calls)),
+         FormatDouble(static_cast<double>(point.peak_rss_kb) / 1024.0, 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
 

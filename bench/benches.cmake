@@ -55,6 +55,11 @@ idxsel_bench(bench_shuffle)
 idxsel_bench(bench_robustness)
 idxsel_bench(bench_parallel)
 idxsel_bench(bench_trajectory)
+idxsel_bench(bench_serve)
+# These two drive the long-running AdvisorService; the base link list
+# stops at the advisor layer.
+target_link_libraries(bench_serve PRIVATE idxsel_serve)
+target_link_libraries(bench_trajectory PRIVATE idxsel_serve)
 idxsel_gbench(bench_engine_micro)
 idxsel_gbench(bench_solver_micro)
 idxsel_gbench(bench_obs_micro)

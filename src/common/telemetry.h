@@ -39,6 +39,21 @@ enum class Slot : size_t {
   kExecParallelFors,   ///< counter "idxsel.exec.parallel_fors"
   kExecPoolThreads,    ///< gauge   "idxsel.exec.pool_threads"
   kKernelArenaInterns, ///< counter "idxsel.kernel.arena_interns"
+  // idxsel::serve lifecycle counters (doc/serve.md). The serve layer sits
+  // above obs in the DAG and could use obs directly, but routing through
+  // the bridge keeps one publishing path for every layer's counters.
+  kServeDeltasAccepted,   ///< counter "idxsel.serve.deltas_accepted"
+  kServeDeltasCoalesced,  ///< counter "idxsel.serve.deltas_coalesced"
+  kServeDeltasShed,       ///< counter "idxsel.serve.deltas_shed"
+  kServeEpochs,           ///< counter "idxsel.serve.epochs"
+  kServeRetries,          ///< counter "idxsel.serve.retries"
+  kServeBreakerTrips,     ///< counter "idxsel.serve.breaker_trips"
+  kServeBreakerCloses,    ///< counter "idxsel.serve.breaker_closes"
+  kServeWatchdogCancels,  ///< counter "idxsel.serve.watchdog_cancels"
+  kServeCheckpoints,      ///< counter "idxsel.serve.checkpoints"
+  kServeRecoveries,       ///< counter "idxsel.serve.recoveries"
+  kServeColdStarts,       ///< counter "idxsel.serve.cold_starts"
+  kServeCacheFlushes,     ///< counter "idxsel.serve.cache_flushes"
   kSlotCount,
 };
 
@@ -60,6 +75,30 @@ constexpr const char* SlotName(Slot slot) {
       return "idxsel.exec.pool_threads";
     case Slot::kKernelArenaInterns:
       return "idxsel.kernel.arena_interns";
+    case Slot::kServeDeltasAccepted:
+      return "idxsel.serve.deltas_accepted";
+    case Slot::kServeDeltasCoalesced:
+      return "idxsel.serve.deltas_coalesced";
+    case Slot::kServeDeltasShed:
+      return "idxsel.serve.deltas_shed";
+    case Slot::kServeEpochs:
+      return "idxsel.serve.epochs";
+    case Slot::kServeRetries:
+      return "idxsel.serve.retries";
+    case Slot::kServeBreakerTrips:
+      return "idxsel.serve.breaker_trips";
+    case Slot::kServeBreakerCloses:
+      return "idxsel.serve.breaker_closes";
+    case Slot::kServeWatchdogCancels:
+      return "idxsel.serve.watchdog_cancels";
+    case Slot::kServeCheckpoints:
+      return "idxsel.serve.checkpoints";
+    case Slot::kServeRecoveries:
+      return "idxsel.serve.recoveries";
+    case Slot::kServeColdStarts:
+      return "idxsel.serve.cold_starts";
+    case Slot::kServeCacheFlushes:
+      return "idxsel.serve.cache_flushes";
     case Slot::kSlotCount:
       break;
   }

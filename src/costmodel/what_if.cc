@@ -464,4 +464,14 @@ void WhatIfEngine::InvalidateCostCache() {
   }
 }
 
+void WhatIfEngine::InvalidateFrequencyDependentCaches() {
+  // MaintenancePenalty(k) = sum over write queries of b_j *
+  // MaintenanceCost(j, k); a frequency change stales exactly this cache
+  // (and its dense mirror). Per-execution costs and sizes are untouched.
+  maintenance_cache_.Clear();
+#if defined(IDXSEL_KERNEL)
+  if (dense_ != nullptr) dense_->maintenance.Invalidate();
+#endif
+}
+
 }  // namespace idxsel::costmodel

@@ -228,6 +228,16 @@ class WhatIfEngine {
     return health_;
   }
 
+  /// Forgives recorded backend misbehaviour: health() returns to OK.
+  /// The serve-layer self-heal pairs this with InvalidateCostCache once a
+  /// half-open probe succeeds — the flushed caches re-consult the (now
+  /// healthy) backend, so a sticky health verdict would mislabel every
+  /// later recommendation as degraded (doc/serve.md).
+  void ResetHealth() {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_ = Status::Ok();
+  }
+
   /// Rewinds the per-engine call counters to zero. Deliberately does NOT
   /// touch the registry: the process-wide call counters are cumulative by
   /// design (run reports diff snapshots instead), and the cache-size
@@ -244,6 +254,16 @@ class WhatIfEngine {
   /// that change the backend's state (e.g. measured costs after reloads).
   /// Not safe concurrently with in-flight estimations.
   void InvalidateCostCache();
+
+  /// Drops exactly the cached state that depends on query *frequencies*:
+  /// the per-index maintenance penalties (MaintenancePenalty sums
+  /// b_j * MaintenanceCost over write queries) and their dense mirror.
+  /// Per-execution costs f_j(k), base costs f_j(0), and index sizes p_k
+  /// are frequency-free and stay warm — this is the hook that makes
+  /// serve's incremental re-selection after a frequency shift nearly
+  /// backend-call-free (doc/serve.md). Like InvalidateCostCache, not safe
+  /// concurrently with in-flight estimations.
+  void InvalidateFrequencyDependentCaches();
 
 #if defined(IDXSEL_KERNEL)
   /// True when the dense kernel fast path may be consulted: the build

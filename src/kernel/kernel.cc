@@ -125,6 +125,16 @@ void DenseValueTable::Put(IndexId id, double value) {
   block[id & kBlockMask].store(value, std::memory_order_relaxed);
 }
 
+void DenseValueTable::Invalidate() {
+  for (auto& slot : blocks_) {
+    std::atomic<double>* block = slot.load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    for (size_t u = 0; u < kBlockSize; ++u) {
+      block[u].store(kUnset(), std::memory_order_relaxed);
+    }
+  }
+}
+
 // -- DenseCostTable ---------------------------------------------------------
 
 DenseCostTable::~DenseCostTable() {

@@ -261,6 +261,13 @@ class DenseValueTable {
 
   void Put(IndexId id, double value);
 
+  /// Resets every allocated slot to unset (blocks are kept — ids stay
+  /// addressable without reallocation). Serve's warm-state reuse hook:
+  /// WhatIfEngine::InvalidateFrequencyDependentCaches clears the dense
+  /// maintenance mirror this way after a frequency shift. Not safe
+  /// concurrently with Put/Get.
+  void Invalidate();
+
   static double kUnset() {
     return std::numeric_limits<double>::quiet_NaN();
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/float_cmp.h"
+#include "common/hash.h"
 #include "obs/obs.h"
 
 namespace idxsel::rt {
@@ -24,8 +25,17 @@ obs::Counter* InjectedCounter() {
 FaultInjectingBackend::FaultInjectingBackend(
     const costmodel::WhatIfBackend* inner,
     const FaultInjectionOptions& options)
-    : inner_(inner), opts_(options), rng_(options.seed) {
+    : inner_(inner),
+      opts_(options),
+      rng_(options.seed),
+      outage_rng_(SplitMix64(options.seed ^ 0x6f757461676500ULL)) {
   IDXSEL_CHECK(inner != nullptr);
+  if (opts_.outage_burst > 0) {
+    IDXSEL_CHECK_LE(opts_.outage_gap_min, opts_.outage_gap_max);
+    gap_remaining_ = static_cast<uint64_t>(outage_rng_.UniformInt(
+        static_cast<int64_t>(opts_.outage_gap_min),
+        static_cast<int64_t>(opts_.outage_gap_max)));
+  }
 }
 
 double FaultInjectingBackend::Corrupt(double truthful) const {
@@ -46,6 +56,33 @@ double FaultInjectingBackend::Corrupt(double truthful) const {
       ++stats_.injected_outage;
       IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
       return std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // Recurring burst outages (seeded gap stream, see the options docs).
+    if (opts_.outage_burst > 0) {
+      if (burst_remaining_ > 0) {
+        --burst_remaining_;
+        if (burst_remaining_ == 0) {
+          gap_remaining_ = static_cast<uint64_t>(outage_rng_.UniformInt(
+              static_cast<int64_t>(opts_.outage_gap_min),
+              static_cast<int64_t>(opts_.outage_gap_max)));
+        }
+        ++stats_.injected_outage;
+        IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      if (gap_remaining_ == 0) {
+        burst_remaining_ = opts_.outage_burst - 1;
+        if (burst_remaining_ == 0) {
+          gap_remaining_ = static_cast<uint64_t>(outage_rng_.UniformInt(
+              static_cast<int64_t>(opts_.outage_gap_min),
+              static_cast<int64_t>(opts_.outage_gap_max)));
+        }
+        ++stats_.injected_outage;
+        IDXSEL_OBS_ONLY(InjectedCounter()->Add();)
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      --gap_remaining_;
     }
 
     if (opts_.latency_probability > 0.0 &&

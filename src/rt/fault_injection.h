@@ -48,6 +48,19 @@ struct FaultInjectionOptions {
   uint64_t fail_after_calls = 0;
   uint64_t fail_burst = 0;
 
+  /// Recurring burst outages: after every healthy gap the backend fails
+  /// for exactly `outage_burst` consecutive calls, then recovers — the
+  /// N-failures-then-recovery shape a circuit breaker needs to trip,
+  /// half-open on a probe, and close deterministically (doc/serve.md).
+  /// Gap lengths are drawn uniformly from [outage_gap_min,
+  /// outage_gap_max] on the seeded stream, so the whole schedule is a
+  /// pure function of the seed and the call sequence. The first gap
+  /// starts after `healthy_calls`. 0 burst = mode off; the one-shot
+  /// fail_after_calls window above composes independently.
+  uint64_t outage_burst = 0;
+  uint64_t outage_gap_min = 0;
+  uint64_t outage_gap_max = 0;
+
   /// The first `healthy_calls` calls are never corrupted (lets tests warm
   /// caches with truthful values before the chaos starts).
   uint64_t healthy_calls = 0;
@@ -108,6 +121,13 @@ class FaultInjectingBackend : public costmodel::WhatIfBackend {
   mutable std::mutex mu_;
   mutable Rng rng_;
   mutable FaultInjectionStats stats_;
+  // Recurring burst-outage cursor (guarded by mu_): calls remaining in
+  // the current healthy gap / failing burst. The gap stream draws from a
+  // dedicated forked Rng so enabling the mode does not shift the
+  // value-corruption draw schedule of existing seeds.
+  mutable Rng outage_rng_;
+  mutable uint64_t gap_remaining_ = 0;
+  mutable uint64_t burst_remaining_ = 0;
 };
 
 }  // namespace idxsel::rt

@@ -1,0 +1,67 @@
+#include "serve/backoff.h"
+
+#include <algorithm>
+
+namespace idxsel::serve {
+
+double ExponentialBackoff::NextDelaySeconds() {
+  const double base = std::min(next_, opts_.max_seconds);
+  next_ = std::min(next_ * opts_.multiplier, opts_.max_seconds);
+  const double scale =
+      opts_.jitter > 0.0 ? rng_.Uniform(1.0 - opts_.jitter, 1.0) : 1.0;
+  return base * scale;
+}
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+bool CircuitBreaker::RecordFailure() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= opts_.trip_after_failures) {
+        state_ = BreakerState::kOpen;
+        ticks_open_ = 0;
+        ++trips_;
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      state_ = BreakerState::kOpen;
+      ticks_open_ = 0;
+      ++trips_;
+      return true;
+    case BreakerState::kOpen:
+      return false;
+  }
+  return false;
+}
+
+bool CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    ++closes_;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::Tick() {
+  if (state_ != BreakerState::kOpen) return false;
+  if (++ticks_open_ >= opts_.open_ticks) {
+    state_ = BreakerState::kHalfOpen;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace idxsel::serve

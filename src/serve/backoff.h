@@ -1,0 +1,113 @@
+// Seeded-jitter exponential backoff + circuit breaker for idxsel::serve.
+//
+// The service wraps every selection round's what-if traffic in a retry
+// loop: transient backend garbage (detected by the engine's sanitizer —
+// doc/robustness.md) is retried with exponentially growing, seeded-jitter
+// delays; persistent garbage trips a circuit breaker that parks the
+// service on its last committed recommendation (the degraded path) until
+// a half-open probe against the raw backend succeeds.
+//
+// Both pieces are deliberately clock-free: backoff *computes* delays (the
+// service decides how to sleep them — tests inject a recording no-op),
+// and the breaker advances on Pump ticks, not wall time. That keeps every
+// transition a pure function of the call sequence, which is what lets the
+// chaos soak assert exact trip/half-open/close schedules per seed.
+
+#ifndef IDXSEL_SERVE_BACKOFF_H_
+#define IDXSEL_SERVE_BACKOFF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace idxsel::serve {
+
+/// Retry-delay schedule knobs.
+struct BackoffOptions {
+  double initial_seconds = 0.05;  ///< first retry delay
+  double multiplier = 2.0;        ///< growth per attempt
+  double max_seconds = 2.0;       ///< delay ceiling (pre-jitter)
+  /// Jitter band: the delay is scaled by a seeded uniform draw from
+  /// [1 - jitter, 1], de-synchronizing fleets that trip together.
+  double jitter = 0.25;
+  uint64_t seed = 1;
+};
+
+/// delay(n) = min(max, initial * multiplier^n) * Uniform(1 - jitter, 1),
+/// with the uniform draw from a private xoshiro stream (common/random.h):
+/// the same seed yields the same delay sequence on every platform.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffOptions& options)
+      : opts_(options), rng_(options.seed), next_(options.initial_seconds) {}
+
+  /// Delay to sleep before the next retry; advances the schedule.
+  double NextDelaySeconds();
+
+  /// Rewinds to the initial delay (the jitter stream keeps advancing, so
+  /// repeated failure episodes still jitter independently).
+  void Reset() { next_ = opts_.initial_seconds; }
+
+ private:
+  BackoffOptions opts_;
+  Rng rng_;
+  double next_;
+};
+
+/// Breaker states, classic semantics (Nygard): closed = normal service,
+/// open = fail fast from the last commitment, half-open = one probe
+/// decides.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive round failures that trip closed -> open.
+  uint64_t trip_after_failures = 3;
+  /// Pump ticks spent open before transitioning to half-open.
+  uint64_t open_ticks = 2;
+};
+
+/// Tick-driven circuit breaker (no clocks — see file comment). The service
+/// calls RecordSuccess/RecordFailure after each selection round, and
+/// Tick() once per Pump while open.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options)
+      : opts_(options) {}
+
+  BreakerState state() const { return state_; }
+
+  /// True when a selection attempt (or half-open probe) may proceed.
+  bool AllowAttempt() const { return state_ != BreakerState::kOpen; }
+
+  /// Round failed. Closed: counts toward the trip threshold. Half-open:
+  /// the probe failed — snap back to open. Returns true iff this call
+  /// tripped (or re-tripped) the breaker.
+  bool RecordFailure();
+
+  /// Round (or probe) succeeded. Returns true iff this call closed a
+  /// half-open breaker — the caller's cue to flush possibly-poisoned
+  /// caches (doc/serve.md, "self-healing").
+  bool RecordSuccess();
+
+  /// One Pump elapsed while open; after open_ticks of them the breaker
+  /// half-opens. Returns true on the open -> half-open transition. No-op
+  /// in other states.
+  bool Tick();
+
+  uint64_t trips() const { return trips_; }
+  uint64_t closes() const { return closes_; }
+
+ private:
+  CircuitBreakerOptions opts_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t ticks_open_ = 0;
+  uint64_t trips_ = 0;
+  uint64_t closes_ = 0;
+};
+
+}  // namespace idxsel::serve
+
+#endif  // IDXSEL_SERVE_BACKOFF_H_

@@ -1,0 +1,77 @@
+// Crash-safe checkpoints for idxsel::serve.
+//
+// A checkpoint is the service's durable commitment: the full workload
+// state (as a workload-file text block — the parser's Format/Parse round
+// trip is bit-exact, see src/workload/parser.cc), the incumbent index
+// configuration with its objective values, the budget, and the *cursor*
+// into the write-ahead delta log. Recovery = load checkpoint + replay
+// delta-log lines past the cursor; the chaos soak proves the result
+// byte-identical to a run that never crashed (doc/serve.md).
+//
+// Durability protocol: serialize to <path>.tmp, flush + fsync, then
+// std::rename over <path> — readers see either the old or the new
+// checkpoint, never a torn one. The last line is an FNV-1a 64 checksum of
+// everything above it; LoadCheckpoint rejects truncation, corruption, and
+// version skew with a descriptive Status (the service cold-starts on any
+// of them — never a crash, never a silent partial load).
+
+#ifndef IDXSEL_SERVE_CHECKPOINT_H_
+#define IDXSEL_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "costmodel/index.h"
+#include "serve/plan.h"
+
+namespace idxsel::serve {
+
+/// First line of every checkpoint file; bump the suffix on layout changes.
+inline constexpr const char* kCheckpointMagic = "idxsel.serve.checkpoint.v1";
+
+/// Everything the service needs to resume exactly where it committed.
+struct Checkpoint {
+  uint64_t epoch = 0;   ///< committed re-selection rounds so far
+  uint64_t cursor = 0;  ///< delta-log lines folded into this state
+  double budget_fraction = 0.0;
+  double budget_bytes = 0.0;
+  /// Accumulated |Δb_j| not yet past the drift threshold (absorbed
+  /// deltas); persisted so a recovered service triggers its next round
+  /// at exactly the same submission as an uninterrupted one.
+  double drift = 0.0;
+  bool degraded = false;  ///< the incumbent was committed degraded
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  double memory = 0.0;
+  costmodel::IndexConfig selection;  ///< incumbent configuration
+  /// Deployment plan that installed the incumbent (previous incumbent ->
+  /// selection). Persisted so a recovered service serves the same
+  /// Answer().plan as one that never crashed — it cannot be recomputed,
+  /// the previous incumbent is gone.
+  DeploymentPlan plan;
+  std::string workload_text;  ///< workload::FormatWorkload of the state
+};
+
+/// FNV-1a 64-bit over `data` (the checkpoint/report checksum).
+uint64_t Fnv1a64(std::string_view data);
+
+/// Renders the full file body, checksum line included. Deterministic:
+/// equal checkpoints serialize to equal bytes.
+std::string SerializeCheckpoint(const Checkpoint& checkpoint);
+
+/// Strict inverse of SerializeCheckpoint: verifies the magic (version
+/// skew), the checksum (truncation / corruption), and every field.
+Result<Checkpoint> DeserializeCheckpoint(const std::string& body);
+
+/// Atomic durable write: <path>.tmp + fsync + rename.
+Status SaveCheckpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads and verifies `path`. NotFound when the file does not exist (the
+/// normal cold start); InvalidArgument for corrupt/truncated/skewed files.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace idxsel::serve
+
+#endif  // IDXSEL_SERVE_CHECKPOINT_H_

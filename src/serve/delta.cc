@@ -1,0 +1,209 @@
+#include "serve/delta.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace idxsel::serve {
+namespace {
+
+/// "3,7,12" -> vector; empty string is an error (deltas always name at
+/// least one attribute).
+Result<std::vector<workload::AttributeId>> ParseAttrList(
+    const std::string& text) {
+  std::vector<workload::AttributeId> attrs;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string token = text.substr(pos, comma - pos);
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0') {
+      return Status::InvalidArgument("delta: bad attribute id '" + token +
+                                     "'");
+    }
+    attrs.push_back(static_cast<workload::AttributeId>(value));
+    pos = comma + 1;
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("delta: empty attribute list");
+  }
+  return attrs;
+}
+
+void Canonicalize(std::vector<workload::AttributeId>& attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+}
+
+}  // namespace
+
+const char* DeltaKindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kAddTemplate:
+      return "add";
+    case DeltaKind::kRemoveTemplate:
+      return "remove";
+    case DeltaKind::kFrequencyShift:
+      return "shift";
+    case DeltaKind::kBudgetChange:
+      return "budget";
+  }
+  return "unknown";
+}
+
+std::string FormatExactDouble(double v) {
+  char buf[32];
+  for (int digits = 15; digits <= 17; ++digits) {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    if (std::strtod(buf, nullptr) == v || v != v) break;
+  }
+  return buf;
+}
+
+std::string FormatDelta(const WorkloadDelta& delta) {
+  std::string out = DeltaKindName(delta.kind);
+  if (delta.kind == DeltaKind::kBudgetChange) {
+    out += " fraction=" + FormatExactDouble(delta.budget_fraction);
+    out += " bytes=" + FormatExactDouble(delta.budget_bytes);
+    return out;
+  }
+  out += " table=" + std::to_string(delta.table);
+  out += " attrs=";
+  for (size_t u = 0; u < delta.attributes.size(); ++u) {
+    if (u != 0) out += ',';
+    out += std::to_string(delta.attributes[u]);
+  }
+  if (delta.kind != DeltaKind::kRemoveTemplate) {
+    out += " freq=" + FormatExactDouble(delta.frequency);
+  }
+  if (delta.kind == DeltaKind::kAddTemplate && delta.write) out += " write";
+  return out;
+}
+
+Result<WorkloadDelta> ParseDelta(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  if (!(in >> verb)) return Status::InvalidArgument("delta: empty line");
+
+  WorkloadDelta delta;
+  if (verb == "add") {
+    delta.kind = DeltaKind::kAddTemplate;
+  } else if (verb == "remove") {
+    delta.kind = DeltaKind::kRemoveTemplate;
+  } else if (verb == "shift") {
+    delta.kind = DeltaKind::kFrequencyShift;
+  } else if (verb == "budget") {
+    delta.kind = DeltaKind::kBudgetChange;
+  } else {
+    return Status::InvalidArgument("delta: unknown verb '" + verb + "'");
+  }
+
+  bool saw_table = false, saw_attrs = false, saw_freq = false;
+  std::string token;
+  while (in >> token) {
+    if (token == "write") {
+      if (delta.kind != DeltaKind::kAddTemplate) {
+        return Status::InvalidArgument("delta: 'write' only valid on add");
+      }
+      delta.write = true;
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("delta: bad token '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "table") {
+      delta.table =
+          static_cast<workload::TableId>(std::strtoul(value.c_str(), &end, 10));
+      if (value.empty() || *end != '\0') {
+        return Status::InvalidArgument("delta: bad table id");
+      }
+      saw_table = true;
+    } else if (key == "attrs") {
+      auto attrs = ParseAttrList(value);
+      if (!attrs.ok()) return attrs.status();
+      delta.attributes = std::move(attrs).value();
+      saw_attrs = true;
+    } else if (key == "freq") {
+      delta.frequency = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || !(delta.frequency > 0.0)) {
+        return Status::InvalidArgument("delta: freq must be positive");
+      }
+      saw_freq = true;
+    } else if (key == "fraction") {
+      delta.budget_fraction = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || delta.budget_fraction < 0.0) {
+        return Status::InvalidArgument("delta: bad budget fraction");
+      }
+    } else if (key == "bytes") {
+      delta.budget_bytes = std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0' || delta.budget_bytes < 0.0) {
+        return Status::InvalidArgument("delta: bad budget bytes");
+      }
+    } else {
+      return Status::InvalidArgument("delta: unknown key '" + key + "'");
+    }
+  }
+
+  if (delta.kind == DeltaKind::kBudgetChange) {
+    if (saw_table || saw_attrs || saw_freq) {
+      return Status::InvalidArgument("delta: budget takes no template fields");
+    }
+    return delta;
+  }
+  if (!saw_table || !saw_attrs) {
+    return Status::InvalidArgument("delta: requires table= and attrs=");
+  }
+  if (delta.kind != DeltaKind::kRemoveTemplate && !saw_freq) {
+    return Status::InvalidArgument("delta: requires freq=");
+  }
+  Canonicalize(delta.attributes);
+  return delta;
+}
+
+std::string DeltaKey(const WorkloadDelta& delta) {
+  if (delta.kind == DeltaKind::kBudgetChange) return "budget";
+  std::string key = std::to_string(delta.table) + ":";
+  for (size_t u = 0; u < delta.attributes.size(); ++u) {
+    if (u != 0) key += ',';
+    key += std::to_string(delta.attributes[u]);
+  }
+  return key;
+}
+
+Admission DeltaQueue::Push(const WorkloadDelta& delta) {
+  WorkloadDelta canonical = delta;
+  Canonicalize(canonical.attributes);
+  const std::string key = DeltaKey(canonical);
+  for (WorkloadDelta& queued : items_) {
+    if (DeltaKey(queued) != key) continue;
+    // Latest payload wins, earliest position is kept. One asymmetry: a
+    // pending add downgraded by a shift must stay an add, or the template
+    // would never materialize when it is absent from the committed state.
+    if (queued.kind == DeltaKind::kAddTemplate &&
+        canonical.kind == DeltaKind::kFrequencyShift) {
+      queued.frequency = canonical.frequency;
+    } else {
+      queued = canonical;
+    }
+    return Admission::kCoalesced;
+  }
+  if (items_.size() >= capacity_) return Admission::kShed;
+  items_.push_back(std::move(canonical));
+  return Admission::kAccepted;
+}
+
+std::vector<WorkloadDelta> DeltaQueue::Drain() {
+  std::vector<WorkloadDelta> drained = std::move(items_);
+  items_.clear();
+  return drained;
+}
+
+}  // namespace idxsel::serve

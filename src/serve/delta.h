@@ -1,0 +1,102 @@
+// Workload deltas — the ingestion protocol of idxsel::serve.
+//
+// A long-running advisor does not see workloads, it sees *drift*: templates
+// appearing and disappearing, frequencies shifting with traffic, budgets
+// renegotiated by operators (the AIM production loop — PAPERS.md). This
+// header defines the four delta kinds, their single-line wire format (the
+// service's write-ahead delta log is one FormatDelta line per accepted
+// delta, replayed on recovery — doc/serve.md), and the bounded coalescing
+// queue that is the service's admission control.
+//
+// Determinism contract: FormatDelta/ParseDelta round-trip every field
+// bit-identically (frequencies use shortest-round-trip decimals), and
+// DeltaQueue's coalescing is a pure function of the push sequence — so
+// replaying the delta log through a fresh queue reproduces the crashed
+// queue exactly. The chaos soak in tests/serve_test.cc depends on both.
+
+#ifndef IDXSEL_SERVE_DELTA_H_
+#define IDXSEL_SERVE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/workload.h"
+
+namespace idxsel::serve {
+
+/// What a delta does to the active workload.
+enum class DeltaKind {
+  kAddTemplate,     ///< new query template (or re-add: frequency set)
+  kRemoveTemplate,  ///< retire a template
+  kFrequencyShift,  ///< b_j changes for an existing template
+  kBudgetChange,    ///< new storage budget (fraction and/or bytes)
+};
+
+const char* DeltaKindName(DeltaKind kind);
+
+/// One workload delta. Template identity is (table, sorted attribute set) —
+/// the same canonicalization Workload::AddQuery applies — so a shift
+/// submitted with attributes in any order finds its template.
+struct WorkloadDelta {
+  DeltaKind kind = DeltaKind::kFrequencyShift;
+  workload::TableId table = 0;
+  std::vector<workload::AttributeId> attributes;  ///< canonicalized on push
+  double frequency = 0.0;  ///< add: initial b_j; shift: new absolute b_j
+  bool write = false;      ///< add only: template kind
+  double budget_fraction = 0.0;  ///< budget change: new w (0 = keep)
+  double budget_bytes = 0.0;     ///< budget change: explicit bytes (0 = use w)
+};
+
+/// Shortest decimal string that strtod parses back to exactly `v`
+/// ("1200", "0.1", "1234.5678900000001"); "inf"/"nan" pass through.
+std::string FormatExactDouble(double v);
+
+/// One-line wire form, e.g. "shift table=1 attrs=3,7 freq=250".
+std::string FormatDelta(const WorkloadDelta& delta);
+
+/// Inverse of FormatDelta; rejects malformed lines with InvalidArgument.
+Result<WorkloadDelta> ParseDelta(const std::string& line);
+
+/// Coalescing key: deltas with equal keys describe the same template (or
+/// the budget) and collapse to the latest submission in the queue.
+std::string DeltaKey(const WorkloadDelta& delta);
+
+/// Admission verdict for one push.
+enum class Admission {
+  kAccepted,   ///< enqueued as a new entry
+  kCoalesced,  ///< replaced an older queued delta for the same template
+  kShed,       ///< queue full: rejected, serve from the last commitment
+};
+
+/// Bounded FIFO of pending deltas with same-template coalescing — the
+/// service's admission control. Not thread-safe (the service serializes
+/// all access). Coalescing keeps the *earlier* queue position and the
+/// *later* payload; an add superseded by a shift stays an add (the
+/// template may not exist in the committed state yet) with the shifted
+/// frequency.
+class DeltaQueue {
+ public:
+  explicit DeltaQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Canonicalizes `delta`'s attribute set, then admits, coalesces, or
+  /// sheds it. Shedding can only happen to new entries: a delta that
+  /// coalesces never grows the queue and is always admitted.
+  Admission Push(const WorkloadDelta& delta);
+
+  /// Removes and returns all pending deltas in queue order.
+  std::vector<WorkloadDelta> Drain();
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  std::vector<WorkloadDelta> items_;
+};
+
+}  // namespace idxsel::serve
+
+#endif  // IDXSEL_SERVE_DELTA_H_

@@ -1,0 +1,125 @@
+#include "serve/plan.h"
+
+#include <algorithm>
+
+#include "common/float_cmp.h"
+#include "serve/delta.h"
+
+namespace idxsel::serve {
+namespace {
+
+/// Frequency-weighted solo gain of `k` over the queries that can use it.
+/// Every read is served by the engine's caches when warm — right after a
+/// selection round these are exactly the values the strategies computed.
+double SoloBenefit(costmodel::WhatIfEngine& engine, const costmodel::Index& k) {
+  const workload::Workload& w = engine.workload();
+  double benefit = 0.0;
+  for (const workload::QueryId j : w.queries_with(k.leading())) {
+    const double base = engine.BaseCost(j);
+    const double with = engine.CostWithIndex(j, k);
+    if (with < base) benefit += w.query(j).frequency * (base - with);
+  }
+  return benefit - engine.MaintenancePenalty(k);
+}
+
+struct Op {
+  costmodel::Index index;
+  double benefit = 0.0;
+  double memory = 0.0;
+};
+
+}  // namespace
+
+DeploymentPlan BuildDeploymentPlan(costmodel::WhatIfEngine& engine,
+                                   const costmodel::IndexConfig& from,
+                                   const costmodel::IndexConfig& to,
+                                   double budget) {
+  DeploymentPlan plan;
+  plan.budget = budget;
+  plan.initial_memory = engine.ConfigMemory(from);
+
+  std::vector<Op> creates, drops;
+  for (const costmodel::Index& k : to.indexes()) {
+    if (!from.Contains(k)) {
+      creates.push_back({k, SoloBenefit(engine, k), engine.IndexMemory(k)});
+    }
+  }
+  for (const costmodel::Index& k : from.indexes()) {
+    if (!to.Contains(k)) {
+      drops.push_back({k, SoloBenefit(engine, k), engine.IndexMemory(k)});
+    }
+  }
+  // Most beneficial creates first; least beneficial drops first (ties on
+  // the lexicographic index order so the plan is deterministic).
+  std::sort(creates.begin(), creates.end(), [](const Op& a, const Op& b) {
+    if (!ExactlyEqual(a.benefit, b.benefit)) return a.benefit > b.benefit;
+    return a.index < b.index;
+  });
+  std::sort(drops.begin(), drops.end(), [](const Op& a, const Op& b) {
+    if (!ExactlyEqual(a.benefit, b.benefit)) return a.benefit < b.benefit;
+    return a.index < b.index;
+  });
+
+  double memory = plan.initial_memory;
+  const double limit = budget * (1.0 + 1e-9);
+  size_t next_drop = 0;
+  auto emit_drop = [&](const Op& op) {
+    memory -= op.memory;
+    plan.steps.push_back({false, op.index, op.benefit, -op.memory, memory});
+  };
+  for (const Op& op : creates) {
+    // Make room first: the target configuration fits the budget, so
+    // dropping enough retired indexes always lets the create land.
+    while (memory + op.memory > limit && next_drop < drops.size()) {
+      emit_drop(drops[next_drop++]);
+    }
+    memory += op.memory;
+    plan.steps.push_back({true, op.index, op.benefit, op.memory, memory});
+  }
+  while (next_drop < drops.size()) emit_drop(drops[next_drop++]);
+  plan.final_memory = memory;
+  return plan;
+}
+
+Status ValidatePlanPrefixes(const DeploymentPlan& plan) {
+  const double limit = plan.budget * (1.0 + 1e-9);
+  double memory = plan.initial_memory;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    if (step.create) {
+      if (step.memory_after > limit) {
+        return Status::Infeasible(
+            "plan prefix " + std::to_string(i + 1) + " exceeds budget: " +
+            FormatExactDouble(step.memory_after) + " > " +
+            FormatExactDouble(plan.budget));
+      }
+    } else if (step.memory_after > memory) {
+      return Status::Internal("plan drop " + std::to_string(i + 1) +
+                              " increased memory");
+    }
+    memory = step.memory_after;
+  }
+  if (plan.final_memory > limit) {
+    return Status::Infeasible("plan final memory exceeds budget");
+  }
+  return Status::Ok();
+}
+
+std::string DeploymentPlan::ToString() const {
+  std::string out = "deployment plan: " + std::to_string(steps.size()) +
+                    " steps, budget " + FormatExactDouble(budget) +
+                    ", memory " + FormatExactDouble(initial_memory) + " -> " +
+                    FormatExactDouble(final_memory) + "\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& step = steps[i];
+    out += std::to_string(i + 1);
+    out += step.create ? ". CREATE " : ". DROP   ";
+    out += step.index.ToString();
+    out += "  benefit=" + FormatExactDouble(step.benefit);
+    out += " mem_after=" + FormatExactDouble(step.memory_after);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace idxsel::serve

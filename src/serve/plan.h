@@ -1,0 +1,63 @@
+// Deployment plans — ordered create/drop sequences under a budget.
+//
+// Re-selection produces a *target* configuration; a production system
+// must morph the *incumbent* into it one index at a time without ever
+// exceeding the storage budget mid-flight (Kimura et al., "Optimizing
+// Index Deployment Order" — PAPERS.md). BuildDeploymentPlan orders the
+// diff so that (a) drops are emitted exactly when needed to make room,
+// (b) the most beneficial creates land first among those that fit, and
+// (c) every plan prefix that ends in a create is within budget and every
+// drop only lowers memory — so a feasible target is reached through
+// feasible intermediate states (proof sketch in doc/serve.md: the target
+// fits the budget, so after all drops every remaining create fits too).
+
+#ifndef IDXSEL_SERVE_PLAN_H_
+#define IDXSEL_SERVE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "costmodel/index.h"
+#include "costmodel/what_if.h"
+
+namespace idxsel::serve {
+
+/// One CREATE INDEX / DROP INDEX operation.
+struct PlanStep {
+  bool create = true;
+  costmodel::Index index;
+  /// Solo benefit of the index: frequency-weighted cost reduction over
+  /// the posting-list queries of its leading attribute (cached what-if
+  /// reads; the ordering key).
+  double benefit = 0.0;
+  double memory_delta = 0.0;  ///< signed bytes (negative for drops)
+  double memory_after = 0.0;  ///< configuration size after this step
+};
+
+/// An ordered operation sequence taking `from` to `to`.
+struct DeploymentPlan {
+  std::vector<PlanStep> steps;
+  double budget = 0.0;
+  double initial_memory = 0.0;
+  double final_memory = 0.0;
+
+  /// Multi-line rendering: "1. CREATE (3,7)  benefit=... mem=...".
+  std::string ToString() const;
+};
+
+/// Diffs `from` -> `to` and orders the operations (see file comment).
+/// All costs and sizes come from `engine`'s caches where warm.
+DeploymentPlan BuildDeploymentPlan(costmodel::WhatIfEngine& engine,
+                                   const costmodel::IndexConfig& from,
+                                   const costmodel::IndexConfig& to,
+                                   double budget);
+
+/// Verifies the prefix-budget invariant: every create lands within
+/// budget (1 + 1e-9 tolerance) and every drop strictly releases memory.
+/// The chaos soak and bench assert this on every emitted plan.
+Status ValidatePlanPrefixes(const DeploymentPlan& plan);
+
+}  // namespace idxsel::serve
+
+#endif  // IDXSEL_SERVE_PLAN_H_

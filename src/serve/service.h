@@ -1,0 +1,289 @@
+// AdvisorService — the long-running, crash-safe advisor of idxsel::serve.
+//
+// Lifecycle (doc/serve.md has the full state machine):
+//
+//   Start ──recover-or-cold──► IDLE ──Submit*──► Pump ──► IDLE
+//                                │                 │
+//                                │          round fails / breaker opens
+//                                ▼                 ▼
+//                             STOPPED ◄──Stop── DEGRADED (serves last
+//                                                commitment, degraded=true)
+//
+// Each Pump() drains the bounded delta queue, applies the deltas to the
+// active workload (frequency shifts in place — the what-if caches and
+// dense kernel tables stay warm; structural changes rebuild the engine),
+// and, when drift warrants, runs one *incremental* re-selection round via
+// advisor::Recommend. A clean round commits atomically: checkpoint
+// (temp + rename + checksum), epoch journal line, deployment plan. A
+// dirty round (backend garbage detected by the engine sanitizer, or a
+// watchdog cancellation) retries under seeded-jitter backoff and
+// eventually trips the circuit breaker; the service then answers from its
+// last committed recommendation until a half-open probe heals it.
+//
+// Threading: the public API is single-caller (one pump loop); internally
+// a watchdog thread may cancel a hung round via rt::CancellationToken.
+//
+// Determinism: every durable byte (checkpoint, epoch journal) is a pure
+// function of the base workload, the accepted delta sequence, and the
+// backend's answers — never of call counts, retry timing, or thread
+// interleaving. That is what the chaos soak's byte-identity assertions
+// (tests/serve_test.cc) rest on.
+
+#ifndef IDXSEL_SERVE_SERVICE_H_
+#define IDXSEL_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "common/status.h"
+#include "costmodel/cost_model.h"
+#include "serve/backoff.h"
+#include "serve/checkpoint.h"
+#include "serve/delta.h"
+#include "serve/plan.h"
+
+namespace idxsel::serve {
+
+/// Produces the what-if backend for one incarnation of the active
+/// workload. The service re-invokes it on every structural rebuild (the
+/// workload object — and its query ids — changes), so the backend always
+/// answers for the workload the engine is asking about; frequency shifts
+/// do not rebuild, keeping the backend (and its caches upstream) warm.
+/// The returned backend is owned by the service until the next rebuild.
+using BackendFactory = std::function<std::unique_ptr<costmodel::WhatIfBackend>(
+    const workload::Workload&)>;
+
+/// Factory over the bundled Appendix-B analytic model; the returned
+/// backends own their CostModel.
+BackendFactory MakeModelBackendFactory(costmodel::CostModelParams params = {});
+
+/// Test/bench instrumentation. `at` is invoked at named points of the
+/// commit protocol ("pump-start", "round-start", "pre-commit",
+/// "checkpoint-temp-written", "journal-appended", "committed",
+/// "submit-journaled"); the chaos soak injects crashes by throwing from
+/// it. `sleep` receives backoff delays (default: actually sleeps).
+struct ServeHooks {
+  std::function<void(const char* point)> at;
+  std::function<void(double seconds)> sleep;
+};
+
+struct ServiceOptions {
+  /// Per-round advisor configuration. budget_fraction/budget_bytes seed
+  /// the service's budget state (later budget deltas override);
+  /// time_limit_seconds and cancellation are managed by the service.
+  advisor::AdvisorOptions advisor;
+
+  /// State directory for checkpoint + delta log + epoch journal. Empty =
+  /// fully in-memory (no durability, no recovery).
+  std::string dir;
+
+  size_t queue_capacity = 1024;
+
+  /// Re-select when accumulated absolute frequency drift reaches this
+  /// fraction of the workload's total frequency. 0 = every pump with
+  /// pending deltas re-selects. Structural and budget deltas always do.
+  double drift_threshold = 0.0;
+
+  /// Selection-round retry budget before the pump gives up (the breaker
+  /// may give up earlier).
+  size_t max_round_attempts = 3;
+
+  BackoffOptions backoff;
+  CircuitBreakerOptions breaker;
+
+  /// Watchdog budget per selection attempt: a round still running after
+  /// this long is cancelled via rt::CancellationToken and counted as a
+  /// failure (then retried / breaker-handled). Infinity = no watchdog.
+  double round_time_limit_seconds = std::numeric_limits<double>::infinity();
+
+  ServeHooks hooks;
+};
+
+enum class ServiceState { kIdle, kDegraded, kStopped };
+
+const char* ServiceStateName(ServiceState state);
+
+/// Monotone lifecycle counters (mirrored on idxsel.serve.* telemetry).
+struct ServeStats {
+  uint64_t deltas_accepted = 0;
+  uint64_t deltas_coalesced = 0;
+  uint64_t deltas_shed = 0;
+  uint64_t deltas_skipped = 0;  ///< unknown-template shift/remove
+  uint64_t epochs = 0;
+  uint64_t absorb_commits = 0;  ///< cursor-only checkpoints (below drift)
+  uint64_t rounds_attempted = 0;
+  uint64_t retries = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t breaker_closes = 0;
+  uint64_t watchdog_cancels = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t recoveries = 0;    ///< warm starts from a valid checkpoint
+  uint64_t cold_starts = 0;   ///< no/invalid checkpoint at Start
+  uint64_t cache_flushes = 0;
+  uint64_t engine_rebuilds = 0;  ///< structural deltas
+  uint64_t replayed_deltas = 0;
+};
+
+/// What one Pump() did.
+struct PumpOutcome {
+  uint64_t epoch = 0;      ///< committed epoch after this pump
+  bool ran_round = false;
+  bool committed = false;  ///< a new epoch was committed
+  bool degraded = false;   ///< answered/answering from stale commitment
+  uint64_t deltas_applied = 0;
+  uint64_t whatif_calls = 0;  ///< engine backend calls during this pump
+  uint64_t attempts = 0;
+  const char* note = "";  ///< "idle", "absorbed", "breaker-open", ...
+};
+
+/// The service's current answer: always available, possibly stale.
+struct ServiceAnswer {
+  uint64_t epoch = 0;
+  bool degraded = true;
+  advisor::Recommendation recommendation;
+  DeploymentPlan plan;  ///< plan that produced the incumbent
+};
+
+class AdvisorService {
+ public:
+  /// Boots the service. With a state dir, attempts recovery: a valid
+  /// checkpoint is loaded and the delta log replayed past its cursor
+  /// (stats().recoveries); a missing or rejected (truncated / corrupt /
+  /// version-skewed) checkpoint falls back to a clean cold start from
+  /// `base` (stats().cold_starts) — never an error, never a partial load.
+  static Result<std::unique_ptr<AdvisorService>> Start(
+      const workload::NamedWorkload& base, BackendFactory factory,
+      const ServiceOptions& options);
+
+  ~AdvisorService();
+  AdvisorService(const AdvisorService&) = delete;
+  AdvisorService& operator=(const AdvisorService&) = delete;
+
+  /// Admits one delta: appended to the write-ahead delta log (fsync),
+  /// then queued (coalescing with pending same-template deltas). Returns
+  /// ResourceLimit when the queue sheds it — the caller keeps getting
+  /// answers from the last commitment, flagged degraded.
+  Status Submit(const WorkloadDelta& delta);
+
+  /// Drains the queue, applies deltas, and re-selects when drift, a
+  /// structural change, a budget change, or a missing first commitment
+  /// demands it. Returns the outcome (never an error for round failures
+  /// — those degrade; errors are reserved for misuse, e.g. stopped).
+  Result<PumpOutcome> Pump();
+
+  /// Last committed recommendation + deployment plan. `degraded` is true
+  /// until the first commit, after shedding, while the breaker is not
+  /// closed, or when the committed round itself was degraded.
+  ServiceAnswer Answer() const;
+
+  ServiceState state() const { return state_; }
+  BreakerState breaker_state() const { return breaker_.state(); }
+  const ServeStats& stats() const { return stats_; }
+  const workload::Workload& workload() const { return *workload_; }
+  costmodel::WhatIfEngine& engine() { return *engine_; }
+
+  /// Graceful shutdown: closes the delta log; no new Submit/Pump.
+  /// Durable state is already on disk (commits are synchronous).
+  Status Stop();
+
+  std::string checkpoint_path() const;
+  std::string delta_log_path() const;
+  std::string epoch_log_path() const;
+
+ private:
+  struct TemplateEntry {
+    workload::TableId table = 0;
+    std::vector<workload::AttributeId> attrs;  ///< sorted unique
+    double frequency = 0.0;
+    bool write = false;
+  };
+
+  AdvisorService(const workload::NamedWorkload& base, BackendFactory factory,
+                 const ServiceOptions& options);
+
+  void Hook(const char* point);
+  void SleepFor(double seconds);
+
+  /// templates_ -> fresh Workload (+ engine). Base schema ids preserved.
+  void RebuildEngine();
+
+  /// Applies one drained delta to templates_; returns true when it was a
+  /// structural change (add/remove), false otherwise.
+  bool ApplyDelta(const WorkloadDelta& delta, bool* budget_changed);
+
+  int64_t FindTemplate(const WorkloadDelta& delta) const;
+
+  /// One selection attempt; returns the advisor result and whether this
+  /// attempt failed (error / sanitized garbage / watchdog cancel).
+  Result<advisor::Recommendation> RunRound(bool* failed,
+                                           uint64_t* sanitized_delta);
+
+  /// Commit protocol: build plan, write checkpoint + epoch journal line
+  /// atomically, advance epoch/cursor, refresh the served answer.
+  Status Commit(advisor::Recommendation rec, const char* trigger);
+
+  /// Cursor-only durability for absorbed (below-threshold) deltas.
+  Status CommitAbsorb();
+
+  Checkpoint BuildCheckpoint(bool degraded) const;
+  std::string EpochJournalLine(const advisor::Recommendation& rec,
+                               const DeploymentPlan& plan, const char* trigger,
+                               uint64_t deltas_folded) const;
+
+  // -- Recovery -------------------------------------------------------------
+  Status TryRecover();   ///< ok() = warm-started; error = caller cold-starts
+  void ColdStart();
+  Status ReplayDeltaLog(uint64_t from_line);
+  void ReconcileEpochJournal(uint64_t max_epoch);
+  Status OpenDeltaLog();
+  Status AppendDeltaLine(const std::string& line);
+  Status AppendEpochLine(const std::string& line);
+
+  // -- Immutable base -------------------------------------------------------
+  const workload::Workload base_;  ///< schema donor (tables + attributes)
+  std::vector<std::string> names_;
+  BackendFactory factory_;
+  ServiceOptions options_;
+
+  // -- Active state (declaration order is destruction-safety: the engine
+  // borrows the backend, the backend may borrow the workload) -----------
+  std::vector<TemplateEntry> templates_;
+  std::unique_ptr<workload::Workload> workload_;
+  std::unique_ptr<costmodel::WhatIfBackend> backend_;
+  std::unique_ptr<costmodel::WhatIfEngine> engine_;
+  double budget_fraction_ = 0.2;
+  double budget_bytes_ = 0.0;
+
+  // -- Commit state ---------------------------------------------------------
+  uint64_t epoch_ = 0;
+  uint64_t cursor_ = 0;     ///< delta-log lines committed
+  uint64_t log_lines_ = 0;  ///< delta-log lines accepted (ever)
+  double drift_ = 0.0;
+  bool pending_structural_ = false;
+  bool pending_budget_ = false;
+  bool pending_shift_ = false;  ///< uncommitted frequency shifts exist
+  bool shed_since_commit_ = false;
+  bool last_round_failed_ = false;
+  advisor::Recommendation committed_rec_;
+  DeploymentPlan committed_plan_;
+  bool committed_degraded_ = false;
+
+  // -- Machinery ------------------------------------------------------------
+  DeltaQueue queue_;
+  ExponentialBackoff backoff_;
+  CircuitBreaker breaker_;
+  rt::CancellationToken cancel_;
+  ServiceState state_ = ServiceState::kIdle;
+  ServeStats stats_;
+  std::FILE* delta_log_ = nullptr;
+};
+
+}  // namespace idxsel::serve
+
+#endif  // IDXSEL_SERVE_SERVICE_H_

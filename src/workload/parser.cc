@@ -1,6 +1,9 @@
 #include "workload/parser.h"
 
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -241,9 +244,16 @@ Result<std::string> FormatWorkload(const Workload& workload,
   }
   for (const Query& q : workload.queries()) {
     out += "query " + workload.table(q.table).name + " freq=";
-    std::ostringstream freq;
-    freq << q.frequency;
-    out += freq.str();
+    // Shortest decimal form that parses back to the exact double:
+    // integer-valued frequencies render as before ("1200"), while shifted
+    // frequencies from serve deltas survive a Format/Parse round trip
+    // bit-identically (checkpoint recovery depends on this).
+    char freq[32];
+    for (int digits = 15; digits <= 17; ++digits) {
+      std::snprintf(freq, sizeof(freq), "%.*g", digits, q.frequency);
+      if (std::strtod(freq, nullptr) == q.frequency) break;
+    }
+    out += freq;
     if (q.kind == QueryKind::kWrite) out += " write";
     out += " attrs=";
     for (size_t u = 0; u < q.attributes.size(); ++u) {

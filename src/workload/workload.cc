@@ -59,8 +59,17 @@ Result<QueryId> Workload::AddQuery(TableId table,
 void Workload::Finalize() {
   if (finalized_) return;
   finalized_ = true;
-  occurrence_weight_.assign(attributes_.size(), 0.0);
   queries_with_.assign(attributes_.size(), {});
+  for (QueryId j = 0; j < queries_.size(); ++j) {
+    for (AttributeId a : queries_[j].attributes) {
+      queries_with_[a].push_back(j);
+    }
+  }
+  RecomputeFrequencyStats();
+}
+
+void Workload::RecomputeFrequencyStats() {
+  occurrence_weight_.assign(attributes_.size(), 0.0);
   size_t total_width = 0;
   total_frequency_ = 0.0;
   for (QueryId j = 0; j < queries_.size(); ++j) {
@@ -69,13 +78,30 @@ void Workload::Finalize() {
     total_frequency_ += q.frequency;
     for (AttributeId a : q.attributes) {
       occurrence_weight_[a] += q.frequency;
-      queries_with_[a].push_back(j);
     }
   }
   mean_query_width_ =
       queries_.empty()
           ? 0.0
           : static_cast<double>(total_width) / static_cast<double>(queries_.size());
+}
+
+Status Workload::UpdateQueryFrequency(QueryId j, double frequency) {
+  if (!finalized_) {
+    return Status::Internal("UpdateQueryFrequency before Finalize");
+  }
+  if (j >= queries_.size()) {
+    return Status::InvalidArgument("UpdateQueryFrequency: unknown query");
+  }
+  if (!(frequency > 0.0)) {
+    return Status::InvalidArgument("query frequency must be positive");
+  }
+  queries_[j].frequency = frequency;
+  // Recompute (not patch incrementally) so the derived sums are built in
+  // exactly the same order — and therefore bit-identical — to a workload
+  // parsed fresh from a serve checkpoint holding the same frequencies.
+  RecomputeFrequencyStats();
+  return Status::Ok();
 }
 
 Status Workload::Validate() const {

@@ -88,6 +88,17 @@ class Workload {
   /// AddQuery and before any consumer runs. Idempotent.
   void Finalize();
 
+  /// Replaces b_j in place on a finalized workload and incrementally
+  /// refreshes the derived statistics that depend on it (occurrence
+  /// weights g_i, total frequency). The structural invariants — attribute
+  /// sets, posting lists, query ids — are untouched, which is what lets
+  /// idxsel::serve apply frequency-shift deltas without rebuilding the
+  /// what-if caches (per-execution costs f_j(k) are frequency-free; only
+  /// frequency-weighted aggregates change — see doc/serve.md). Requires
+  /// Finalize() to have run and frequency > 0. NOT thread-safe: callers
+  /// must quiesce every reader (engines, strategies) first.
+  Status UpdateQueryFrequency(QueryId j, double frequency);
+
   // -- Dimensions ----------------------------------------------------------
   size_t num_tables() const { return tables_.size(); }
   size_t num_attributes() const { return attributes_.size(); }
@@ -133,6 +144,11 @@ class Workload {
   std::vector<TableSchema> tables_;
   std::vector<AttributeStats> attributes_;
   std::vector<Query> queries_;
+
+  /// Rebuilds the frequency-derived sums (g_i, total frequency, q-bar)
+  /// from scratch in query order; shared by Finalize and
+  /// UpdateQueryFrequency so both paths produce bit-identical stats.
+  void RecomputeFrequencyStats();
 
   bool finalized_ = false;
   std::vector<double> occurrence_weight_;

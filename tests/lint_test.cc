@@ -100,6 +100,27 @@ TEST(LintJournalBridgeTest, SuppressionSilencesIt) {
   EXPECT_THAT(findings, IsEmpty());
 }
 
+TEST(LintLayeringTest, ServeMayUseAdvisorButNothingUsesServe) {
+  // serve sits on top of advisor (plus the transitive closure below it);
+  // the edge down into serve from any pipeline module is a violation —
+  // the service wraps the pipeline, never the other way around.
+  const auto clean = LintFiles(
+      {Src("serve/service.cc",
+           "#include \"advisor/advisor.h\"\n"
+           "#include \"costmodel/what_if.h\"\n"
+           "#include \"workload/parser.h\"\n")},
+      NoOrphan());
+  EXPECT_THAT(clean, IsEmpty());
+
+  const auto findings = LintFiles(
+      {Src("advisor/advisor.cc", "#include \"serve/service.h\"\n")},
+      NoOrphan());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "layering");
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("src/advisor"), HasSubstr("serve")));
+}
+
 TEST(LintLayeringTest, CommonDependsOnNothing) {
   const auto findings = LintFiles(
       {Src("common/status.cc", "#include \"workload/workload.h\"\n")},

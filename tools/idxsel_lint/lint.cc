@@ -98,6 +98,7 @@ const std::map<std::string, std::vector<std::string>>& LayeringDag() {
       {"advisor",
        {"common", "workload", "kernel", "costmodel", "obs", "exec", "rt",
         "audit", "candidates", "lp", "mip", "cophy", "selection", "core"}},
+      {"serve", {"common", "workload", "costmodel", "rt", "advisor"}},
   };
   return dag;
 }

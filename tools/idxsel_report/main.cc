@@ -12,6 +12,7 @@
 
 #include "idxsel_report/json.h"
 #include "idxsel_report/report.h"
+#include "serve/checkpoint.h"
 
 namespace idxsel::report {
 namespace {
@@ -19,8 +20,9 @@ namespace {
 constexpr const char* kUsage =
     "usage:\n"
     "  idxsel_report render <sidecar>...\n"
-    "      renders *.journal.jsonl, *.metrics.json or a trajectory\n"
-    "      document as text (kind sniffed from the schema field)\n"
+    "      renders *.journal.jsonl (incl. serve epoch records),\n"
+    "      *.metrics.json, a trajectory document, or a serve checkpoint\n"
+    "      as text (kind sniffed from the schema field / file magic)\n"
     "  idxsel_report diff <a> <b>\n"
     "      diffs two sidecars of the same kind; exit 0 on zero drift,\n"
     "      1 when the runs differ\n"
@@ -59,6 +61,11 @@ int Render(const std::vector<std::string>& paths) {
     if (!ReadFile(path, &body)) return 2;
     std::printf("== %s ==\n", path.c_str());
     std::string error;
+    if (body.compare(0, std::strlen(serve::kCheckpointMagic),
+                     serve::kCheckpointMagic) == 0) {
+      std::fputs(RenderServeCheckpoint(body).c_str(), stdout);
+      continue;
+    }
     if (IsJsonl(path, body)) {
       std::vector<JsonValue> records;
       if (!ParseJsonl(body, &records, &error)) {

@@ -9,6 +9,8 @@
 #include <map>
 #include <utility>
 
+#include "serve/checkpoint.h"
+
 namespace idxsel::report {
 namespace {
 
@@ -135,13 +137,18 @@ uint64_t RoundOf(const JsonValue& record) {
   return static_cast<uint64_t>(record.NumberOr("round", 0.0));
 }
 
-/// Alignment key for journal records: lane + action + round, with a
-/// disambiguating occurrence counter for repeated keys.
+/// Alignment key for journal records: lane + action + round — plus the
+/// serve epoch when present, so two serve runs diff epoch-for-epoch even
+/// when retries or absorbed pumps shift record positions. A
+/// disambiguating occurrence counter covers repeated keys.
 std::string RecordKey(const JsonValue& record,
                       std::map<std::string, size_t>* seen) {
   std::string key = record.StringOr("strategy", "?") + "/" +
                     record.StringOr("action", "?") + "/" +
                     std::to_string(RoundOf(record));
+  if (const JsonValue* epoch = record.Find("epoch")) {
+    key += "/e" + FormatNumber(epoch->number);
+  }
   const size_t occurrence = (*seen)[key]++;
   if (occurrence > 0) key += "#" + std::to_string(occurrence);
   return key;
@@ -216,6 +223,34 @@ std::string RenderJournal(const std::vector<JsonValue>& records) {
     if (sanitized != 0.0) {
       out += "  sanitized=" + FormatNumber(sanitized);
     }
+
+    // Serve epoch records (idxsel.serve.epoch.v1): trigger, folded
+    // deltas, budget, degraded flag, and a create/drop plan summary.
+    const std::string trigger = r.StringOr("trigger", "");
+    if (!trigger.empty()) out += "  trigger=" + trigger;
+    const double deltas = NumberField(r, "deltas", 0.0);
+    if (deltas != 0.0) out += "  deltas=" + FormatNumber(deltas);
+    const double budget = NumberField(r, "budget", 0.0);
+    if (budget != 0.0) out += "  budget=" + FormatNumber(budget);
+    if (const JsonValue* degraded = r.Find("degraded")) {
+      if (degraded->bool_value) out += "  DEGRADED";
+    }
+    if (const JsonValue* plan = r.Find("plan")) {
+      size_t creates = 0;
+      size_t drops = 0;
+      for (const JsonValue& step : plan->items) {
+        if (step.StringOr("op", "") == "create") {
+          ++creates;
+        } else {
+          ++drops;
+        }
+      }
+      if (creates + drops > 0) {
+        out += "  plan=" + std::to_string(creates) + "C/" +
+               std::to_string(drops) + "D";
+      }
+    }
+
     const std::string note = r.StringOr("note", "");
     if (!note.empty()) out += "  (" + note + ")";
     out += "\n";
@@ -276,6 +311,48 @@ std::string RenderTrajectory(const JsonValue& doc) {
   std::snprintf(buf, sizeof buf, "  process peak rss: %.1f MB\n",
                 doc.NumberOr("peak_rss_kb", 0.0) / 1024.0);
   out += buf;
+  return out;
+}
+
+std::string RenderServeCheckpoint(const std::string& body) {
+  auto parsed = serve::DeserializeCheckpoint(body);
+  if (!parsed.ok()) {
+    return "REJECTED checkpoint: " + parsed.status().ToString() + "\n";
+  }
+  const serve::Checkpoint& cp = parsed.value();
+  std::string out;
+  out += "serve checkpoint (verified)\n";
+  out += "  epoch:      " + std::to_string(cp.epoch) + "\n";
+  out += "  cursor:     " + std::to_string(cp.cursor) + " delta-log lines\n";
+  out += "  budget:     fraction " + FormatNumber(cp.budget_fraction);
+  if (cp.budget_bytes > 0.0) {
+    out += ", " + FormatNumber(cp.budget_bytes) + " bytes";
+  }
+  out += "\n";
+  out += "  drift:      " + FormatNumber(cp.drift) + "\n";
+  out += "  objective:  " + FormatNumber(cp.cost_before) + " -> " +
+         FormatNumber(cp.cost_after) + "\n";
+  out += "  memory:     " + FormatNumber(cp.memory) + "\n";
+  if (cp.degraded) out += "  DEGRADED commitment\n";
+  out += "  selection:  " + std::to_string(cp.selection.size()) +
+         " indexes  " + cp.selection.ToString() + "\n";
+  if (!cp.plan.steps.empty()) {
+    out += "  plan (budget " + FormatNumber(cp.plan.budget) + ", memory " +
+           FormatNumber(cp.plan.initial_memory) + " -> " +
+           FormatNumber(cp.plan.final_memory) + "):\n";
+    for (size_t i = 0; i < cp.plan.steps.size(); ++i) {
+      const serve::PlanStep& step = cp.plan.steps[i];
+      out += "    " + std::to_string(i + 1) + ". " +
+             (step.create ? "CREATE " : "DROP   ") + step.index.ToString() +
+             "  benefit=" + FormatNumber(step.benefit) +
+             "  mem_after=" + FormatNumber(step.memory_after) + "\n";
+    }
+  }
+  const size_t workload_lines =
+      static_cast<size_t>(std::count(cp.workload_text.begin(),
+                                     cp.workload_text.end(), '\n'));
+  out += "  workload:   " + std::to_string(cp.workload_text.size()) +
+         " bytes, " + std::to_string(workload_lines) + " lines\n";
   return out;
 }
 
@@ -412,6 +489,12 @@ TrajectoryCheckResult CheckTrajectory(const JsonValue& current,
     exact("h6", "steps");
     exact("h6", "whatif_calls");
     exact("portfolio", "whatif_calls");
+    // Serve-layer work metrics (cold first commit + warm incremental
+    // round, threads=1) are deterministic too — PR 7 adds them to every
+    // trajectory point.
+    exact("serve", "cold_whatif_calls");
+    exact("serve", "incremental_whatif_calls");
+    exact("serve", "epoch");
     {
       const JsonValue* cg = p.Find("portfolio");
       const JsonValue* bg = base.Find("portfolio");

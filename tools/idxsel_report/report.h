@@ -2,10 +2,13 @@
 //
 // Three commands over the repo's own JSON documents:
 //
-//   render            *.journal.jsonl (schema idxsel.journal.v1),
-//                     *.metrics.json (idxsel.metrics.v1) and
+//   render            *.journal.jsonl (schema idxsel.journal.v1, which
+//                     includes serve's idxsel.serve.epoch.v1 records),
+//                     *.metrics.json (idxsel.metrics.v1),
 //                     BENCH_trajectory.json (idxsel.bench_trajectory.v1)
-//                     as human-readable text
+//                     and serve checkpoint files (idxsel.serve.checkpoint
+//                     magic, parsed + checksum-verified by the serve
+//                     library itself) as human-readable text
 //   diff              two runs' sidecars; reports changed picks, costs
 //                     and timings. Identical inputs report zero drift.
 //   check-trajectory  a fresh bench_trajectory.json against the
@@ -42,7 +45,14 @@ std::string RenderMetrics(const JsonValue& doc);
 /// Human-readable trajectory document: one line per (N, Q) point.
 std::string RenderTrajectory(const JsonValue& doc);
 
-/// Journal diff: aligns records by (strategy, action, round) and reports
+/// Human-readable serve checkpoint: parses `body` with the serve
+/// library's DeserializeCheckpoint (checksum + version verified) and
+/// renders epoch, cursor, budget, objectives, selection, and the
+/// deployment plan. Corrupt input renders the rejection reason instead.
+std::string RenderServeCheckpoint(const std::string& body);
+
+/// Journal diff: aligns records by (strategy, action, round, epoch) and
+/// reports
 /// changed winners (picks), changed objectives (costs), and any other
 /// field drift. Sets *drift when the journals differ at all.
 std::string DiffJournals(const std::vector<JsonValue>& a,
