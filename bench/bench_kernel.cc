@@ -12,9 +12,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <new>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "bench_common.h"
 #include "common/format.h"
 #include "kernel/kernel.h"
+#include "kernel/simd.h"
 #include "obs/report.h"
 
 // ------------------------------------------------- allocation accounting
@@ -162,6 +165,172 @@ LookupResult LookupMicrobench(costmodel::WhatIfEngine& engine,
   return result;
 }
 
+// ------------------------------------------- SIMD cost-reduction leg
+
+bool AssertMode() {
+  const char* v = std::getenv("IDXSEL_BENCH_ASSERT");
+  return v != nullptr && v[0] == '1';
+}
+
+/// splitmix64: deterministic fill for the microbench blocks.
+uint64_t Mix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct SimdResult {
+  double benefit_ref_ns = 0.0;    ///< branchy serial loop (pre-SIMD shape)
+  double benefit_simd_ns = 0.0;   ///< dispatched exact reduction
+  double benefit_scalar_ns = 0.0; ///< scalar template (forced)
+  double sum_ref_ns = 0.0;
+  double sum_simd_ns = 0.0;
+  double sum_relaxed_ns = 0.0;    ///< opt-in reassociated shape
+  uint64_t elements = 0;
+};
+
+/// The dense cost-reduction path before this layer existed: one branch
+/// per element on data crafted to mispredict (~50/50 random gain signs,
+/// random NaN-unset slots) — exactly the pattern an H6 move evaluation
+/// streams through. The SIMD leg must beat this by >= 2x on an AVX2 host
+/// (asserted under IDXSEL_BENCH_ASSERT=1); the branchless blends are the
+/// point, not just the lane width.
+double BranchyBenefit(const double* costs, const uint32_t* qids,
+                      const double* best, const double* freq, size_t n) {
+  double acc = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double gain = best[qids[t]] - costs[t];
+    if (gain > 0.0) acc += freq[qids[t]] * gain;
+  }
+  return acc;
+}
+
+double BranchySum(const double* row, size_t n) {
+  double acc = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (!std::isnan(row[t])) acc += row[t];
+  }
+  return acc;
+}
+
+SimdResult SimdMicrobench() {
+  constexpr size_t kBlock = 1u << 16;  // L2-resident: measures the ALUs,
+                                       // not DRAM
+  constexpr size_t kNumQueries = 256;  // best/freq stay L1-resident
+  const uint64_t passes = FullMode() ? 1200 : 300;
+
+  std::vector<double> costs(kBlock), row(kBlock);
+  std::vector<double> best(kNumQueries), freq(kNumQueries);
+  std::vector<uint32_t> qids(kBlock);
+  uint64_t rng = 0xb41c4ull;
+  for (size_t j = 0; j < kNumQueries; ++j) {
+    best[j] = 64.0 + static_cast<double>(Mix64(rng) % 1024) / 8.0;
+    freq[j] = 1.0 + static_cast<double>(Mix64(rng) % 32);
+  }
+  for (size_t t = 0; t < kBlock; ++t) {
+    // Costs straddle the best[] range -> gain signs flip unpredictably.
+    costs[t] = static_cast<double>(Mix64(rng) % 2048) / 8.0;
+    qids[t] = static_cast<uint32_t>(Mix64(rng) % kNumQueries);
+    const uint64_t r = Mix64(rng);
+    row[t] = (r & 3u) == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : static_cast<double>(r % 4096) / 16.0;
+  }
+
+  SimdResult result;
+  result.elements = passes * kBlock;
+  const double denom = static_cast<double>(result.elements);
+  double sink = 0.0;
+
+  const auto time_leg = [&](auto&& fn) {
+    const double start = NowSeconds();
+    for (uint64_t p = 0; p < passes; ++p) sink += fn();
+    return (NowSeconds() - start) * 1e9 / denom;
+  };
+
+  result.benefit_ref_ns = time_leg([&] {
+    return BranchyBenefit(costs.data(), qids.data(), best.data(), freq.data(),
+                          kBlock);
+  });
+  result.benefit_simd_ns = time_leg([&] {
+    return kernel::simd::ReduceBenefitIndexed(costs.data(), qids.data(),
+                                              best.data(), freq.data(),
+                                              kBlock);
+  });
+  {
+    kernel::simd::ScopedForceScalar pin(true);
+    result.benefit_scalar_ns = time_leg([&] {
+      return kernel::simd::ReduceBenefitIndexed(costs.data(), qids.data(),
+                                                best.data(), freq.data(),
+                                                kBlock);
+    });
+  }
+  result.sum_ref_ns = time_leg([&] { return BranchySum(row.data(), kBlock); });
+  result.sum_simd_ns =
+      time_leg([&] { return kernel::simd::SumSetSlots(row.data(), kBlock); });
+  {
+    kernel::simd::ScopedRelaxed relaxed(true);
+    result.sum_relaxed_ns =
+        time_leg([&] { return kernel::simd::SumSetSlots(row.data(), kBlock); });
+  }
+  if (sink == -1.0) std::printf("unreachable\n");
+
+  // The exact-mode legs are not just fast, they are the *same number* as
+  // the branchy loop — recheck the contract on the bench's own data.
+  const double ref =
+      BranchyBenefit(costs.data(), qids.data(), best.data(), freq.data(),
+                     kBlock);
+  const double simd = kernel::simd::ReduceBenefitIndexed(
+      costs.data(), qids.data(), best.data(), freq.data(), kBlock);
+  if (std::memcmp(&ref, &simd, sizeof ref) != 0) {
+    std::fprintf(stderr,
+                 "bench_kernel: SIMD exact reduction diverged from the "
+                 "serial loop (%.17g vs %.17g)\n",
+                 ref, simd);
+    std::exit(1);
+  }
+  return result;
+}
+
+// ------------------------------------- QueryMasks allocation accounting
+
+/// QueryMasks construction is allocation-lean by contract (kernel.h): a
+/// fixed number of container reservations, never a per-query temporary.
+/// Build masks for two workload sizes and compare global-new deltas: the
+/// counts must be equal (size-independent) and tiny.
+struct MaskAllocResult {
+  uint64_t small_allocs = 0;
+  uint64_t large_allocs = 0;
+  size_t small_queries = 0;
+  size_t large_queries = 0;
+};
+
+MaskAllocResult QueryMasksAllocMicrobench() {
+  const auto measure = [](const workload::Workload& w) {
+    const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    kernel::QueryMasks masks(w);
+    const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    // Keep the object alive across the read so nothing is elided.
+    if (masks.posting_size(0) == ~size_t{0}) std::printf("unreachable\n");
+    return after - before;
+  };
+  workload::ScalableWorkloadParams params;
+  params.num_tables = 2;
+  params.attributes_per_table = 20;
+  params.queries_per_table = 25;
+  const workload::Workload small = workload::GenerateScalableWorkload(params);
+  params.attributes_per_table = 50;
+  params.queries_per_table = 200;
+  const workload::Workload large = workload::GenerateScalableWorkload(params);
+
+  MaskAllocResult result;
+  result.small_queries = small.num_queries();
+  result.large_queries = large.num_queries();
+  result.small_allocs = measure(small);
+  result.large_allocs = measure(large);
+  return result;
+}
+
 // --------------------------------------------------- H6 step latency
 
 struct H6Stats {
@@ -224,7 +393,8 @@ H6Stats RunH6(costmodel::WhatIfEngine& engine, double budget, int reps) {
 
 std::string JsonDocument(const workload::Workload& w, double budget_w,
                          const LookupResult& lookup, const H6Stats& kernel,
-                         const H6Stats& legacy) {
+                         const H6Stats& legacy, const SimdResult& simd,
+                         const MaskAllocResult& mask_allocs) {
   const double steps_per_rep =
       kernel.step_ms.empty() ? 0.0 : static_cast<double>(kernel.step_ms.size());
   const double legacy_steps_per_rep =
@@ -278,6 +448,30 @@ std::string JsonDocument(const workload::Workload& w, double budget_w,
   };
   h6_block("h6_kernel", kernel, steps_per_rep);
   h6_block("h6_legacy", legacy, legacy_steps_per_rep);
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"simd\": {\"level\": \"%s\", \"elements\": %llu, "
+      "\"benefit_ref_ns\": %.2f, \"benefit_simd_ns\": %.2f, "
+      "\"benefit_scalar_ns\": %.2f, \"benefit_speedup\": %.2f, "
+      "\"sum_ref_ns\": %.2f, \"sum_simd_ns\": %.2f, "
+      "\"sum_relaxed_ns\": %.2f, \"sum_speedup\": %.2f},\n",
+      kernel::simd::LevelName(kernel::simd::ActiveLevel()),
+      static_cast<unsigned long long>(simd.elements), simd.benefit_ref_ns,
+      simd.benefit_simd_ns, simd.benefit_scalar_ns,
+      simd.benefit_simd_ns > 0.0 ? simd.benefit_ref_ns / simd.benefit_simd_ns
+                                 : 0.0,
+      simd.sum_ref_ns, simd.sum_simd_ns, simd.sum_relaxed_ns,
+      simd.sum_simd_ns > 0.0 ? simd.sum_ref_ns / simd.sum_simd_ns : 0.0);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  \"querymasks\": {\"small_queries\": %zu, \"small_allocs\": %llu, "
+      "\"large_queries\": %zu, \"large_allocs\": %llu},\n",
+      mask_allocs.small_queries,
+      static_cast<unsigned long long>(mask_allocs.small_allocs),
+      mask_allocs.large_queries,
+      static_cast<unsigned long long>(mask_allocs.large_allocs));
+  out += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"speedup\": {\"p50\": %.2f, \"p95\": %.2f, "
                 "\"mean\": %.2f}\n}\n",
@@ -369,8 +563,58 @@ void Run() {
           Percentile(kernel_stats.step_ms, 0.50),
       Mean(legacy_stats.step_ms) / Mean(kernel_stats.step_ms));
 
-  const std::string json =
-      JsonDocument(w, budget_w, lookup, kernel_stats, legacy_stats);
+  // SIMD cost-reduction leg: dispatched vector reduction vs the branchy
+  // serial loop it replaced, on mispredict-hostile data.
+  const SimdResult simd = SimdMicrobench();
+  const double benefit_speedup = simd.benefit_simd_ns > 0.0
+                                     ? simd.benefit_ref_ns /
+                                           simd.benefit_simd_ns
+                                     : 0.0;
+  const double sum_speedup =
+      simd.sum_simd_ns > 0.0 ? simd.sum_ref_ns / simd.sum_simd_ns : 0.0;
+  std::printf(
+      "simd cost reduction (%s, %llu elems): benefit %.2f -> %.2f ns/elem "
+      "(%.2fx, scalar template %.2f), row sum %.2f -> %.2f ns/elem "
+      "(%.2fx, relaxed %.2f)\n",
+      kernel::simd::LevelName(kernel::simd::ActiveLevel()),
+      static_cast<unsigned long long>(simd.elements), simd.benefit_ref_ns,
+      simd.benefit_simd_ns, benefit_speedup, simd.benefit_scalar_ns,
+      simd.sum_ref_ns, simd.sum_simd_ns, sum_speedup, simd.sum_relaxed_ns);
+
+  // QueryMasks allocation contract: fixed reservation count, independent
+  // of workload size.
+  const MaskAllocResult mask_allocs = QueryMasksAllocMicrobench();
+  std::printf(
+      "querymasks construction: %llu allocs @ %zu queries, %llu allocs @ "
+      "%zu queries (contract: equal and tiny)\n\n",
+      static_cast<unsigned long long>(mask_allocs.small_allocs),
+      mask_allocs.small_queries,
+      static_cast<unsigned long long>(mask_allocs.large_allocs),
+      mask_allocs.large_queries);
+
+  if (AssertMode()) {
+    if (kernel::simd::ActiveLevel() == kernel::simd::Level::kAvx2 &&
+        benefit_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "bench_kernel: FAIL simd benefit reduction %.2fx < 2x "
+                   "over the scalar dense cost-reduction path\n",
+                   benefit_speedup);
+      std::exit(1);
+    }
+    if (mask_allocs.small_allocs != mask_allocs.large_allocs ||
+        mask_allocs.small_allocs > 8) {
+      std::fprintf(stderr,
+                   "bench_kernel: FAIL QueryMasks allocations not "
+                   "size-independent (%llu vs %llu) or not tiny — a "
+                   "per-query temporary crept back into construction\n",
+                   static_cast<unsigned long long>(mask_allocs.small_allocs),
+                   static_cast<unsigned long long>(mask_allocs.large_allocs));
+      std::exit(1);
+    }
+  }
+
+  const std::string json = JsonDocument(w, budget_w, lookup, kernel_stats,
+                                        legacy_stats, simd, mask_allocs);
   WriteJson("bench_kernel.json", json);
   WriteJson("BENCH_kernel.json", json);
 }

@@ -28,6 +28,9 @@
 #include "advisor/advisor.h"
 #include "bench_common.h"
 #include "common/format.h"
+#include "kernel/kernel.h"
+#include "kernel/simd.h"
+#include "obs/report.h"
 #include "obs/resource.h"
 #include "serve/service.h"
 
@@ -97,12 +100,23 @@ struct ServePoint {
   double seconds = 0.0;  ///< incremental pump wall seconds
 };
 
+struct KernelSimdPoint {
+  uint64_t fast_path_hits = 0;    ///< dense-row resolutions (deterministic)
+  uint64_t fallback_lookups = 0;  ///< keyed-cache demotions (deterministic)
+  uint64_t filtered_queries = 0;  ///< mask-filtered slots (deterministic)
+  /// 1 iff a forced-scalar rerun reproduced the native-dispatch run
+  /// exactly (steps, what-if calls, final objective) — the trajectory's
+  /// standing record that the SIMD layer stayed bit-identical.
+  uint64_t dispatch_identical = 1;
+};
+
 struct TrajectoryPoint {
   size_t n = 0;
   size_t q = 0;
   H6Point h6;
   PortfolioPoint portfolio;
   ServePoint serve;
+  KernelSimdPoint kernel_simd;
   uint64_t peak_rss_kb = 0;  ///< process high-water after this point
 };
 
@@ -213,9 +227,54 @@ ServePoint RunServe(const workload::Workload& w, double budget) {
   return point;
 }
 
+/// One serial kernel-on H6 per dispatch pin (native, then forced
+/// scalar), each on a fresh engine: records the kernel counters of the
+/// native run and whether the scalar rerun was work-identical. All four
+/// fields are deterministic, so check-trajectory gates them exactly.
+KernelSimdPoint RunKernelSimd(const workload::Workload& w, double budget) {
+  KernelSimdPoint point;
+  core::RecursiveOptions options;
+  options.budget = budget;
+  options.threads = 1;
+  struct Signature {
+    size_t steps = 0;
+    uint64_t whatif_calls = 0;
+    double objective = 0.0;
+  } sig[2];
+  for (int pin = 0; pin < 2; ++pin) {
+    kernel::ScopedKernelEnabled kernel_on(true);
+    kernel::simd::ScopedForceScalar scalar(pin == 1);
+    ModelSetup setup(w);
+    obs::RunScope scope("bench_trajectory.kernel_simd");
+    const core::RecursiveResult r = core::SelectRecursive(*setup.engine,
+                                                          options);
+    const obs::RunReport report = scope.Finish();
+    sig[pin].steps = r.trace.size();
+    sig[pin].whatif_calls = r.whatif_calls;
+    sig[pin].objective =
+        r.trace.empty() ? 0.0 : r.trace.back().objective_after;
+    if (pin == 0) {
+      const auto counter = [&](const char* name) -> uint64_t {
+        const auto it = report.metrics.counters.find(name);
+        return it == report.metrics.counters.end() ? 0 : it->second;
+      };
+      point.fast_path_hits = counter("idxsel.kernel.fast_path_hits");
+      point.fallback_lookups = counter("idxsel.kernel.fallback_lookups");
+      point.filtered_queries = counter("idxsel.kernel.filtered_queries");
+    }
+  }
+  point.dispatch_identical =
+      (sig[0].steps == sig[1].steps &&
+       sig[0].whatif_calls == sig[1].whatif_calls &&
+       sig[0].objective == sig[1].objective)
+          ? 1
+          : 0;
+  return point;
+}
+
 std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
                          double budget_w, int reps, uint64_t peak_rss_kb) {
-  char buf[512];
+  char buf[768];
   std::string out = "{\n" + SidecarHeaderJson("idxsel.bench_trajectory.v1");
   std::snprintf(buf, sizeof buf, "  \"budget_w\": %.2f,\n  \"reps\": %d,\n",
                 budget_w, reps);
@@ -236,6 +295,9 @@ std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
         "     \"serve\": {\"cold_whatif_calls\": %llu, "
         "\"incremental_whatif_calls\": %llu, \"epoch\": %llu, "
         "\"seconds\": %.6f},\n"
+        "     \"kernel_simd\": {\"fast_path_hits\": %llu, "
+        "\"fallback_lookups\": %llu, \"filtered_queries\": %llu, "
+        "\"dispatch_identical\": %llu},\n"
         "     \"peak_rss_kb\": %llu}",
         p.n, p.q, static_cast<unsigned long long>(p.h6.steps),
         static_cast<unsigned long long>(p.h6.whatif_calls), p.h6.seconds,
@@ -246,6 +308,10 @@ std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
         static_cast<unsigned long long>(p.serve.cold_whatif_calls),
         static_cast<unsigned long long>(p.serve.incremental_whatif_calls),
         static_cast<unsigned long long>(p.serve.epoch), p.serve.seconds,
+        static_cast<unsigned long long>(p.kernel_simd.fast_path_hits),
+        static_cast<unsigned long long>(p.kernel_simd.fallback_lookups),
+        static_cast<unsigned long long>(p.kernel_simd.filtered_queries),
+        static_cast<unsigned long long>(p.kernel_simd.dispatch_identical),
         static_cast<unsigned long long>(p.peak_rss_kb));
     out += buf;
   }
@@ -303,6 +369,7 @@ void Run() {
     }
     point.portfolio = RunPortfolio(w, budget);
     point.serve = RunServe(w, budget);
+    point.kernel_simd = RunKernelSimd(w, budget);
     point.peak_rss_kb = static_cast<uint64_t>(sampler.Delta().peak_rss_kb);
     points.push_back(point);
 

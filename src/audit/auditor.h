@@ -17,6 +17,13 @@
 //   AuditPostingLists  Workload::queries_with(a) is strictly ascending and
 //                      every listed query references a — the sortedness
 //                      the posting-list cursors and dense slots rely on
+//   AuditSimd          SIMD-vs-scalar cross-validation: every kernel/simd.h
+//                      op must return bit-identical results from the AVX2
+//                      path, the scalar template, and an independently
+//                      written serial reference — over deterministic
+//                      synthetic blocks and over the live dense rows /
+//                      query masks (default exact mode; relaxed mode is
+//                      pinned off for the duration of the pass)
 //
 // Cost: one pass over the dense tables and postings, read-only peeks only
 // (never computes, never touches stats), so an audit pass cannot perturb
@@ -111,9 +118,11 @@ class InvariantAuditor {
   AuditReport AuditCostTables() const;
   AuditReport AuditArenaMasks() const;
   AuditReport AuditPostingLists() const;
+  AuditReport AuditSimd() const;
 
-  /// Every pass (cost tables and arena masks only when the dense kernel
-  /// state is active), merged.
+  /// Every pass (cost tables, arena masks, and the live-row half of the
+  /// SIMD cross-validation only when the dense kernel state is active),
+  /// merged.
   AuditReport AuditAll() const;
 
   /// Aborts with every retained violation on stderr when the report is

@@ -15,6 +15,10 @@
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
 
+#if defined(IDXSEL_KERNEL)
+#include "kernel/simd.h"
+#endif
+
 namespace idxsel::core {
 namespace {
 
@@ -99,11 +103,27 @@ struct AppendScratch {
   std::vector<workload::AttributeId> touched;
   uint64_t current = 0;
 
+  // Batched-evaluation lane state: per-attribute CSR bookkeeping plus the
+  // flat per-unit buffers the simd reductions stream. Capacity persists
+  // across units and rounds — the steady state stays allocation-free.
+  std::vector<uint32_t> count;     ///< CSR entries per touched attribute
+  std::vector<uint32_t> offset;    ///< CSR segment start per attribute
+  std::vector<uint32_t> kept;      ///< slots surviving the mask filter
+  std::vector<uint32_t> covered;   ///< confirmed fully-covered slots
+  std::vector<workload::QueryId> cov_qid;  ///< posting[slot] per entry
+  std::vector<double> cov_cw;      ///< CostWithout per covered entry
+  std::vector<uint32_t> slot_csr;  ///< (attr, entry) -> slot, attr-grouped
+  std::vector<workload::QueryId> qid_csr;
+  std::vector<double> cw_csr;
+  std::vector<double> batch;       ///< gathered candidate-row costs
+
   void Begin(size_t num_attributes) {
     if (benefit.size() < num_attributes) {
       benefit.resize(num_attributes);
       ext_id.resize(num_attributes);
       epoch.resize(num_attributes, 0);
+      count.resize(num_attributes);
+      offset.resize(num_attributes);
     }
     ++current;
     touched.clear();
@@ -160,6 +180,10 @@ class Runner {
     best_owner_.assign(w_.num_queries(), kNoOwner);
     single_costs_.resize(w_.num_attributes());
     single_costs_ready_.assign(w_.num_attributes(), 0);
+    freq_.resize(w_.num_queries());
+    for (workload::QueryId j = 0; j < w_.num_queries(); ++j) {
+      freq_[j] = w_.query(j).frequency;
+    }
 #if defined(IDXSEL_KERNEL)
     if (use_kernel_) {
       // Intern every single-attribute index up front: ids become
@@ -574,10 +598,11 @@ class Runner {
     objective_ += w_.query(j).frequency * (b1 - old_best);
   }
 
-  /// Cached per-attribute (query, f_j({i})) lists; the engine is consulted
-  /// once per pair, every later step reads the flat array.
-  const std::vector<std::pair<workload::QueryId, double>>& SingleCosts(
-      workload::AttributeId i) {
+  /// Cached per-attribute f_j({i}) cost arrays, SoA-aligned with the
+  /// posting list w_.queries_with(i) (element s belongs to posting[s]);
+  /// the engine is consulted once per pair, every later step reads the
+  /// flat array — and the benefit reduction streams it 4 lanes at a time.
+  const std::vector<double>& SingleCosts(workload::AttributeId i) {
     if (!single_costs_ready_[i]) {
       single_costs_ready_[i] = 1;
       auto& list = single_costs_[i];
@@ -590,15 +615,15 @@ class Runner {
         // {i}'s dense row, which every later step reads hash-free.
         const kernel::IndexId id = single_ids_[i];
         for (uint32_t s = 0; s < posting.size(); ++s) {
-          list.emplace_back(posting[s],
-                            engine_.CostWithIndexDense(posting[s], id, s));
+          list.push_back(
+              engine_.CostWithIndexDense(posting[s], id, s));
         }
         return list;
       }
 #endif
       const Index k(i);
       for (workload::QueryId j : posting) {
-        list.emplace_back(j, engine_.CostWithIndex(j, k));
+        list.push_back(engine_.CostWithIndex(j, k));
       }
     }
     return single_costs_[i];
@@ -717,12 +742,23 @@ class Runner {
   /// Benefit of creating single-attribute index {i} against the current
   /// state: sum_j b_j max(0, best_cost_j - f_j({i})).
   double SingleBenefit(workload::AttributeId i) {
+    const std::vector<double>& costs = SingleCosts(i);
+    const auto& posting = w_.queries_with(i);
+#if defined(IDXSEL_KERNEL)
+    // Vectorized reduction; in default (non-relaxed) mode bit-identical
+    // to the serial loop below, so kernel-off runs may use it too.
+    return kernel::simd::ReduceBenefitIndexed(costs.data(), posting.data(),
+                                              best_cost_.data(), freq_.data(),
+                                              costs.size());
+#else
     double benefit = 0.0;
-    for (const auto& [j, cost] : SingleCosts(i)) {
-      const double gain = best_cost_[j] - cost;
-      if (gain > 0.0) benefit += w_.query(j).frequency * gain;
+    for (size_t s = 0; s < costs.size(); ++s) {
+      const workload::QueryId j = posting[s];
+      const double gain = best_cost_[j] - costs[s];
+      if (gain > 0.0) benefit += freq_[j] * gain;
     }
     return benefit;
+#endif
   }
 
   /// Step 2's ranking of single-attribute indexes, reused for Remark 1(1).
@@ -863,12 +899,27 @@ class Runner {
         best, runner_up);
   }
 
-  /// Kernel-mode step (3b). Same loop structure, FP accumulation order,
-  /// and engine call sequence as EvaluateAppends; the differences are
-  /// layout only — the full-cover test is a mask subset check, benefits
-  /// accumulate in flat per-attribute scratch instead of hash maps,
-  /// extensions are interned ids, and cost lookups ride the posting-list
-  /// slot straight into the dense row.
+  /// Kernel-mode step (3b), batched. Same move set, values, and engine
+  /// accounting as EvaluateAppends, restructured around the simd layer:
+  ///
+  ///   1. the full-cover test (attrs(k) subset of q_j) streams 4 query
+  ///      masks per step over the posting-order mirror
+  ///      (simd::FilterMasks); lossy-mask hits are still confirmed on the
+  ///      tuple;
+  ///   2. one discovery pass interns extensions in the legacy first-touch
+  ///      order and lays the affected (slot, query, cost-without) triples
+  ///      out as a per-candidate CSR, ascending slots per candidate —
+  ///      exactly the legacy per-candidate accumulation order;
+  ///   3. when every candidate row is warm (the steady state: round r-1
+  ///      filled them), each candidate is costed in one
+  ///      CostWithIndexBatch pass over its dense row and reduced by
+  ///      simd::ReduceAppendBenefit — bit-identical benefits in default
+  ///      mode, identical bulk stats, zero backend interaction;
+  ///   4. ANY cold slot demotes the whole unit to the legacy query-outer
+  ///      loop, so backend calls (and rt::FaultInjectingBackend's PRNG
+  ///      stream) keep the exact historical order. Per-candidate
+  ///      fallback would regroup calls candidate-by-candidate — that is
+  ///      why the demotion is all-or-nothing per unit.
   void EvaluateAppendsKernel(Move* best, Move* runner_up) {
     const kernel::IndexArena& arena = engine_.arena();
     const kernel::QueryMasks& qmasks = engine_.query_masks();
@@ -882,45 +933,131 @@ class Runner {
           const uint64_t kmask = arena.mask(kid);
           AppendScratch& scratch = AppendScratch::Local();
           scratch.Begin(w_.num_attributes());
-          uint64_t filtered = 0;
-          const auto& posting = w_.queries_with(arena.leading(kid));
-          for (uint32_t s = 0; s < posting.size(); ++s) {
+          const workload::AttributeId lead = arena.leading(kid);
+          const auto& posting = w_.queries_with(lead);
+
+          // (1) mask full-cover filter, 4 query masks per step.
+          if (scratch.kept.size() < posting.size()) {
+            scratch.kept.resize(posting.size());
+          }
+          const size_t kept_n = kernel::simd::FilterMasks(
+              qmasks.posting_masks(lead), posting.size(), kmask,
+              scratch.kept.data());
+          if (kept_n != posting.size()) {
+            kernel_filtered_.fetch_add(posting.size() - kept_n,
+                                       std::memory_order_relaxed);
+          }
+
+          // (2) discovery: confirm lossy-mask hits, snapshot
+          // cost-without, intern extensions (first-touch order — id
+          // assignment identical to the legacy interleaved loop), count
+          // CSR entries.
+          scratch.covered.clear();
+          scratch.cov_qid.clear();
+          scratch.cov_cw.clear();
+          size_t total_pairs = 0;
+          for (size_t t = 0; t < kept_n; ++t) {
+            const uint32_t s = scratch.kept[t];
             const workload::QueryId j = posting[s];
-            // Full cover (CoverablePrefixLength == width, i.e. attrs(k)
-            // a subset of q_j) as a mask test: a missed bit is a
-            // definitive reject; a hit is definitive too when masks are
-            // exact and is confirmed on the tuple otherwise.
-            if ((kmask & ~qmasks.mask(j)) != 0) {
-              ++filtered;
-              continue;
-            }
             const auto& q_attrs = w_.query(j).attributes;
             if (!qmasks.exact() &&
                 selected_[pos].CoverablePrefixLength(q_attrs) != kwidth) {
               continue;
             }
-            const double cost_without = CostWithout(j, pos);
+            scratch.covered.push_back(s);
+            scratch.cov_qid.push_back(j);
+            scratch.cov_cw.push_back(CostWithout(j, pos));
             for (workload::AttributeId a : q_attrs) {
               if (arena.Contains(kid, a)) continue;
               if (scratch.epoch[a] != scratch.current) {
                 scratch.epoch[a] = scratch.current;
                 scratch.benefit[a] = 0.0;
+                scratch.count[a] = 0;
                 scratch.ext_id[a] = engine_.arena().InternAppend(kid, a);
                 scratch.touched.push_back(a);
               }
-              // The extension keeps k's leading attribute, so it shares
-              // k's posting list and `s` is also its dense row slot.
-              const double new_cost =
-                  std::min(cost_without,
-                           engine_.CostWithIndexDense(j, scratch.ext_id[a],
-                                                      s));
-              scratch.benefit[a] +=
-                  w_.query(j).frequency * (best_cost_[j] - new_cost);
+              ++scratch.count[a];
+              ++total_pairs;
             }
           }
-          if (filtered != 0) {
-            kernel_filtered_.fetch_add(filtered, std::memory_order_relaxed);
+
+          if (!scratch.touched.empty()) {
+            // (2b) CSR offsets, then an ascending-slot fill per candidate
+            // (count doubles as the fill cursor and ends back at the
+            // segment length).
+            uint32_t csr_acc = 0;
+            for (workload::AttributeId a : scratch.touched) {
+              scratch.offset[a] = csr_acc;
+              csr_acc += scratch.count[a];
+              scratch.count[a] = 0;
+            }
+            if (scratch.slot_csr.size() < total_pairs) {
+              scratch.slot_csr.resize(total_pairs);
+              scratch.qid_csr.resize(total_pairs);
+              scratch.cw_csr.resize(total_pairs);
+              scratch.batch.resize(total_pairs);
+            }
+            for (size_t e = 0; e < scratch.covered.size(); ++e) {
+              const workload::QueryId j = scratch.cov_qid[e];
+              for (workload::AttributeId a : w_.query(j).attributes) {
+                if (arena.Contains(kid, a)) continue;
+                const uint32_t idx = scratch.offset[a] + scratch.count[a]++;
+                scratch.slot_csr[idx] = scratch.covered[e];
+                scratch.qid_csr[idx] = j;
+                scratch.cw_csr[idx] = scratch.cov_cw[e];
+              }
+            }
+
+            // (3) warmth peek — raw reads, no accounting, so a cold
+            // candidate leaves nothing to compensate before the fallback.
+            bool all_warm = true;
+            for (workload::AttributeId a : scratch.touched) {
+              if (!engine_.PeekDenseCostBlock(
+                      scratch.ext_id[a],
+                      scratch.slot_csr.data() + scratch.offset[a],
+                      scratch.count[a],
+                      scratch.batch.data() + scratch.offset[a])) {
+                all_warm = false;
+                break;
+              }
+            }
+
+            if (all_warm) {
+              // (3a) batched what-if + vector reduction per candidate.
+              for (workload::AttributeId a : scratch.touched) {
+                const uint32_t off = scratch.offset[a];
+                const uint32_t cnt = scratch.count[a];
+                const bool warm = engine_.CostWithIndexBatch(
+                    scratch.ext_id[a], scratch.slot_csr.data() + off, cnt,
+                    scratch.batch.data() + off);
+                // Slots only ever transition unset -> set within a round.
+                IDXSEL_DCHECK(warm);
+                scratch.benefit[a] = kernel::simd::ReduceAppendBenefit(
+                    scratch.batch.data() + off, scratch.cw_csr.data() + off,
+                    scratch.qid_csr.data() + off, best_cost_.data(),
+                    freq_.data(), cnt);
+              }
+            } else {
+              // (3b) whole-unit legacy order: query-outer,
+              // attribute-inner, per-call dense lookups. The extension
+              // keeps k's leading attribute, so it shares k's posting
+              // list and the covered slot is also its dense row slot.
+              for (size_t e = 0; e < scratch.covered.size(); ++e) {
+                const uint32_t s = scratch.covered[e];
+                const workload::QueryId j = scratch.cov_qid[e];
+                const double cost_without = scratch.cov_cw[e];
+                for (workload::AttributeId a : w_.query(j).attributes) {
+                  if (arena.Contains(kid, a)) continue;
+                  const double new_cost = std::min(
+                      cost_without,
+                      engine_.CostWithIndexDense(j, scratch.ext_id[a], s));
+                  scratch.benefit[a] +=
+                      freq_[j] * (best_cost_[j] - new_cost);
+                }
+              }
+            }
           }
+
           std::sort(scratch.touched.begin(), scratch.touched.end());
           for (workload::AttributeId a : scratch.touched) {
             const kernel::IndexId eid = scratch.ext_id[a];
@@ -1243,16 +1380,25 @@ class Runner {
           arena.attrs(move.after_id)[rwidth];
       const uint64_t abit = kernel::AttrBit(first_appended);
       affected_scratch_.clear();
-      uint64_t filtered = 0;
-      for (workload::QueryId j :
-           w_.queries_with(arena.leading(replaced_id))) {
-        // Affected = constrains the first appended attribute AND fully
-        // covers the replaced index — one combined mask subset test, with
-        // tuple confirmation only when masks are lossy.
-        if (((rmask | abit) & ~qmasks.mask(j)) != 0) {
-          ++filtered;
-          continue;
-        }
+      // Affected = constrains the first appended attribute AND fully
+      // covers the replaced index — one combined mask subset test, 4
+      // masks per step over the posting-order mirror, with tuple
+      // confirmation only when masks are lossy.
+      const workload::AttributeId rlead = arena.leading(replaced_id);
+      const auto& posting = w_.queries_with(rlead);
+      if (commit_kept_.size() < posting.size()) {
+        commit_kept_.resize(posting.size());
+      }
+      const size_t kept_n =
+          kernel::simd::FilterMasks(qmasks.posting_masks(rlead),
+                                    posting.size(), rmask | abit,
+                                    commit_kept_.data());
+      if (kept_n != posting.size()) {
+        kernel_filtered_.fetch_add(posting.size() - kept_n,
+                                   std::memory_order_relaxed);
+      }
+      for (size_t t = 0; t < kept_n; ++t) {
+        const workload::QueryId j = posting[commit_kept_[t]];
         if (!qmasks.exact()) {
           const auto& q_attrs = w_.query(j).attributes;
           if (!std::binary_search(q_attrs.begin(), q_attrs.end(),
@@ -1262,9 +1408,6 @@ class Runner {
           }
         }
         affected_scratch_.push_back(j);
-      }
-      if (filtered != 0) {
-        kernel_filtered_.fetch_add(filtered, std::memory_order_relaxed);
       }
       selected_[move.selected_pos] = move.after;
       selected_ids_[move.selected_pos] = move.after_id;
@@ -1496,8 +1639,14 @@ class Runner {
   std::vector<double> second_cost_;
   std::vector<size_t> best_owner_;
   std::vector<workload::AttributeId> eligible_singles_;
-  std::vector<std::vector<std::pair<workload::QueryId, double>>> single_costs_;
+#if defined(IDXSEL_KERNEL)
+  std::vector<uint32_t> commit_kept_;  ///< CommitKernel filter scratch
+#endif
+  std::vector<std::vector<double>> single_costs_;  ///< posting-order SoA
   std::vector<char> single_costs_ready_;
+  /// b_j per query, flat — the gather table of the simd reductions
+  /// (workload::Query::frequency sits inside an AoS Query record).
+  std::vector<double> freq_;
   std::vector<workload::QueryId> affected_scratch_;
   // Move buffers of EvaluateUnits, members so steady-state rounds reuse
   // their capacity instead of reallocating per round.

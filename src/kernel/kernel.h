@@ -118,6 +118,12 @@ inline uint64_t MaskOf(const AttributeId* attrs, size_t n) {
 /// attribute set. Otherwise masks are conservative filters: subset /
 /// membership tests that fail on the mask are definitive, successes must
 /// be confirmed against the sorted attribute list.
+///
+/// Construction is allocation-lean by contract: masks are computed from
+/// the workload's attribute spans in place (one reservation for the
+/// per-query table, two for the posting-order mirror below — never a
+/// per-query temporary), which bench_kernel asserts by counting global
+/// allocations across two workload sizes.
 class QueryMasks {
  public:
   explicit QueryMasks(const workload::Workload& w)
@@ -126,6 +132,24 @@ class QueryMasks {
     for (QueryId j = 0; j < w.num_queries(); ++j) {
       const auto& attrs = w.query(j).attributes;
       masks_.push_back(MaskOf(attrs.data(), attrs.size()));
+    }
+    // Posting-order mirror: for every attribute, the masks of its posting
+    // list (Workload::queries_with) packed contiguously, CSR-style. The
+    // selector's affected-query filters walk posting lists, so this is
+    // the layout the 4-wide simd::FilterMasks streams — one load per
+    // block instead of a per-query indirection through masks_.
+    posting_offsets_.reserve(w.num_attributes() + 1);
+    size_t total = 0;
+    for (AttributeId a = 0; a < w.num_attributes(); ++a) {
+      posting_offsets_.push_back(total);
+      total += w.queries_with(a).size();
+    }
+    posting_offsets_.push_back(total);
+    posting_masks_.reserve(total);
+    for (AttributeId a = 0; a < w.num_attributes(); ++a) {
+      for (const QueryId j : w.queries_with(a)) {
+        posting_masks_.push_back(masks_[j]);
+      }
     }
   }
 
@@ -138,8 +162,21 @@ class QueryMasks {
     return (masks_[j] & AttrBit(a)) == 0;
   }
 
+  /// Masks of attribute `a`'s posting list in posting order — element s
+  /// is mask(queries_with(a)[s]). Contiguous: feed to simd::FilterMasks.
+  const uint64_t* posting_masks(AttributeId a) const {
+    return posting_masks_.data() + posting_offsets_[a];
+  }
+
+  /// Length of the posting_masks(a) span (== queries_with(a).size()).
+  size_t posting_size(AttributeId a) const {
+    return posting_offsets_[a + 1] - posting_offsets_[a];
+  }
+
  private:
   std::vector<uint64_t> masks_;
+  std::vector<uint64_t> posting_masks_;  ///< CSR payload, posting order
+  std::vector<size_t> posting_offsets_;  ///< CSR offsets, num_attributes+1
   bool exact_;
 };
 
@@ -311,6 +348,19 @@ class DenseCostTable {
   /// first touch.
   void Put(IndexId id, uint32_t slot, uint32_t row_len, double value);
 
+  /// Borrowed view of one id's row for bulk reads (batched what-if
+  /// evaluation, audit sweeps). `values` is null when the row does not
+  /// exist yet. Stable for the table's lifetime.
+  struct RowView {
+    const std::atomic<double>* values = nullptr;
+    uint32_t len = 0;
+  };
+  RowView ViewRow(IndexId id) const {
+    const Row* row = FindRow(id);
+    if (row == nullptr) return {};
+    return {row->values.get(), row->len};
+  }
+
   /// Copies every set slot of `from`'s row into *unset* slots of `to`'s
   /// row (both rows share the posting list: same leading attribute).
   /// Used on H6 append commits: f_j(k ⊕ a) == f_j(k) for every query
@@ -348,6 +398,22 @@ class DenseCostTable {
   std::atomic<std::atomic<Row*>*> blocks_[kMaxBlocks] = {};
   std::vector<std::unique_ptr<Row>> rows_;  // ownership (under mu_)
 };
+
+/// Reinterprets a dense row's atomic storage as a plain double stream for
+/// the simd layer's vector loads/gathers. Sound under the kernel's
+/// publication discipline: row slots are relaxed atomics only so that
+/// racing writers of the *same* deterministic value never conflict; every
+/// bulk read happens strictly after the slots it touches were published
+/// (same thread, or through the exec::ThreadPool barriers), and
+/// std::atomic<double> is lock-free and layout-identical to double on
+/// every supported target (checked below).
+inline const double* RawValues(const std::atomic<double>* values) {
+  static_assert(sizeof(std::atomic<double>) == sizeof(double),
+                "dense rows must be plain doubles under the hood");
+  static_assert(std::atomic<double>::is_always_lock_free,
+                "dense rows must be lock-free for bulk reads");
+  return reinterpret_cast<const double*>(values);
+}
 
 }  // namespace idxsel::kernel
 

@@ -1,0 +1,16 @@
+// AVX2 instantiation of the idxsel::kernel::simd implementation template.
+//
+// The ONLY translation unit in the project compiled with -mavx2 (see
+// src/kernel/CMakeLists.txt): everything else must stay portable, so a
+// binary built on an AVX2 machine still starts on one without it and
+// simply dispatches to the scalar template. Consequently nothing in this
+// file may be reached before simd::ActiveLevel() said kAvx2 — simd.cc is
+// the sole caller and enforces exactly that.
+//
+// idxsel-lint: allow(simd-confinement) reason=this is the confined AVX2 TU
+
+#define IDXSEL_SIMD_IMPL_NAMESPACE avx2_impl
+#define IDXSEL_SIMD_IMPL_AVX2 1
+#include "kernel/simd_impl.h"
+#undef IDXSEL_SIMD_IMPL_NAMESPACE
+#undef IDXSEL_SIMD_IMPL_AVX2

@@ -100,6 +100,72 @@ TEST(LintJournalBridgeTest, SuppressionSilencesIt) {
   EXPECT_THAT(findings, IsEmpty());
 }
 
+// -- L1 companion: simd confinement -----------------------------------------
+
+TEST(LintSimdConfinementTest, IntrinsicsHeaderOutsideKernelSimdIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("core/recursive_selector.cc", "#include <immintrin.h>\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"simd-confinement"});
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("immintrin.h"), HasSubstr("kernel/simd.h")));
+}
+
+TEST(LintSimdConfinementTest, RawIntrinsicCallIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("costmodel/what_if.cc",
+           "double f(const double* p) {\n"
+           "  return _mm256_cvtsd_f64(_mm256_castpd256_pd128(v));\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"simd-confinement"});
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_THAT(findings[0].message, HasSubstr("IDXSEL_FORCE_SCALAR"));
+}
+
+TEST(LintSimdConfinementTest, ImplTemplateIncludeOutsideKernelSimdIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("audit/auditor.cc", "#include \"kernel/simd_impl.h\"\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"simd-confinement"});
+  EXPECT_THAT(findings[0].message, HasSubstr("implementation template"));
+}
+
+TEST(LintSimdConfinementTest, BenchAndTestScopesAreCoveredToo) {
+  const auto findings = LintFiles(
+      {{"repo/bench/bench_kernel.cc", "#include <immintrin.h>\n"},
+       {"repo/tests/simd_test.cc", "void f() { __m128d v; }\n"}},
+      NoOrphan());
+  EXPECT_EQ(Checks(findings),
+            (std::vector<std::string>{"simd-confinement", "simd-confinement"}));
+}
+
+TEST(LintSimdConfinementTest, KernelSimdFilesAndDispatchCallersAreClean) {
+  const auto findings = LintFiles(
+      {Src("kernel/simd_avx2.cc",
+           "#include <immintrin.h>\n"
+           "#include \"kernel/simd_impl.h\"\n"
+           "__m256d f(const double* p) { return _mm256_loadu_pd(p); }\n"),
+       Src("kernel/simd_impl.h", "__m128i g();\n"),
+       Src("core/recursive_selector.cc",
+           "#include \"kernel/simd.h\"\n"
+           "double h(const double* r, unsigned long n) {\n"
+           "  return kernel::simd::SumSetSlots(r, n);\n"
+           "}\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSimdConfinementTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.cc",
+           "// idxsel-lint: allow(simd-confinement) reason=doc example\n"
+           "void f() { __m256d v; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
 TEST(LintLayeringTest, ServeMayUseAdvisorButNothingUsesServe) {
   // serve sits on top of advisor (plus the transitive closure below it);
   // the edge down into serve from any pipeline module is a violation —

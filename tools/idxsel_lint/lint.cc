@@ -511,6 +511,80 @@ void CheckJournalBridge(Context* ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// L1 companion: vector intrinsics stay behind the dispatch layer
+
+/// The only files allowed to touch intrinsics: src/kernel/simd.h,
+/// simd.cc, simd_impl.h, simd_avx2.cc.
+bool SimdConfined(const FileView& f) {
+  return f.scope == Scope::kSrc && f.module == "kernel" && !f.segs.empty() &&
+         f.segs.back().rfind("simd", 0) == 0;
+}
+
+/// Occurrences of `token` in `s` at identifier-start boundaries (the
+/// token is a prefix: intrinsic names continue past it, so FindWord's
+/// trailing boundary would never match).
+bool HasPrefixWord(const std::string& s, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    if (pos == 0 || !IsIdentChar(s[pos - 1])) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+/// Raw SIMD intrinsics (immintrin.h and friends, _mm*/__m* names) and
+/// the implementation template simd_impl.h are confined to
+/// src/kernel/simd*; everything else calls the dispatched entry points
+/// in kernel/simd.h. A stray intrinsic elsewhere either breaks the
+/// portable build (only simd_avx2.cc is compiled with -mavx2) or
+/// silently bypasses the runtime cpuid dispatch and the force-scalar
+/// test pin — see doc/cost_model.md ("SIMD under the kernel").
+void CheckSimdConfinement(Context* ctx) {
+  static const char* kIntrinsicHeaders[] = {
+      "immintrin.h", "x86intrin.h", "emmintrin.h", "xmmintrin.h",
+      "pmmintrin.h", "smmintrin.h", "tmmintrin.h", "nmmintrin.h",
+      "wmmintrin.h", "avxintrin.h", "arm_neon.h"};
+  static const char* kIntrinsicTokens[] = {"_mm512_", "_mm256_", "_mm_",
+                                           "__m512", "__m256", "__m128"};
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || SimdConfined(f)) continue;
+    for (const auto& [line, inc] : f.includes) {
+      if (inc == "kernel/simd_impl.h" || inc == "simd_impl.h") {
+        ctx->Report(f, line, "simd-confinement",
+                    "simd_impl.h is the implementation template of the "
+                    "dispatch layer; only src/kernel/simd* may include it — "
+                    "call the entry points in kernel/simd.h instead");
+      }
+    }
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      bool hit = false;
+      for (const char* h : kIntrinsicHeaders) {
+        if (s.find(h) != std::string::npos) {
+          ctx->Report(f, static_cast<int>(l + 1), "simd-confinement",
+                      std::string("intrinsics header <") + h +
+                          "> outside src/kernel/simd*; use the dispatched "
+                          "entry points in kernel/simd.h");
+          hit = true;
+          break;
+        }
+      }
+      if (hit) continue;
+      for (const char* t : kIntrinsicTokens) {
+        if (HasPrefixWord(s, t)) {
+          ctx->Report(f, static_cast<int>(l + 1), "simd-confinement",
+                      std::string("raw SIMD intrinsic '") + t +
+                          "...' outside src/kernel/simd*; vector code lives "
+                          "behind the kernel/simd.h dispatch so the scalar "
+                          "fallback and IDXSEL_FORCE_SCALAR stay honest");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // L2: determinism
 
 bool DeterminismScoped(const FileView& f) {
@@ -1006,7 +1080,7 @@ void ApplySuppressions(Context* ctx) {
 const std::vector<std::string>& KnownChecks() {
   static const std::vector<std::string> checks = {
       "layering",          "include-cycle",
-      "journal-bridge",
+      "journal-bridge",    "simd-confinement",
       "determinism-random", "determinism-clock",
       "unordered-iter",    "double-compare",
       "missing-check-include", "orphan-source",
@@ -1033,6 +1107,7 @@ std::vector<Finding> LintFiles(const std::vector<FileInput>& files,
   CheckLayering(&ctx);
   CheckIncludeCycles(&ctx);
   CheckJournalBridge(&ctx);
+  CheckSimdConfinement(&ctx);
   CheckRandom(&ctx);
   CheckClock(&ctx);
   CheckUnorderedIter(&ctx);
