@@ -6,6 +6,10 @@
 // winner, serve call counts) next to the timing-dependent ones
 // (steps/sec, wall seconds, allocations/step from a global operator-new
 // tally) plus the process peak RSS (obs::ResourceSampler / getrusage).
+// A second, 100x-scale ladder (T in {1k, 10k, 50k} tables) drives the
+// sharded advisor path (idxsel::shard, doc/sharding.md) next to the
+// classic unsharded one and records the `shard` group: shards used,
+// arbiter rounds, compression ratio, and wall seconds per leg.
 //
 // Emits `bench_trajectory.json` (sidecar) and `BENCH_trajectory.json`
 // (same document; run the binary from the repo root to refresh the
@@ -21,6 +25,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <string>
 #include <vector>
@@ -33,6 +38,7 @@
 #include "obs/report.h"
 #include "obs/resource.h"
 #include "serve/service.h"
+#include "shard/sharded_selector.h"
 
 // ------------------------------------------------- allocation accounting
 
@@ -272,7 +278,113 @@ KernelSimdPoint RunKernelSimd(const workload::Workload& w, double budget) {
   return point;
 }
 
+// ------------------------------------------------------ sharded ladder
+
+/// One 100x-scale rung: T tables through the sharded advisor path
+/// (idxsel::shard, doc/sharding.md), optionally next to the classic
+/// unsharded path on the same workload for the wall-clock comparison.
+struct ShardScale {
+  size_t tables;
+  size_t attributes_per_table;
+  size_t queries_per_table;
+  bool unsharded_leg;  ///< false once the unsharded path stops being CI-feasible
+};
+
+struct ShardPoint {
+  size_t tables = 0;
+  size_t templates = 0;
+  // Deterministic work metrics (gated exactly by check-trajectory).
+  uint64_t shards = 0;              ///< shards the arbiter drove
+  uint64_t arbiter_rounds = 0;      ///< global commit rounds
+  uint64_t steps = 0;               ///< committed construction steps
+  uint64_t whatif_calls = 0;        ///< advisor-level calls, sharded leg
+  uint64_t queries_full = 0;        ///< templates before compression
+  uint64_t queries_compressed = 0;  ///< templates the shards actually priced
+  // Timing-dependent (reported, not gated).
+  double compression_ratio = 1.0;  ///< compressed / full (derived)
+  double sharded_seconds = 0.0;
+  double unsharded_seconds = 0.0;  ///< 0 when the leg was skipped
+  double speedup = 0.0;            ///< unsharded / sharded (0 when skipped)
+};
+
+/// Runs one rung end-to-end through advisor::Recommend — the same entry
+/// point production callers use — with `shards` pinned so the rung does
+/// not depend on the auto-shard threshold. Shard-count-dependent work
+/// numbers are read back from the idxsel.shard.* telemetry counters via
+/// an obs::RunScope, exactly as production telemetry would see them.
+/// threads=0 lets both legs use every core (exec::ResolveThreads), so the
+/// wall-clock comparison is parallel-vs-parallel, not a thread handicap.
+ShardPoint RunShard(const ShardScale& scale, double budget_w) {
+  ShardPoint point;
+  workload::ScalableWorkloadParams params;
+  params.num_tables = static_cast<uint32_t>(scale.tables);
+  params.attributes_per_table =
+      static_cast<uint32_t>(scale.attributes_per_table);
+  params.queries_per_table = static_cast<uint32_t>(scale.queries_per_table);
+  // Linear row growth reaches 5e10 rows at T=50k; cap per-table size so
+  // the cost model stays in its intended regime while T keeps scaling.
+  params.rows_per_table_cap = 10'000'000;
+  const workload::Workload w = workload::GenerateScalableWorkload(params);
+  point.tables = w.num_tables();
+  point.templates = w.num_queries();
+
+  advisor::AdvisorOptions options;
+  options.strategy = advisor::StrategyKind::kRecursive;
+  options.threads = 0;  // auto
+  options.recursive.max_steps = 200;
+  {
+    const costmodel::CostModel model(&w);
+    options.budget_bytes = model.Budget(budget_w);
+  }
+
+  {  // Sharded leg: pinned shard count, dedup compression.
+    options.shards = 64;
+    options.shard_compression.mode = workload::CompressionMode::kDedup;
+    ModelSetup setup(w);
+    obs::RunScope scope("bench_trajectory.shard");
+    const double start = NowSeconds();
+    const auto rec = advisor::Recommend(*setup.engine, options);
+    point.sharded_seconds = NowSeconds() - start;
+    const obs::RunReport report = scope.Finish();
+    if (rec.ok()) {
+      point.steps = rec->trace.size();
+      point.whatif_calls = rec->whatif_calls;
+    }
+    const auto counter = [&](const char* name) -> uint64_t {
+      const auto it = report.metrics.counters.find(name);
+      return it == report.metrics.counters.end() ? 0 : it->second;
+    };
+    point.shards = counter("idxsel.shard.shards");
+    point.arbiter_rounds = counter("idxsel.shard.arbiter_rounds");
+    point.queries_full = w.num_queries();
+    // The telemetry counter tallies queries *saved* by compression;
+    // report the template count the shards actually priced.
+    point.queries_compressed =
+        point.queries_full - counter("idxsel.shard.queries_compressed");
+    if (point.queries_full > 0) {
+      point.compression_ratio =
+          static_cast<double>(point.queries_compressed) /
+          static_cast<double>(point.queries_full);
+    }
+  }
+
+  if (scale.unsharded_leg) {  // Classic path, same workload and budget.
+    options.shards = 0;
+    options.shard_auto_min_tables = std::numeric_limits<size_t>::max();
+    ModelSetup setup(w);
+    const double start = NowSeconds();
+    const auto rec = advisor::Recommend(*setup.engine, options);
+    point.unsharded_seconds = NowSeconds() - start;
+    (void)rec;
+    if (point.sharded_seconds > 0.0) {
+      point.speedup = point.unsharded_seconds / point.sharded_seconds;
+    }
+  }
+  return point;
+}
+
 std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
+                         const std::vector<ShardPoint>& shard_points,
                          double budget_w, int reps, uint64_t peak_rss_kb) {
   char buf[768];
   std::string out = "{\n" + SidecarHeaderJson("idxsel.bench_trajectory.v1");
@@ -313,6 +425,31 @@ std::string JsonDocument(const std::vector<TrajectoryPoint>& points,
         static_cast<unsigned long long>(p.kernel_simd.filtered_queries),
         static_cast<unsigned long long>(p.kernel_simd.dispatch_identical),
         static_cast<unsigned long long>(p.peak_rss_kb));
+    out += buf;
+  }
+  out += "\n  ],\n";
+  out += "  \"shard_points\": [";
+  first = true;
+  for (const ShardPoint& p : shard_points) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"tables\": %zu, \"templates\": %zu,\n"
+        "     \"shard\": {\"shards\": %llu, \"arbiter_rounds\": %llu, "
+        "\"steps\": %llu, \"whatif_calls\": %llu, "
+        "\"queries_full\": %llu, \"queries_compressed\": %llu, "
+        "\"compression_ratio\": %.6f,\n"
+        "      \"sharded_seconds\": %.6f, \"unsharded_seconds\": %.6f, "
+        "\"speedup\": %.3f}}",
+        p.tables, p.templates, static_cast<unsigned long long>(p.shards),
+        static_cast<unsigned long long>(p.arbiter_rounds),
+        static_cast<unsigned long long>(p.steps),
+        static_cast<unsigned long long>(p.whatif_calls),
+        static_cast<unsigned long long>(p.queries_full),
+        static_cast<unsigned long long>(p.queries_compressed),
+        p.compression_ratio, p.sharded_seconds, p.unsharded_seconds,
+        p.speedup);
     out += buf;
   }
   out += "\n  ],\n";
@@ -388,11 +525,62 @@ void Run() {
   }
   std::printf("%s\n", table.ToString().c_str());
 
+  // 100x-scale sharded ladder (idxsel::shard). The top rung — 50k tables,
+  // 200k templates, full mode only — is the standing proof that the
+  // sharded advisor path finishes a 100x-scale workload end-to-end. The
+  // unsharded leg rides along while it stays CI-feasible (drop a rung's
+  // flag once it is not). Under IDXSEL_BENCH_ASSERT=1 the sharded path
+  // must beat the unsharded one wall-clock on every rung that has both
+  // legs (T >= 1k).
+  std::vector<ShardScale> shard_ladder = {{1000, 8, 5, true},
+                                          {10000, 8, 4, true}};
+  if (FullMode()) shard_ladder.push_back({50000, 6, 4, true});
+
+  std::printf("Sharded ladder: %zu rungs through the sharded advisor path "
+              "(64 shards, dedup compression, auto threads).\n\n",
+              shard_ladder.size());
+  std::vector<ShardPoint> shard_points;
+  TablePrinter shard_table({"tables", "templates", "shards", "rounds",
+                            "steps", "what-if calls", "compress",
+                            "sharded s", "unsharded s", "speedup"});
+  bool assert_failed = false;
+  for (const ShardScale& scale : shard_ladder) {
+    const ShardPoint point = RunShard(scale, budget_w);
+    shard_points.push_back(point);
+    shard_table.AddRow(
+        {FormatCount(static_cast<int64_t>(point.tables)),
+         FormatCount(static_cast<int64_t>(point.templates)),
+         std::to_string(point.shards), std::to_string(point.arbiter_rounds),
+         std::to_string(point.steps),
+         FormatCount(static_cast<int64_t>(point.whatif_calls)),
+         FormatDouble(point.compression_ratio, 3),
+         FormatDouble(point.sharded_seconds, 3),
+         scale.unsharded_leg ? FormatDouble(point.unsharded_seconds, 3) : "-",
+         scale.unsharded_leg ? FormatDouble(point.speedup, 2) + "x" : "-"});
+    if (scale.unsharded_leg &&
+        point.sharded_seconds >= point.unsharded_seconds) {
+      assert_failed = true;
+      std::fprintf(stderr,
+                   "ASSERT shard: sharded %.3fs did not beat unsharded "
+                   "%.3fs at T=%zu\n",
+                   point.sharded_seconds, point.unsharded_seconds,
+                   point.tables);
+    }
+  }
+  std::printf("%s\n", shard_table.ToString().c_str());
+
   const uint64_t peak_rss_kb =
       static_cast<uint64_t>(sampler.Delta().peak_rss_kb);
-  const std::string json = JsonDocument(points, budget_w, reps, peak_rss_kb);
+  const std::string json =
+      JsonDocument(points, shard_points, budget_w, reps, peak_rss_kb);
   WriteJson("bench_trajectory.json", json);
   WriteJson("BENCH_trajectory.json", json);
+
+  if (assert_failed && std::getenv("IDXSEL_BENCH_ASSERT") != nullptr &&
+      std::getenv("IDXSEL_BENCH_ASSERT")[0] == '1') {
+    std::fprintf(stderr, "bench_trajectory: shard assertions failed\n");
+    std::exit(1);
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <utility>
 
@@ -23,6 +24,54 @@ bool NeedsCandidates(StrategyKind kind) {
   return kind != StrategyKind::kRecursive;
 }
 
+/// True iff `recursive` is plain Algorithm 1 — the configuration whose
+/// per-table decomposition the sharded path reproduces exactly. Every
+/// Remark-1/2 extension either couples tables through non-move state
+/// (swap_repair, existing/reconfiguration), changes the candidate set
+/// globally (n_best_singles), or re-evaluates across the whole selection
+/// (multi_index_eval) — those run unsharded.
+bool PlainRecursive(const core::RecursiveOptions& recursive) {
+  return !recursive.prune_unused && !recursive.pair_steps &&
+         !recursive.swap_repair && !recursive.multi_index_eval &&
+         recursive.n_best_singles == std::numeric_limits<size_t>::max() &&
+         recursive.existing == nullptr && recursive.reconfiguration == nullptr;
+}
+
+size_t QueryBearingTables(const workload::Workload& w) {
+  std::vector<char> has_queries(w.num_tables(), 0);
+  for (const workload::Query& q : w.queries()) has_queries[q.table] = 1;
+  size_t n = 0;
+  for (char h : has_queries) n += h != 0;
+  return n;
+}
+
+}  // namespace
+
+size_t ResolveShardCount(const AdvisorOptions& options,
+                         const workload::Workload& w) {
+  if (options.strategy != StrategyKind::kRecursive ||
+      !options.portfolio.empty() || !PlainRecursive(options.recursive)) {
+    return 0;
+  }
+  const size_t query_bearing = QueryBearingTables(w);
+  if (query_bearing == 0) return 0;
+  if (options.shards != 0) return std::min(options.shards, query_bearing);
+  if (const char* env = std::getenv("IDXSEL_SHARDS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min(static_cast<size_t>(parsed), query_bearing);
+    }
+    return 0;  // IDXSEL_SHARDS=0 (or garbage) disables auto sharding
+  }
+  if (query_bearing >= options.shard_auto_min_tables) {
+    return std::min<size_t>(64, query_bearing);
+  }
+  return 0;
+}
+
+namespace {
+
 /// What one strategy lane produced. `hard_error` marks a failure that is
 /// neither a clean finish nor an anytime timeout (e.g. solver breakdown):
 /// in single-strategy mode it may surface as Recommend()'s error; in a
@@ -32,19 +81,54 @@ struct StrategyOutcome {
   Status status;
   std::vector<core::ConstructionStep> trace;
   bool hard_error = false;
+  /// Strategy-private engines saw backend garbage (sharded path: the
+  /// global engine's health cannot see shard-engine sanitization).
+  bool degraded = false;
+  /// Backend calls issued by strategy-private engines (sharded path);
+  /// the global engine's own counter misses them.
+  uint64_t extra_whatif_calls = 0;
 };
 
 /// Runs one strategy to completion. Thread-safe: WhatIfEngine is
 /// concurrency-safe and each lane owns its outcome; `candidate_set` is
-/// shared read-only.
+/// shared read-only. `shard_count` > 0 routes a kRecursive lane through
+/// idxsel::shard (single-lane mode only — Recommend() resolves it to 0
+/// for portfolio races); `cost_before` is F(empty), which the sharded
+/// arbiter reuses as its objective baseline for degenerate shardings.
 StrategyOutcome RunStrategy(WhatIfEngine& engine, StrategyKind kind,
                             const AdvisorOptions& options, double budget,
                             const candidates::CandidateSet& candidate_set,
                             const rt::Deadline& deadline,
-                            bool advisor_bounded, size_t threads) {
+                            bool advisor_bounded, size_t threads,
+                            size_t shard_count, double cost_before) {
   StrategyOutcome out;
   switch (kind) {
     case StrategyKind::kRecursive: {
+      if (shard_count > 0) {
+        const rt::Deadline& effective =
+            advisor_bounded ? deadline : options.recursive.deadline;
+        shard::ShardedResult result;
+        if (options.shard_session != nullptr) {
+          result = options.shard_session->Select(budget, cost_before,
+                                                 effective);
+        } else {
+          shard::ShardedOptions sharded;
+          sharded.shards = shard_count;
+          sharded.threads = threads;
+          sharded.max_steps = options.recursive.max_steps;
+          sharded.min_ratio = options.recursive.min_ratio;
+          sharded.max_index_width = options.recursive.max_index_width;
+          sharded.compression = options.shard_compression;
+          result = shard::SelectSharded(engine, sharded, budget, cost_before,
+                                        effective);
+        }
+        out.selection = std::move(result.selection);
+        out.trace = std::move(result.trace);
+        out.status = std::move(result.status);
+        out.degraded = result.degraded;
+        out.extra_whatif_calls = result.whatif_calls;
+        break;
+      }
       core::RecursiveOptions recursive = options.recursive;
       recursive.budget = budget;
       recursive.threads = threads;
@@ -195,6 +279,8 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
 
   rec.cost_before = engine.WorkloadCost(IndexConfig{});
   const uint64_t calls_before = engine.stats().calls;
+  bool strategy_degraded = false;
+  uint64_t extra_whatif_calls = 0;
   Stopwatch watch;
 
   // Scoped so the span closes (and lands in the tracer) before the run
@@ -225,6 +311,7 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
         lane_order.push_back(key);
       }
     };
+    add_unique("shard");  // arbiter records of a sharded kRecursive lane
     add_unique("mip");
     add_unique("h1");  // fallback records
     add_unique("advisor");
@@ -249,15 +336,19 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   }
 
   if (lanes.size() == 1) {
+    const size_t shard_count = ResolveShardCount(options, engine.workload());
     StrategyOutcome out =
         RunStrategy(engine, options.strategy, options, rec.budget,
-                    candidate_set, deadline, advisor_bounded, threads);
+                    candidate_set, deadline, advisor_bounded, threads,
+                    shard_count, rec.cost_before);
     if (out.hard_error && options.fallback == FallbackPolicy::kNone) {
       return out.status;
     }
     rec.selection = std::move(out.selection);
     rec.trace = std::move(out.trace);
     rec.status = std::move(out.status);
+    strategy_degraded = out.degraded;
+    extra_whatif_calls = out.extra_whatif_calls;
   } else {
     // Portfolio race. Lanes share the WhatIfEngine (concurrency-safe, so
     // one lane's what-if work warms the others' caches) and split the
@@ -270,7 +361,8 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
     auto run_lane = [&](size_t i) {
       outcomes[i] =
           RunStrategy(engine, lanes[i], options, rec.budget, candidate_set,
-                      deadline, advisor_bounded, inner_threads);
+                      deadline, advisor_bounded, inner_threads,
+                      /*shard_count=*/0, rec.cost_before);
     };
     if (threads > 1) {
       exec::ThreadPool pool(std::min(threads, lanes.size()));
@@ -394,10 +486,11 @@ Result<Recommendation> Recommend(WhatIfEngine& engine,
   }  // recommend_span closes here.
 
   rec.runtime_seconds = watch.ElapsedSeconds();
-  rec.whatif_calls = engine.stats().calls - calls_before;
+  rec.whatif_calls = engine.stats().calls - calls_before + extra_whatif_calls;
   rec.memory = engine.ConfigMemory(rec.selection);
   rec.cost_after = engine.WorkloadCost(rec.selection);
-  rec.degraded = !rec.status.ok() || rec.fell_back || !engine.health().ok();
+  rec.degraded = !rec.status.ok() || rec.fell_back ||
+                 !engine.health().ok() || strategy_degraded;
   if (telemetry::JournalActive()) {
     // The advisor's closing verdict — deliberately free of wall-clock
     // fields so the journal stays byte-identical run-to-run.

@@ -21,6 +21,8 @@
 #include "mip/branch_and_bound.h"
 #include "obs/journal.h"
 #include "obs/report.h"
+#include "shard/sharded_selector.h"
+#include "workload/compression.h"
 
 namespace idxsel::advisor {
 
@@ -94,6 +96,33 @@ struct AdvisorOptions {
   /// See doc/parallelism.md ("Portfolio racing").
   std::vector<StrategyKind> portfolio;
 
+  /// idxsel::shard — per-table sharded selection with the global budget
+  /// arbiter (doc/sharding.md). 0 = auto: shard only when the workload has
+  /// at least `shard_auto_min_tables` query-bearing tables (or when the
+  /// IDXSEL_SHARDS env var forces a count), using min(64, query-bearing
+  /// tables) shards. n >= 1 forces the sharded path with n shards (clamped
+  /// to the query-bearing table count). The sharded path runs only for
+  /// plain single-lane H6 — strategy == kRecursive, no portfolio, and none
+  /// of the Remark-1/2 extensions (prune_unused, pair_steps, swap_repair,
+  /// multi_index_eval, n_best_singles, existing/reconfiguration) — where
+  /// it returns bit-identical selections, traces, and journals to the
+  /// unsharded run at any shard and thread count; otherwise `shards` is
+  /// ignored and the classic path runs.
+  size_t shards = 0;
+  size_t shard_auto_min_tables = 256;
+  /// Workload compression v2 applied per shard before selection
+  /// (workload/compression.h). kNone (default) preserves bit-identity with
+  /// the unsharded run; kDedup/kCluster trade exactness for speed — quality
+  /// (cost_before/cost_after) is always evaluated on the full workload.
+  workload::CompressionOptions shard_compression{
+      workload::CompressionMode::kNone};
+  /// Reusable sharded session (serve's incremental hook): when set and the
+  /// sharded path is eligible, Recommend() calls shard_session->Select()
+  /// instead of building shards from scratch, so only shards marked dirty
+  /// since the last call are rebuilt. Not owned; must outlive the call and
+  /// must have been built over the same engine/workload.
+  shard::ShardedSelector* shard_session = nullptr;
+
   /// Wall-clock budget for the whole Recommend() call (candidate
   /// generation + strategy + fallback bookkeeping); infinity = unbounded.
   /// When bounded, the derived rt::Deadline is threaded into every stage
@@ -161,6 +190,14 @@ struct Recommendation {
   /// journal was off during the run.
   std::string Explain(const costmodel::Index& index) const;
 };
+
+/// Shard count the kRecursive lane will use under `options` for this
+/// workload; 0 = the classic unsharded path (ineligible configuration, or
+/// auto-sharding declined). Exposed so long-lived callers (idxsel::serve)
+/// can decide whether to maintain a reusable shard::ShardedSelector
+/// session and size it consistently with Recommend()'s own gate.
+size_t ResolveShardCount(const AdvisorOptions& options,
+                         const workload::Workload& workload);
 
 /// Runs the configured strategy against `engine`'s workload.
 Result<Recommendation> Recommend(WhatIfEngine& engine,

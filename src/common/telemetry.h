@@ -54,6 +54,16 @@ enum class Slot : size_t {
   kServeRecoveries,       ///< counter "idxsel.serve.recoveries"
   kServeColdStarts,       ///< counter "idxsel.serve.cold_starts"
   kServeCacheFlushes,     ///< counter "idxsel.serve.cache_flushes"
+  // idxsel::shard arbiter counters (doc/sharding.md). Shard-count-dependent
+  // numbers (how many shards, how often the arbiter re-expanded a shard)
+  // live HERE and in bench sidecars only — never in the selection journal,
+  // which must stay byte-identical across shard and thread counts.
+  kShardSelections,       ///< counter "idxsel.shard.selections"
+  kShardShards,           ///< counter "idxsel.shard.shards"
+  kShardArbiterRounds,    ///< counter "idxsel.shard.arbiter_rounds"
+  kShardReruns,           ///< counter "idxsel.shard.reruns"
+  kShardQueriesCompressed,///< counter "idxsel.shard.queries_compressed"
+  kShardDirtyRebuilds,    ///< counter "idxsel.shard.dirty_rebuilds"
   kSlotCount,
 };
 
@@ -99,6 +109,18 @@ constexpr const char* SlotName(Slot slot) {
       return "idxsel.serve.cold_starts";
     case Slot::kServeCacheFlushes:
       return "idxsel.serve.cache_flushes";
+    case Slot::kShardSelections:
+      return "idxsel.shard.selections";
+    case Slot::kShardShards:
+      return "idxsel.shard.shards";
+    case Slot::kShardArbiterRounds:
+      return "idxsel.shard.arbiter_rounds";
+    case Slot::kShardReruns:
+      return "idxsel.shard.reruns";
+    case Slot::kShardQueriesCompressed:
+      return "idxsel.shard.queries_compressed";
+    case Slot::kShardDirtyRebuilds:
+      return "idxsel.shard.dirty_rebuilds";
     case Slot::kSlotCount:
       break;
   }
@@ -198,6 +220,12 @@ inline std::atomic<JournalSink>& JournalSinkSlot() {
   return sink;
 }
 
+/// Per-thread suppression depth (see ScopedJournalSuppress).
+inline int& JournalSuppressDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
 }  // namespace internal
 
 /// Installs (or, with nullptr, removes) the process-wide journal sink.
@@ -205,20 +233,40 @@ inline void SetJournalSink(JournalSink sink) {
   internal::JournalSinkSlot().store(sink, std::memory_order_release);
 }
 
-/// Cheap emit-side gate: true iff a sink is installed. Emitters should
-/// check this before doing any label formatting.
+/// Cheap emit-side gate: true iff a sink is installed and the calling
+/// thread is not inside a ScopedJournalSuppress. Emitters should check
+/// this before doing any label formatting.
 inline bool JournalActive() {
-  return internal::JournalSinkSlot().load(std::memory_order_acquire) !=
-         nullptr;
+  return internal::JournalSuppressDepth() == 0 &&
+         internal::JournalSinkSlot().load(std::memory_order_acquire) !=
+             nullptr;
 }
 
-/// Hands one event to the installed sink (no-op when none).
+/// Hands one event to the installed sink (no-op when none, or while the
+/// calling thread is suppressed).
 inline void EmitJournal(const JournalEvent& event) {
+  if (internal::JournalSuppressDepth() != 0) return;
   if (JournalSink sink =
           internal::JournalSinkSlot().load(std::memory_order_acquire)) {
     sink(event);
   }
 }
+
+/// Mutes JournalActive()/EmitJournal() on the *constructing thread* for
+/// the scope's lifetime (re-entrant; depth-counted). The sharded selector
+/// wraps each inner per-shard H6 run in one: shards run concurrently and
+/// are re-expanded on demand, so their raw records would interleave
+/// nondeterministically and duplicate replayed prefixes — the arbiter
+/// instead emits its own canonical, shard-count-invariant records
+/// (doc/sharding.md). Suppression is thread-local so concurrent journaled
+/// strategies on other threads (portfolio lanes) are unaffected.
+class ScopedJournalSuppress {
+ public:
+  ScopedJournalSuppress() { ++internal::JournalSuppressDepth(); }
+  ~ScopedJournalSuppress() { --internal::JournalSuppressDepth(); }
+  ScopedJournalSuppress(const ScopedJournalSuppress&) = delete;
+  ScopedJournalSuppress& operator=(const ScopedJournalSuppress&) = delete;
+};
 
 }  // namespace idxsel::telemetry
 

@@ -157,6 +157,11 @@ class WhatIfEngine {
 
   const workload::Workload& workload() const { return *workload_; }
 
+  /// The uncached cost source this engine consults. Borrowed, never null.
+  /// idxsel::shard wraps it in per-shard id-translating views so each
+  /// shard's private engine asks the same backend the unsharded run would.
+  const WhatIfBackend& backend() const { return *backend_; }
+
   /// Cached f_j(0).
   double BaseCost(QueryId j);
 

@@ -438,8 +438,10 @@ void AdvisorService::RebuildEngine() {
     IDXSEL_CHECK(added.ok());
   }
   rebuilt->Finalize();
-  // Teardown order matters: the engine borrows the backend, and the
-  // backend may borrow the workload it was built for.
+  // Teardown order matters: the shard session borrows the engine, the
+  // engine borrows the backend, and the backend may borrow the workload
+  // it was built for.
+  shard_session_.reset();
   engine_.reset();
   backend_.reset();
   workload_ = std::move(rebuilt);
@@ -548,6 +550,24 @@ Status AdvisorService::Submit(const WorkloadDelta& delta) {
   return Status::Ok();
 }
 
+void AdvisorService::EnsureShardSession(const advisor::AdvisorOptions& opts) {
+  const size_t shards = advisor::ResolveShardCount(opts, *workload_);
+  if (shards == 0) {
+    shard_session_.reset();
+    return;
+  }
+  if (shard_session_ != nullptr && shard_session_->shards() == shards) return;
+  shard::ShardedOptions sharded;
+  sharded.shards = shards;
+  sharded.threads = opts.threads;
+  sharded.max_steps = opts.recursive.max_steps;
+  sharded.min_ratio = opts.recursive.min_ratio;
+  sharded.max_index_width = opts.recursive.max_index_width;
+  sharded.compression = opts.shard_compression;
+  shard_session_ =
+      std::make_unique<shard::ShardedSelector>(*engine_, sharded);
+}
+
 // ---------------------------------------------------------------------------
 // The pump.
 // ---------------------------------------------------------------------------
@@ -563,6 +583,8 @@ Result<advisor::Recommendation> AdvisorService::RunRound(
   opts.budget_bytes = budget_bytes_;
   opts.cancellation = &cancel_;
   opts.time_limit_seconds = options_.round_time_limit_seconds;
+  EnsureShardSession(opts);
+  opts.shard_session = shard_session_.get();
 
   const uint64_t sanitized_before = engine_->stats().sanitized;
   std::unique_ptr<Watchdog> watchdog;
@@ -627,6 +649,14 @@ Result<PumpOutcome> AdvisorService::Pump() {
       IDXSEL_CHECK(updated.ok());
     }
     engine_->InvalidateFrequencyDependentCaches();
+    // The incremental promise of the sharded path: only the shards owning
+    // shifted tables are rebuilt on the next round; the rest keep their
+    // warm engines.
+    if (shard_session_ != nullptr) {
+      for (const auto& [j, freq] : shifts) {
+        shard_session_->MarkDirty(templates_[static_cast<size_t>(j)].table);
+      }
+    }
   }
   pending_structural_ = pending_structural_ || structural;
 

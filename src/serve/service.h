@@ -47,6 +47,7 @@
 #include "serve/checkpoint.h"
 #include "serve/delta.h"
 #include "serve/plan.h"
+#include "shard/sharded_selector.h"
 
 namespace idxsel::serve {
 
@@ -224,6 +225,14 @@ class AdvisorService {
   Result<advisor::Recommendation> RunRound(bool* failed,
                                            uint64_t* sanitized_delta);
 
+  /// Creates/drops the reusable sharded-selection session to match what
+  /// advisor::ResolveShardCount says about `opts` and the active
+  /// workload. Keeping the session across rounds is what makes
+  /// frequency-shift deltas incremental: MarkDirty() confines the rebuild
+  /// to the shard owning the shifted template's table, every other
+  /// shard's engine (and its warm what-if caches) carries over.
+  void EnsureShardSession(const advisor::AdvisorOptions& opts);
+
   /// Commit protocol: build plan, write checkpoint + epoch journal line
   /// atomically, advance epoch/cursor, refresh the served answer.
   Status Commit(advisor::Recommendation rec, const char* trigger);
@@ -257,6 +266,10 @@ class AdvisorService {
   std::unique_ptr<workload::Workload> workload_;
   std::unique_ptr<costmodel::WhatIfBackend> backend_;
   std::unique_ptr<costmodel::WhatIfEngine> engine_;
+  /// Reusable sharded-selection session (borrows engine_; declared after
+  /// it so destruction unwinds borrower-first). Reset on every structural
+  /// rebuild, marked dirty per table on frequency shifts.
+  std::unique_ptr<shard::ShardedSelector> shard_session_;
   double budget_fraction_ = 0.2;
   double budget_bytes_ = 0.0;
 

@@ -1,0 +1,123 @@
+#include "shard/partition.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace idxsel::shard {
+
+using workload::AttributeId;
+using workload::QueryId;
+using workload::TableId;
+
+ShardWorkload BuildShardWorkload(
+    const workload::Workload& workload, std::vector<TableId> tables,
+    const workload::CompressionOptions& compression) {
+  ShardWorkload out;
+  out.tables = std::move(tables);
+
+  // Schema subset with dense local ids; remember the global id of every
+  // local attribute and the local id of every shard attribute (scratch).
+  workload::Workload raw;
+  std::vector<AttributeId> global_to_local(workload.num_attributes(),
+                                           workload::kInvalidAttribute);
+  std::vector<uint32_t> table_rank(workload.num_tables(), ShardSet::kNoShard);
+  for (size_t r = 0; r < out.tables.size(); ++r) {
+    const TableId t = out.tables[r];
+    const workload::TableSchema& schema = workload.table(t);
+    const TableId local_t = raw.AddTable(schema.name, schema.row_count);
+    IDXSEL_CHECK_EQ(local_t, static_cast<TableId>(r));
+    table_rank[t] = static_cast<uint32_t>(r);
+    for (AttributeId a : schema.attributes) {
+      const workload::AttributeStats& stats = workload.attribute(a);
+      global_to_local[a] =
+          raw.AddAttribute(local_t, stats.distinct_values, stats.value_size);
+      out.attr_to_global.push_back(a);
+    }
+  }
+
+  // Queries in ascending global id order, so local query ids order the
+  // shard's queries exactly as the global workload does (the benefit sums
+  // of Algorithm 1 then accumulate in the same order — bit-identity).
+  std::vector<QueryId> raw_to_global;
+  for (QueryId j = 0; j < workload.num_queries(); ++j) {
+    const workload::Query& q = workload.query(j);
+    if (table_rank[q.table] == ShardSet::kNoShard) continue;
+    std::vector<AttributeId> attrs;
+    attrs.reserve(q.attributes.size());
+    for (AttributeId a : q.attributes) attrs.push_back(global_to_local[a]);
+    auto added = raw.AddQuery(table_rank[q.table], std::move(attrs),
+                              q.frequency, q.kind);
+    IDXSEL_CHECK(added.ok());
+    raw_to_global.push_back(j);
+  }
+  raw.Finalize();
+  out.source_queries = raw.num_queries();
+
+  if (compression.mode == workload::CompressionMode::kNone) {
+    out.local = std::move(raw);
+    out.query_to_global = std::move(raw_to_global);
+  } else {
+    workload::CompressedWorkload compressed =
+        workload::CompressWorkload(raw, compression);
+    out.local = std::move(compressed.workload);
+    out.query_to_global.reserve(compressed.representative.size());
+    for (QueryId r : compressed.representative) {
+      out.query_to_global.push_back(raw_to_global[r]);
+    }
+  }
+  return out;
+}
+
+ShardSet PartitionByTable(const workload::Workload& workload, size_t shards,
+                          const workload::CompressionOptions& compression) {
+  ShardSet set;
+  set.table_shard.assign(workload.num_tables(), ShardSet::kNoShard);
+
+  std::vector<char> has_queries(workload.num_tables(), 0);
+  for (const workload::Query& q : workload.queries()) {
+    has_queries[q.table] = 1;
+  }
+  size_t query_bearing = 0;
+  for (char h : has_queries) query_bearing += h != 0;
+  if (query_bearing == 0) return set;
+
+  shards = std::max<size_t>(1, std::min(shards, query_bearing));
+  std::vector<std::vector<TableId>> tables_of(shards);
+  size_t rank = 0;
+  for (TableId t = 0; t < workload.num_tables(); ++t) {
+    if (!has_queries[t]) continue;
+    const uint32_t s = static_cast<uint32_t>(rank % shards);
+    set.table_shard[t] = s;
+    tables_of[s].push_back(t);
+    ++rank;
+  }
+  set.shards.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    set.shards.push_back(
+        BuildShardWorkload(workload, std::move(tables_of[s]), compression));
+  }
+  return set;
+}
+
+costmodel::Index ShardViewBackend::ToGlobal(const costmodel::Index& k) const {
+  std::vector<AttributeId> attrs;
+  attrs.reserve(k.width());
+  for (AttributeId a : k.attributes()) {
+    attrs.push_back(view_->attr_to_global[a]);
+  }
+  return costmodel::Index(std::move(attrs));
+}
+
+double ShardViewBackend::CostWithConfig(
+    workload::QueryId j, const costmodel::IndexConfig& config) const {
+  std::vector<costmodel::Index> translated;
+  translated.reserve(config.size());
+  for (const costmodel::Index& k : config.indexes()) {
+    translated.push_back(ToGlobal(k));
+  }
+  return inner_->CostWithConfig(view_->query_to_global[j],
+                                costmodel::IndexConfig(std::move(translated)));
+}
+
+}  // namespace idxsel::shard

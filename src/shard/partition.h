@@ -1,0 +1,111 @@
+// Per-table workload partitioning — the decomposition behind idxsel::shard.
+//
+// The paper's selection problem decomposes by table: a query template
+// touches exactly one table (Section II-A), an index spans attributes of
+// one table, and every elementary move of Algorithm 1 — creating {i} or
+// appending i to an existing k — affects only queries of that table. The
+// ONLY coupling between tables is the shared storage budget A. Partition
+// the tables across shards, give each shard a private workload view and
+// what-if engine, and per-shard H6 runs are exact restrictions of the
+// global run; the budget coupling is resolved by the arbiter in
+// sharded_selector.h. See doc/sharding.md for the full argument.
+//
+// A ShardWorkload is a self-contained local workload (dense local ids,
+// finalized, optionally compressed per workload/compression.h) plus the
+// local->global id maps. ShardViewBackend translates local ids back to
+// global ones and delegates to the *global* backend, so every shard asks
+// the same cost source the unsharded run would — per-execution costs are
+// bitwise identical by construction.
+
+#ifndef IDXSEL_SHARD_PARTITION_H_
+#define IDXSEL_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "costmodel/what_if.h"
+#include "workload/compression.h"
+#include "workload/workload.h"
+
+namespace idxsel::shard {
+
+/// One shard's private view of the workload.
+struct ShardWorkload {
+  workload::Workload local;  ///< finalized; dense local ids
+  /// Global ids of the shard's tables, ascending.
+  std::vector<workload::TableId> tables;
+  /// Local attribute id -> global attribute id.
+  std::vector<workload::AttributeId> attr_to_global;
+  /// Local query id -> *representative* global query id. 1:1 without
+  /// compression; under compression the representative is the first
+  /// source template with the local template's signature (its
+  /// per-execution costs are exactly the local template's).
+  std::vector<workload::QueryId> query_to_global;
+  /// Shard-local query count before compression.
+  size_t source_queries = 0;
+};
+
+/// The full partition: every query-bearing table belongs to exactly one
+/// shard; query-less tables belong to none (no move can ever select their
+/// attributes — zero benefit).
+struct ShardSet {
+  static constexpr uint32_t kNoShard = ~uint32_t{0};
+  std::vector<ShardWorkload> shards;
+  /// Global table id -> owning shard (kNoShard for query-less tables).
+  std::vector<uint32_t> table_shard;
+};
+
+/// Builds one shard's view over `tables` (global ids, ascending), applying
+/// `compression` per workload/compression.h. Deterministic; per-table
+/// compression makes the result independent of which other tables share
+/// the shard.
+ShardWorkload BuildShardWorkload(
+    const workload::Workload& workload,
+    std::vector<workload::TableId> tables,
+    const workload::CompressionOptions& compression);
+
+/// Partitions the query-bearing tables of `workload` round-robin (by
+/// ascending table id) into `shards` shards — deterministic for a given
+/// shard count; the arbiter makes the *results* independent of it.
+/// `shards` is clamped to [1, query-bearing tables].
+ShardSet PartitionByTable(const workload::Workload& workload, size_t shards,
+                          const workload::CompressionOptions& compression);
+
+/// Id-translating what-if view: answers for a ShardWorkload's local ids by
+/// delegating to the global backend. Stateless beyond the borrowed view
+/// and inner backend; thread-safe iff the inner backend is.
+class ShardViewBackend : public costmodel::WhatIfBackend {
+ public:
+  /// Neither pointer is owned; both must outlive the view.
+  ShardViewBackend(const ShardWorkload* view,
+                   const costmodel::WhatIfBackend* inner)
+      : view_(view), inner_(inner) {}
+
+  double BaseCost(workload::QueryId j) const override {
+    return inner_->BaseCost(view_->query_to_global[j]);
+  }
+  double CostWithIndex(workload::QueryId j,
+                       const costmodel::Index& k) const override {
+    return inner_->CostWithIndex(view_->query_to_global[j], ToGlobal(k));
+  }
+  double CostWithConfig(workload::QueryId j,
+                        const costmodel::IndexConfig& config) const override;
+  double IndexMemory(const costmodel::Index& k) const override {
+    return inner_->IndexMemory(ToGlobal(k));
+  }
+  double MaintenanceCost(workload::QueryId j,
+                         const costmodel::Index& k) const override {
+    return inner_->MaintenanceCost(view_->query_to_global[j], ToGlobal(k));
+  }
+
+  /// Local-id index -> global-id index (order preserved).
+  costmodel::Index ToGlobal(const costmodel::Index& k) const;
+
+ private:
+  const ShardWorkload* view_;
+  const costmodel::WhatIfBackend* inner_;
+};
+
+}  // namespace idxsel::shard
+
+#endif  // IDXSEL_SHARD_PARTITION_H_

@@ -28,7 +28,41 @@ Workload CloneSchema(const Workload& source) {
   return clone;
 }
 
+/// One deduped template during compression.
+struct Template {
+  TemplateSignature signature;
+  double frequency = 0.0;       ///< summed over merged duplicates
+  QueryId representative = 0;   ///< first source query with this signature
+};
+
+/// |a intersect b| for sorted unique vectors.
+size_t IntersectionSize(const std::vector<AttributeId>& a,
+                        const std::vector<AttributeId>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
 }  // namespace
+
+TemplateSignature SignatureOf(const Workload& workload, QueryId j) {
+  const Query& q = workload.query(j);
+  TemplateSignature sig;
+  sig.table = q.table;
+  sig.kind = q.kind;
+  sig.attributes = q.attributes;  // already sorted/unique inside Query
+  return sig;
+}
 
 Workload MergeDuplicateTemplates(const Workload& workload) {
   Workload merged = CloneSchema(workload);
@@ -75,6 +109,132 @@ Workload CompressTopK(const Workload& workload,
   compressed.Finalize();
   IDXSEL_CHECK(compressed.Validate().ok());
   return compressed;
+}
+
+CompressedWorkload CompressWorkload(const Workload& workload,
+                                    const CompressionOptions& options) {
+  CompressedWorkload out;
+  out.source_queries = workload.num_queries();
+  out.workload = CloneSchema(workload);
+
+  if (options.mode == CompressionMode::kNone) {
+    for (QueryId j = 0; j < workload.num_queries(); ++j) {
+      const Query& q = workload.query(j);
+      auto added =
+          out.workload.AddQuery(q.table, q.attributes, q.frequency, q.kind);
+      IDXSEL_CHECK(added.ok());
+      out.representative.push_back(j);
+    }
+    out.workload.Finalize();
+    IDXSEL_CHECK(out.workload.Validate().ok());
+    return out;
+  }
+
+  // Dedup by signature. The map is ordered by (table, kind, attribute
+  // set), which groups templates per table; duplicates are visited in
+  // source order, so the summed frequencies are bitwise-deterministic.
+  std::map<TemplateSignature, Template> dedup;
+  for (QueryId j = 0; j < workload.num_queries(); ++j) {
+    TemplateSignature sig = SignatureOf(workload, j);
+    auto [it, inserted] = dedup.try_emplace(std::move(sig));
+    if (inserted) {
+      it->second.signature = it->first;
+      it->second.representative = j;
+    }
+    it->second.frequency += workload.query(j).frequency;
+  }
+
+  std::vector<Template> kept;
+  kept.reserve(dedup.size());
+  auto it = dedup.begin();
+  while (it != dedup.end()) {
+    const TableId table = it->first.table;
+    std::vector<Template> of_table;
+    for (; it != dedup.end() && it->first.table == table; ++it) {
+      of_table.push_back(it->second);
+    }
+    if (options.mode == CompressionMode::kCluster &&
+        options.max_templates_per_table > 0 &&
+        of_table.size() > options.max_templates_per_table) {
+      // Cluster-center priority: heavier deduped frequency first,
+      // representative id breaking ties.
+      std::vector<size_t> rank(of_table.size());
+      std::iota(rank.begin(), rank.end(), 0);
+      std::sort(rank.begin(), rank.end(), [&](size_t x, size_t y) {
+        if (!ExactlyEqual(of_table[x].frequency, of_table[y].frequency)) {
+          return of_table[x].frequency > of_table[y].frequency;
+        }
+        return of_table[x].representative < of_table[y].representative;
+      });
+      std::vector<size_t> centers(
+          rank.begin(),
+          rank.begin() + static_cast<long>(options.max_templates_per_table));
+      // Folded frequencies accumulate separately: the similarity tie-break
+      // below must see only the *original* deduped frequencies, keeping
+      // every satellite's assignment independent of fold order.
+      std::vector<double> folded(of_table.size(), 0.0);
+      for (size_t r = options.max_templates_per_table; r < rank.size();
+           ++r) {
+        const Template& sat = of_table[rank[r]];
+        size_t best = centers.front();
+        uint64_t best_inter = 0;
+        uint64_t best_union = 1;
+        bool first = true;
+        for (size_t c : centers) {
+          const Template& center = of_table[c];
+          const uint64_t inter = IntersectionSize(
+              sat.signature.attributes, center.signature.attributes);
+          const uint64_t uni = sat.signature.attributes.size() +
+                               center.signature.attributes.size() - inter;
+          // Exact integer comparison of the Jaccard fractions inter/uni;
+          // ties go to the heavier, then signature-earlier center.
+          const bool better =
+              inter * best_union > best_inter * uni ||
+              (inter * best_union == best_inter * uni &&
+               (center.frequency > of_table[best].frequency ||
+                (ExactlyEqual(center.frequency, of_table[best].frequency) &&
+                 center.representative < of_table[best].representative)));
+          if (first || better) {
+            best = c;
+            best_inter = inter;
+            best_union = uni;
+            first = false;
+          }
+        }
+        folded[best] += sat.frequency;
+      }
+      // Satellites fold in center-priority order above; adding each
+      // center's folded total once keeps the final frequency independent
+      // of the center's own rank.
+      std::sort(centers.begin(), centers.end(), [&](size_t x, size_t y) {
+        return of_table[x].representative < of_table[y].representative;
+      });
+      for (size_t c : centers) {
+        Template t = of_table[c];
+        t.frequency += folded[c];
+        kept.push_back(std::move(t));
+      }
+    } else {
+      for (Template& t : of_table) kept.push_back(std::move(t));
+    }
+  }
+
+  // Global output order: ascending representative id — deterministic and
+  // independent of how the caller grouped tables.
+  std::sort(kept.begin(), kept.end(),
+            [](const Template& a, const Template& b) {
+              return a.representative < b.representative;
+            });
+  for (const Template& t : kept) {
+    auto added =
+        out.workload.AddQuery(t.signature.table, t.signature.attributes,
+                              t.frequency, t.signature.kind);
+    IDXSEL_CHECK(added.ok());
+    out.representative.push_back(t.representative);
+  }
+  out.workload.Finalize();
+  IDXSEL_CHECK(out.workload.Validate().ok());
+  return out;
 }
 
 }  // namespace idxsel::workload

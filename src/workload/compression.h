@@ -5,6 +5,18 @@
 // most expensive queries (Zilio et al.). Both reduce selection effort at a
 // possible quality loss; bench_compression quantifies the trade-off against
 // running Algorithm 1 on the full workload.
+//
+// v2 (used by idxsel::shard, see doc/sharding.md): template dedup keyed by
+// a canonicalized attribute-set signature, plus CoPhy-style
+// frequency-weighted clustering. Both operate strictly *per table* — a
+// template only ever merges into a template on its own table — so
+// compressing a union of tables equals the union of per-table
+// compressions. That invariance is what makes the sharded selector's
+// per-shard compression independent of how tables are grouped into
+// shards. CompressWorkload additionally returns per-query provenance (the
+// representative source template of every compressed template) so callers
+// can keep translating compressed query ids back to the original workload,
+// and selection quality can always be evaluated on the full workload.
 
 #ifndef IDXSEL_WORKLOAD_COMPRESSION_H_
 #define IDXSEL_WORKLOAD_COMPRESSION_H_
@@ -26,6 +38,78 @@ Workload MergeDuplicateTemplates(const Workload& workload);
 /// `query_costs` must have one entry per query.
 Workload CompressTopK(const Workload& workload,
                       const std::vector<double>& query_costs, size_t keep);
+
+// ---------------------------------------------------------------------------
+// Compression v2.
+// ---------------------------------------------------------------------------
+
+/// Canonical dedup signature of a query template: two templates are
+/// duplicates iff their signatures compare equal. The attribute set is
+/// already sorted/unique inside Query, so the signature is just the
+/// (table, kind, attribute-set) triple with a total order for use as a
+/// deterministic map key.
+struct TemplateSignature {
+  TableId table = 0;
+  QueryKind kind = QueryKind::kRead;
+  std::vector<AttributeId> attributes;  ///< sorted, unique
+
+  bool operator==(const TemplateSignature& o) const {
+    return table == o.table && kind == o.kind && attributes == o.attributes;
+  }
+  bool operator<(const TemplateSignature& o) const {
+    if (table != o.table) return table < o.table;
+    if (kind != o.kind) return kind < o.kind;
+    return attributes < o.attributes;
+  }
+};
+
+/// Signature of query j.
+TemplateSignature SignatureOf(const Workload& workload, QueryId j);
+
+enum class CompressionMode {
+  kNone,    ///< Identity (queries copied verbatim).
+  kDedup,   ///< Signature dedup only; lossless, frequencies add.
+  kCluster, ///< Dedup, then frequency-weighted per-table clustering down
+            ///< to at most `max_templates_per_table` templates per table
+            ///< (lossy: a satellite template's frequency folds into its
+            ///< most-similar heavy template).
+};
+
+struct CompressionOptions {
+  CompressionMode mode = CompressionMode::kDedup;
+  /// kCluster: per-table template cap. The `max_templates_per_table`
+  /// highest-total-frequency deduped templates of each table become
+  /// cluster centers; every other template folds its frequency into the
+  /// center with the largest attribute-set overlap (Jaccard; ties resolve
+  /// to the heavier, then signature-smaller center). Deterministic.
+  size_t max_templates_per_table = 32;
+};
+
+/// A compressed workload plus provenance back to its source.
+struct CompressedWorkload {
+  Workload workload;  ///< Schema identical to the source; fewer queries.
+  /// Per compressed query: the *representative* source query id — the
+  /// first source template with the compressed template's signature. Its
+  /// per-execution costs f_j(.) are exactly the compressed template's
+  /// (identical attribute set and table), which is what lets id-mapping
+  /// backends answer for compressed queries by delegation.
+  std::vector<QueryId> representative;
+  size_t source_queries = 0;  ///< Query count of the source workload.
+
+  double ratio() const {
+    return source_queries == 0
+               ? 1.0
+               : static_cast<double>(workload.num_queries()) /
+                     static_cast<double>(source_queries);
+  }
+};
+
+/// Applies `options` to `workload`. The result is finalized and validated;
+/// query order is deterministic (ascending representative id) and — per
+/// the header comment — independent of how tables are partitioned across
+/// calls.
+CompressedWorkload CompressWorkload(const Workload& workload,
+                                    const CompressionOptions& options);
 
 }  // namespace idxsel::workload
 

@@ -17,7 +17,10 @@ Workload GenerateScalableWorkload(const ScalableWorkloadParams& params) {
   const double nt_attrs = params.attributes_per_table;
   for (uint32_t t = 1; t <= params.num_tables; ++t) {
     Rng rng = root.Fork();
-    const uint64_t rows = params.rows_per_table_step * t;
+    uint64_t rows = params.rows_per_table_step * t;
+    if (params.rows_per_table_cap != 0) {
+      rows = std::min(rows, params.rows_per_table_cap);
+    }
     std::string name = "t";
     name += std::to_string(t);
     const TableId table = w.AddTable(std::move(name), rows);

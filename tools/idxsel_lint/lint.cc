@@ -95,10 +95,13 @@ const std::map<std::string, std::vector<std::string>>& LayeringDag() {
        {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
       {"analysis",
        {"common", "workload", "kernel", "costmodel", "obs", "exec"}},
+      {"shard",
+       {"common", "workload", "costmodel", "exec", "core"}},
       {"advisor",
        {"common", "workload", "kernel", "costmodel", "obs", "exec", "rt",
-        "audit", "candidates", "lp", "mip", "cophy", "selection", "core"}},
-      {"serve", {"common", "workload", "costmodel", "rt", "advisor"}},
+        "audit", "candidates", "lp", "mip", "cophy", "selection", "core",
+        "shard"}},
+      {"serve", {"common", "workload", "costmodel", "rt", "advisor", "shard"}},
   };
   return dag;
 }

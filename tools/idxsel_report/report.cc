@@ -307,6 +307,27 @@ std::string RenderTrajectory(const JsonValue& doc) {
         p.NumberOr("peak_rss_kb", 0.0) / 1024.0);
     out += buf;
   }
+  if (const JsonValue* shard_points = doc.Find("shard_points")) {
+    if (!shard_points->items.empty()) out += "sharded ladder:\n";
+    for (const JsonValue& p : shard_points->items) {
+      const JsonValue* s = p.Find("shard");
+      if (s == nullptr) continue;
+      char buf[256];
+      std::snprintf(
+          buf, sizeof buf,
+          "  T=%-6.0f templates=%-7.0f shards=%.0f rounds=%.0f "
+          "steps=%.0f calls=%.0f compress=%.3f sharded=%.3fs "
+          "unsharded=%.3fs speedup=%.2fx\n",
+          p.NumberOr("tables", 0.0), p.NumberOr("templates", 0.0),
+          s->NumberOr("shards", 0.0), s->NumberOr("arbiter_rounds", 0.0),
+          s->NumberOr("steps", 0.0), s->NumberOr("whatif_calls", 0.0),
+          s->NumberOr("compression_ratio", 0.0),
+          s->NumberOr("sharded_seconds", 0.0),
+          s->NumberOr("unsharded_seconds", 0.0),
+          s->NumberOr("speedup", 0.0));
+      out += buf;
+    }
+  }
   char buf[64];
   std::snprintf(buf, sizeof buf, "  process peak rss: %.1f MB\n",
                 doc.NumberOr("peak_rss_kb", 0.0) / 1024.0);
@@ -539,6 +560,62 @@ TrajectoryCheckResult CheckTrajectory(const JsonValue& current,
   }
   for (const auto& [key, point] : base_by_key) {
     fail("point " + key + " missing from current run");
+  }
+
+  // Sharded ladder (idxsel::shard): the arbiter's work metrics are
+  // deterministic — byte-identical recommendations across shard and
+  // thread counts is the module's core invariant — so every field of the
+  // `shard` group is gated exactly, keyed by table count. Wall seconds
+  // and the derived compression ratio are reported, not gated. Documents
+  // from before the sharded ladder (no "shard_points" on either side)
+  // pass vacuously.
+  const JsonValue* current_shards = current.Find("shard_points");
+  const JsonValue* baseline_shards = baseline.Find("shard_points");
+  if (current_shards != nullptr || baseline_shards != nullptr) {
+    const auto shard_key = [](const JsonValue& p) {
+      return "T=" +
+             std::to_string(static_cast<int64_t>(p.NumberOr("tables", -1.0)));
+    };
+    std::map<std::string, const JsonValue*> base_rungs;
+    if (baseline_shards != nullptr) {
+      for (const JsonValue& p : baseline_shards->items) {
+        base_rungs[shard_key(p)] = &p;
+      }
+    }
+    if (current_shards != nullptr) {
+      for (const JsonValue& p : current_shards->items) {
+        const std::string key = shard_key(p);
+        const auto it = base_rungs.find(key);
+        if (it == base_rungs.end()) {
+          fail("shard rung " + key + " missing from baseline");
+          continue;
+        }
+        const JsonValue& base = *it->second;
+        base_rungs.erase(it);
+        const auto shard_exact = [&](const char* field) {
+          const JsonValue* cg = p.Find("shard");
+          const JsonValue* bg = base.Find("shard");
+          const double cv = cg != nullptr ? cg->NumberOr(field, -1.0) : -1.0;
+          const double bv = bg != nullptr ? bg->NumberOr(field, -1.0) : -1.0;
+          std::snprintf(buf, sizeof buf, "%s shard.%s: %.0f (baseline %.0f)",
+                        key.c_str(), field, cv, bv);
+          if (cv == bv) {
+            pass(buf);
+          } else {
+            fail(buf);
+          }
+        };
+        shard_exact("shards");
+        shard_exact("arbiter_rounds");
+        shard_exact("steps");
+        shard_exact("whatif_calls");
+        shard_exact("queries_full");
+        shard_exact("queries_compressed");
+      }
+    }
+    for (const auto& [key, rung] : base_rungs) {
+      fail("shard rung " + key + " missing from current run");
+    }
   }
 
   // Memory gate: process peak RSS may grow at most the configured share.
