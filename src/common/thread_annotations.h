@@ -1,0 +1,92 @@
+// Clang Thread Safety Analysis annotation macros — the compile-time half
+// of the project's concurrency contracts.
+//
+// Every mutex-holding class in the tree states which lock guards which
+// field (IDXSEL_GUARDED_BY), which lock a method needs on entry
+// (IDXSEL_REQUIRES), and which locks a function takes and drops
+// (IDXSEL_ACQUIRE / IDXSEL_RELEASE). Clang's -Wthread-safety then proves
+// the discipline statically on the clang CI leg ("thread-safety" in
+// ci.yml, built with -Werror); TSan keeps sampling it dynamically. On
+// non-Clang compilers every macro expands to nothing, so GCC builds are
+// unaffected.
+//
+// The annotations only bite on capability-annotated lock types. The
+// standard library's std::mutex carries no capability attributes under
+// libstdc++, so the tree locks through the annotated wrappers in
+// common/mutex.h (common::Mutex / common::MutexLock / common::CondVar)
+// instead of bare std::mutex — see doc/static_analysis.md ("Concurrency
+// contracts") for the conventions, and the idxsel_lint `guarded-field`
+// check for the enforcement that new mutable state keeps declaring its
+// guard.
+
+#ifndef IDXSEL_COMMON_THREAD_ANNOTATIONS_H_
+#define IDXSEL_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability ("mutex"): lockable state the
+/// analysis tracks. Applied to the class, e.g.
+///   class IDXSEL_CAPABILITY("mutex") Mutex { ... };
+#define IDXSEL_CAPABILITY(x) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor (common::MutexLock).
+#define IDXSEL_SCOPED_CAPABILITY \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Field may only be read or written while holding the named capability:
+///   std::vector<Record> records_ IDXSEL_GUARDED_BY(mu_);
+#define IDXSEL_GUARDED_BY(x) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the named capability (the
+/// pointer itself may be read freely).
+#define IDXSEL_PT_GUARDED_BY(x) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function requires the named capabilities to be held on entry, and does
+/// not release them.
+#define IDXSEL_REQUIRES(...) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the named capabilities (or `this` when empty) and
+/// holds them past return.
+#define IDXSEL_ACQUIRE(...) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the named capabilities (or `this` when empty).
+#define IDXSEL_RELEASE(...) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts the named capabilities; the first argument is the
+/// return value that means "acquired".
+#define IDXSEL_TRY_ACQUIRE(...) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities (deadlock prevention for
+/// functions that acquire them internally).
+#define IDXSEL_EXCLUDES(...) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (accessors that
+/// expose a lock).
+#define IDXSEL_RETURN_CAPABILITY(x) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Declares that the function's assertion establishes the capability
+/// (debug checks that abort when the lock is not held).
+#define IDXSEL_ASSERT_CAPABILITY(x) \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must explain why in a comment — the idxsel_lint
+/// `guarded-field` reviewers treat an unexplained opt-out as a smell.
+#define IDXSEL_NO_THREAD_SAFETY_ANALYSIS \
+  IDXSEL_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // IDXSEL_COMMON_THREAD_ANNOTATIONS_H_

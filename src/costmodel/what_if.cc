@@ -115,7 +115,7 @@ double WhatIfEngine::Sanitize(double value, double fallback,
   stats_.sanitized.fetch_add(1, std::memory_order_relaxed);
   IDXSEL_OBS_ONLY(obs_sanitized_->Add();)
   {
-    std::lock_guard<std::mutex> lock(health_mu_);
+    common::MutexLock lock(&health_mu_);
     if (health_.ok()) {
       health_ = Status::Internal(std::string("what-if backend returned ") +
                                  (std::isnan(value)      ? "NaN"
@@ -138,7 +138,7 @@ double WhatIfEngine::BaseCost(QueryId j) {
     IDXSEL_OBS_ONLY(obs_hits_->Add();)
     return cached;
   }
-  std::lock_guard<std::mutex> lock(base_mu_[j % kBaseLockStripes]);
+  common::MutexLock lock(&base_mu_[j % kBaseLockStripes]);
   cached = base_cost_[j].load(std::memory_order_relaxed);
   if (!std::isnan(cached)) {
     // Lost the race: another thread fetched it while we waited — still a

@@ -22,11 +22,12 @@
 #define IDXSEL_EXEC_SHARDED_MAP_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace idxsel::exec {
 
@@ -44,7 +45,7 @@ class ShardedMap {
   template <typename ComputeFn>
   std::pair<Value, bool> GetOrCompute(const Key& key, ComputeFn&& compute) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) return {it->second, true};
     Value value = compute();
@@ -55,7 +56,7 @@ class ShardedMap {
   /// Lock-and-read; returns true and copies the value when present.
   bool Get(const Key& key, Value* out) const {
     const Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    common::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return false;
     *out = it->second;
@@ -66,7 +67,7 @@ class ShardedMap {
   size_t Size() const {
     size_t total = 0;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      common::MutexLock lock(&shard.mu);
       total += shard.map.size();
     }
     return total;
@@ -77,7 +78,7 @@ class ShardedMap {
   size_t Clear() {
     size_t erased = 0;
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      common::MutexLock lock(&shard.mu);
       erased += shard.map.size();
       shard.map.clear();
     }
@@ -88,7 +89,7 @@ class ShardedMap {
   void Reserve(size_t total) {
     const size_t per_shard = total / kShards + 1;
     for (Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      common::MutexLock lock(&shard.mu);
       shard.map.reserve(per_shard);
     }
   }
@@ -114,8 +115,8 @@ class ShardedMap {
   }();
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Key, Value, Hash> map;
+    mutable common::Mutex mu;
+    std::unordered_map<Key, Value, Hash> map IDXSEL_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& key) { return shards_[ShardIndex(key)]; }

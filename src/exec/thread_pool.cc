@@ -45,9 +45,9 @@ ThreadPool::~ThreadPool() {
   {
     // Taking the sleep mutex orders the notify after any in-flight
     // predicate evaluation, so no worker can sleep through shutdown.
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    common::MutexLock lock(&sleep_mu_);
   }
-  sleep_cv_.notify_all();
+  sleep_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -71,16 +71,16 @@ void ThreadPool::Push(std::function<void()> task) {
   const size_t victim =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+    common::MutexLock lock(&queues_[victim]->mu);
     queues_[victim]->tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   {
     // See ~ThreadPool: the empty critical section prevents the lost-wakeup
     // window between a sleeper's predicate check and its wait.
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    common::MutexLock lock(&sleep_mu_);
   }
-  sleep_cv_.notify_one();
+  sleep_cv_.NotifyOne();
 }
 
 bool ThreadPool::TryRun(size_t self) {
@@ -88,7 +88,7 @@ bool ThreadPool::TryRun(size_t self) {
   // Own deque first, newest task (LIFO: still-warm working set).
   {
     WorkerQueue& q = *queues_[self];
-    std::lock_guard<std::mutex> lock(q.mu);
+    common::MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -100,7 +100,7 @@ bool ThreadPool::TryRun(size_t self) {
     // entry the owner is least likely to touch soon).
     for (size_t off = 1; off < queues_.size() && !task; ++off) {
       WorkerQueue& q = *queues_[(self + off) % queues_.size()];
-      std::lock_guard<std::mutex> lock(q.mu);
+      common::MutexLock lock(&q.mu);
       if (!q.tasks.empty()) {
         task = std::move(q.tasks.front());
         q.tasks.pop_front();
@@ -118,8 +118,8 @@ bool ThreadPool::TryRun(size_t self) {
 void ThreadPool::WorkerLoop(size_t self) {
   while (true) {
     if (TryRun(self)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mu_);
-    sleep_cv_.wait(lock, [this] {
+    common::MutexLock lock(&sleep_mu_);
+    sleep_cv_.Wait(sleep_mu_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
     });
@@ -147,8 +147,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
   struct LoopState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex mu;
-    std::condition_variable cv;
+    // idxsel-lint: allow(guarded-field) reason=wakeup-ordering mutex only;
+    // `done` stays atomic so the caller lane can poll it lock-free
+    common::Mutex mu;
+    common::CondVar cv;
   };
   auto state = std::make_shared<LoopState>();
 
@@ -169,8 +171,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
         state->done.fetch_add(completed, std::memory_order_acq_rel) +
                 completed ==
             n) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->cv.notify_all();
+      common::MutexLock lock(&state->mu);
+      state->cv.NotifyAll();
     }
   };
 
@@ -185,8 +187,8 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body,
   // (nested loops, portfolio racing).
   drain();
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] {
+  common::MutexLock lock(&state->mu);
+  state->cv.Wait(state->mu, [&] {
     return state->done.load(std::memory_order_acquire) == n;
   });
 }

@@ -31,16 +31,17 @@
 #define IDXSEL_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace idxsel::exec {
 
@@ -101,8 +102,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    common::Mutex mu;
+    std::deque<std::function<void()>> tasks IDXSEL_GUARDED_BY(mu);
   };
 
   /// Enqueues a task (round-robin victim); wakes a sleeper. Inline
@@ -119,8 +120,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<size_t> next_queue_{0};
   std::atomic<bool> stop_{false};
-  std::mutex sleep_mu_;
-  std::condition_variable sleep_cv_;
+  /// Guards nothing by itself — it exists to close the lost-wakeup window
+  /// between a sleeper's predicate check and its wait (see Push and
+  /// ~ThreadPool); the predicate state (stop_, pending_) stays atomic.
+  // idxsel-lint: allow(guarded-field) reason=wakeup-ordering mutex; the
+  // predicate state is atomic by design, see the comment above
+  common::Mutex sleep_mu_;
+  common::CondVar sleep_cv_;
   std::atomic<uint64_t> pending_{0};
 };
 

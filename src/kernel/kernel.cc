@@ -33,7 +33,7 @@ const AttributeId* IndexArena::PoolCopy(const AttributeId* attrs,
 IndexId IndexArena::Intern(const AttributeId* attrs, uint32_t width) {
   IDXSEL_DCHECK(width > 0);
   const uint64_t h = TupleHash(attrs, width);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto [it, end] = interned_.equal_range(h);
   for (; it != end; ++it) {
     const Entry& e = entry(it->second);
@@ -112,7 +112,7 @@ void DenseValueTable::Put(IndexId id, double value) {
   IDXSEL_CHECK_LT(block_idx, kMaxBlocks);
   std::atomic<double>* block = blocks_[block_idx].load(std::memory_order_acquire);
   if (block == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     block = blocks_[block_idx].load(std::memory_order_relaxed);
     if (block == nullptr) {
       block = new std::atomic<double>[kBlockSize];
@@ -148,7 +148,7 @@ DenseCostTable::Row* DenseCostTable::EnsureRow(IndexId id, uint32_t row_len) {
   IDXSEL_CHECK_LT(block_idx, kMaxBlocks);
   std::atomic<Row*>* block = blocks_[block_idx].load(std::memory_order_acquire);
   if (block == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     block = blocks_[block_idx].load(std::memory_order_relaxed);
     if (block == nullptr) {
       block = new std::atomic<Row*>[kBlockSize];
@@ -161,7 +161,7 @@ DenseCostTable::Row* DenseCostTable::EnsureRow(IndexId id, uint32_t row_len) {
   std::atomic<Row*>& slot = block[id & kBlockMask];
   Row* row = slot.load(std::memory_order_acquire);
   if (row == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     row = slot.load(std::memory_order_relaxed);
     if (row == nullptr) {
       auto owned = std::make_unique<Row>();
@@ -206,7 +206,7 @@ void DenseCostTable::InheritRow(IndexId from, IndexId to, uint32_t row_len) {
 }
 
 void DenseCostTable::Invalidate() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& row : rows_) {
     for (uint32_t u = 0; u < row->len; ++u) {
       row->values[u].store(DenseValueTable::kUnset(),

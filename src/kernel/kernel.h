@@ -43,12 +43,13 @@
 #include <cstdlib>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "workload/workload.h"
 
 namespace idxsel::kernel {
@@ -254,8 +255,9 @@ class IndexArena {
   }
 
   /// Copies `attrs` into the contiguous overflow pool; returns the stable
-  /// address. Caller holds mu_.
-  const AttributeId* PoolCopy(const AttributeId* attrs, uint32_t width);
+  /// address.
+  const AttributeId* PoolCopy(const AttributeId* attrs, uint32_t width)
+      IDXSEL_REQUIRES(mu_);
 
   static uint64_t TupleHash(const AttributeId* attrs, uint32_t width) {
     uint64_t h = SplitMix64(width);
@@ -263,16 +265,16 @@ class IndexArena {
     return h;
   }
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::atomic<size_t> count_{0};
   std::atomic<Entry*> blocks_[kMaxBlocks] = {};
   // tuple hash -> interned ids with that hash (collisions resolved by
   // comparing the tuples themselves).
-  std::unordered_multimap<uint64_t, IndexId> interned_;
+  std::unordered_multimap<uint64_t, IndexId> interned_ IDXSEL_GUARDED_BY(mu_);
   // Contiguous overflow pool for tuples wider than kInlineAttrs; chunked
   // so addresses stay stable while the pool grows.
-  std::vector<std::unique_ptr<AttributeId[]>> pool_;
-  size_t pool_used_ = 0;  ///< attrs used in the newest chunk
+  std::vector<std::unique_ptr<AttributeId[]>> pool_ IDXSEL_GUARDED_BY(mu_);
+  size_t pool_used_ IDXSEL_GUARDED_BY(mu_) = 0;  ///< newest chunk usage
 };
 
 // -- Dense per-id value table -----------------------------------------------
@@ -315,7 +317,9 @@ class DenseValueTable {
   static constexpr size_t kBlockMask = kBlockSize - 1;
   static constexpr size_t kMaxBlocks = 1 << 14;
 
-  std::mutex mu_;  // block allocation only
+  // idxsel-lint: allow(guarded-field) reason=serializes block allocation
+  // only; the slots are atomics published through atomic block pointers
+  common::Mutex mu_;
   std::atomic<std::atomic<double>*> blocks_[kMaxBlocks] = {};
 };
 
@@ -394,9 +398,9 @@ class DenseCostTable {
 
   Row* EnsureRow(IndexId id, uint32_t row_len);
 
-  std::mutex mu_;  // block/row allocation only
+  common::Mutex mu_;  // block/row allocation only
   std::atomic<std::atomic<Row*>*> blocks_[kMaxBlocks] = {};
-  std::vector<std::unique_ptr<Row>> rows_;  // ownership (under mu_)
+  std::vector<std::unique_ptr<Row>> rows_ IDXSEL_GUARDED_BY(mu_);  // ownership
 };
 
 /// Reinterprets a dense row's atomic storage as a plain double stream for

@@ -6,8 +6,6 @@
 // simply dispatches to the scalar template. Consequently nothing in this
 // file may be reached before simd::ActiveLevel() said kAvx2 — simd.cc is
 // the sole caller and enforces exactly that.
-//
-// idxsel-lint: allow(simd-confinement) reason=this is the confined AVX2 TU
 
 #define IDXSEL_SIMD_IMPL_NAMESPACE avx2_impl
 #define IDXSEL_SIMD_IMPL_AVX2 1

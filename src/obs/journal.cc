@@ -178,7 +178,7 @@ void Journal::Append(const telemetry::JournalEvent& event) {
     record.candidates.push_back(std::move(owned));
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (records_.size() >= kMaxRecords) {
     ++dropped_;
     return;
@@ -187,17 +187,17 @@ void Journal::Append(const telemetry::JournalEvent& event) {
 }
 
 size_t Journal::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return records_.size();
 }
 
 uint64_t Journal::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return dropped_;
 }
 
 std::vector<JournalRecord> Journal::SnapshotSince(size_t mark) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<JournalRecord> out;
   if (mark >= records_.size()) return out;
   out.assign(records_.begin() + static_cast<ptrdiff_t>(mark),
@@ -207,7 +207,7 @@ std::vector<JournalRecord> Journal::SnapshotSince(size_t mark) const {
 }
 
 void Journal::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   records_.clear();
   dropped_ = 0;
 }

@@ -22,11 +22,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 
 namespace idxsel::obs {
 
@@ -97,9 +98,9 @@ class Journal {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<JournalRecord> records_;
-  uint64_t dropped_ = 0;
+  mutable common::Mutex mu_;
+  std::vector<JournalRecord> records_ IDXSEL_GUARDED_BY(mu_);
+  uint64_t dropped_ IDXSEL_GUARDED_BY(mu_) = 0;
 };
 
 /// Brackets one advisor/strategy run: construction marks the default

@@ -165,28 +165,28 @@ Registry& Registry::Default() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto [it, inserted] = counters_.try_emplace(name);
   if (inserted) it->second = std::make_unique<Counter>();
   return it->second.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto [it, inserted] = gauges_.try_emplace(name);
   if (inserted) it->second = std::make_unique<Gauge>();
   return it->second.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto [it, inserted] = histograms_.try_emplace(name);
   if (inserted) it->second = std::make_unique<Histogram>();
   return it->second.get();
 }
 
 MetricsSnapshot Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
@@ -223,7 +223,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::ResetCountersAndHistograms() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
   // Bridged slots are counters to their consumers; reset them in lockstep.

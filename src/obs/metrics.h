@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace idxsel::obs {
 
@@ -175,10 +177,15 @@ class Registry {
   void ResetCountersAndHistograms();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mu_;
+  // Pointees are interned for the registry's lifetime (hot paths hold
+  // them lock-free); the maps themselves only mutate under mu_.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      IDXSEL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      IDXSEL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      IDXSEL_GUARDED_BY(mu_);
 };
 
 }  // namespace idxsel::obs

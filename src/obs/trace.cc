@@ -11,7 +11,7 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Record(const SpanRecord& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (records_.size() >= capacity_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -20,25 +20,25 @@ void Tracer::Record(const SpanRecord& record) {
 }
 
 size_t Tracer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return records_.size();
 }
 
 std::vector<SpanRecord> Tracer::SnapshotSince(size_t mark) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (mark >= records_.size()) return {};
   return std::vector<SpanRecord>(
       records_.begin() + static_cast<ptrdiff_t>(mark), records_.end());
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   records_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 void Tracer::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   capacity_ = capacity;
 }
 

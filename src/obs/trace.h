@@ -13,10 +13,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/runtime.h"
 
 namespace idxsel::obs {
@@ -69,9 +70,9 @@ class Tracer {
   static std::string RenderTree(const std::vector<SpanRecord>& records);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> records_;
-  size_t capacity_ = 1u << 20;
+  mutable common::Mutex mu_;
+  std::vector<SpanRecord> records_ IDXSEL_GUARDED_BY(mu_);
+  size_t capacity_ IDXSEL_GUARDED_BY(mu_) = 1u << 20;
   std::atomic<uint64_t> dropped_{0};
 };
 

@@ -46,7 +46,7 @@ double FaultInjectingBackend::Corrupt(double truthful) const {
   bool sleep = false;
   double result = truthful;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     const uint64_t call = stats_.calls++;
     if (call < opts_.healthy_calls) return truthful;
 

@@ -19,9 +19,10 @@
 #define IDXSEL_RT_FAULT_INJECTION_H_
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "costmodel/what_if.h"
 
 namespace idxsel::rt {
@@ -106,7 +107,7 @@ class FaultInjectingBackend : public costmodel::WhatIfBackend {
 
   /// Snapshot of the per-kind counters (consistent under concurrency).
   FaultInjectionStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return stats_;
   }
 
@@ -118,16 +119,16 @@ class FaultInjectingBackend : public costmodel::WhatIfBackend {
   FaultInjectionOptions opts_;
   // WhatIfBackend's interface is const; the chaos state (PRNG position,
   // call counter, stats) is the decorator's own business.
-  mutable std::mutex mu_;
-  mutable Rng rng_;
-  mutable FaultInjectionStats stats_;
+  mutable common::Mutex mu_;
+  mutable Rng rng_ IDXSEL_GUARDED_BY(mu_);
+  mutable FaultInjectionStats stats_ IDXSEL_GUARDED_BY(mu_);
   // Recurring burst-outage cursor (guarded by mu_): calls remaining in
   // the current healthy gap / failing burst. The gap stream draws from a
   // dedicated forked Rng so enabling the mode does not shift the
   // value-corruption draw schedule of existing seeds.
-  mutable Rng outage_rng_;
-  mutable uint64_t gap_remaining_ = 0;
-  mutable uint64_t burst_remaining_ = 0;
+  mutable Rng outage_rng_ IDXSEL_GUARDED_BY(mu_);
+  mutable uint64_t gap_remaining_ IDXSEL_GUARDED_BY(mu_) = 0;
+  mutable uint64_t burst_remaining_ IDXSEL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace idxsel::rt

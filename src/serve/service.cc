@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -16,7 +14,9 @@
 #endif
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 #include "workload/parser.h"
 
 namespace idxsel::serve {
@@ -35,32 +35,45 @@ constexpr const char* kEpochLogFile = "epochs.jsonl";
 class Watchdog {
  public:
   Watchdog(double seconds, rt::CancellationToken* token) {
-    thread_ = std::thread([this, seconds, token] {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!cv_.wait_for(lock, std::chrono::duration<double>(seconds),
-                        [this] { return disarmed_; })) {
-        fired_ = true;
-        token->RequestCancel();
-      }
-    });
+    thread_ = std::thread([this, seconds, token] { Run(seconds, token); });
   }
 
   /// Stops the timer; returns true iff it already fired.
   bool Disarm() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       disarmed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     thread_.join();
+    common::MutexLock lock(&mu_);  // join ordered the write; lock for TSA
     return fired_;
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool disarmed_ = false;
-  bool fired_ = false;
+  /// Timer-thread body: sleeps out the budget against a fixed deadline,
+  /// re-checking disarmed_ across wakeups, and fires the token exactly
+  /// when the deadline passes while still armed. steady_clock (monotonic,
+  /// the clock cv waits use anyway) — never wall time.
+  void Run(double seconds, rt::CancellationToken* token) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    common::MutexLock lock(&mu_);
+    while (!disarmed_) {
+      if (!cv_.WaitUntil(mu_, deadline) && !disarmed_) {
+        fired_ = true;
+        token->RequestCancel();
+        return;
+      }
+    }
+  }
+
+  common::Mutex mu_;
+  common::CondVar cv_;
+  bool disarmed_ IDXSEL_GUARDED_BY(mu_) = false;
+  bool fired_ IDXSEL_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -360,6 +360,263 @@ TEST(LintOrphanTest, UnreferencedSourceAndLibraryFlagged) {
   EXPECT_EQ(std::count(checks.begin(), checks.end(), "orphan-source"), 2);
 }
 
+// -- L4: concurrency contracts ----------------------------------------------
+
+TEST(LintLockOrderTest, TwoMutexCycleAcrossFilesIsFlagged) {
+  // The canonical deadlock: two TUs of one class nest the same pair of
+  // locks in opposite orders. The graph is global, so neither file alone
+  // is a finding — the cycle only closes once both are scanned.
+  const auto findings = LintFiles(
+      {Src("shard/select.cc",
+           "void ShardedSelector::Rebalance() {\n"
+           "  common::MutexLock lock(&budget_mu_);\n"
+           "  common::MutexLock inner(&journal_mu_);\n"
+           "}\n"),
+       Src("shard/report.cc",
+           "void ShardedSelector::Report() {\n"
+           "  common::MutexLock lock(&journal_mu_);\n"
+           "  common::MutexLock inner(&budget_mu_);\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"lock-order"});
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("cycle"), HasSubstr("deadlock"),
+                    HasSubstr("ShardedSelector::budget_mu_"),
+                    HasSubstr("ShardedSelector::journal_mu_")));
+}
+
+TEST(LintLockOrderTest, ReacquiringAHeldLockIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.cc",
+           "void Pool::Tick() {\n"
+           "  common::MutexLock lock(&mu_);\n"
+           "  {\n"
+           "    common::MutexLock again(&mu_);\n"
+           "  }\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"lock-order"});
+  EXPECT_EQ(findings[0].line, 4);
+  EXPECT_THAT(findings[0].message, HasSubstr("already held"));
+}
+
+TEST(LintLockOrderTest, ConsistentOrderAndSequentialScopesAreClean) {
+  const auto findings = LintFiles(
+      {Src("shard/select.cc",
+           // Same nesting order everywhere: an edge, never a cycle.
+           "void ShardedSelector::Rebalance() {\n"
+           "  common::MutexLock lock(&budget_mu_);\n"
+           "  common::MutexLock inner(&journal_mu_);\n"
+           "}\n"
+           "void ShardedSelector::Report() {\n"
+           "  common::MutexLock lock(&budget_mu_);\n"
+           "  common::MutexLock inner(&journal_mu_);\n"
+           "}\n"
+           // Opposite textual order but never held together: no edge.
+           "void ShardedSelector::Drain() {\n"
+           "  { common::MutexLock lock(&journal_mu_); }\n"
+           "  { common::MutexLock lock(&budget_mu_); }\n"
+           "}\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintLockOrderTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.cc",
+           "void Pool::Tick() {\n"
+           "  common::MutexLock lock(&mu_);\n"
+           "  // idxsel-lint: allow(lock-order) reason=golden doc example\n"
+           "  common::MutexLock again(&mu_);\n"
+           "}\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintGuardedFieldTest, MutableMemberWithoutAnnotationIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("costmodel/cache.h",
+           "class Cache {\n"
+           " private:\n"
+           "  mutable unsigned long hits_ = 0;\n"
+           "};\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"guarded-field"});
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("mutable"), HasSubstr("IDXSEL_GUARDED_BY")));
+}
+
+TEST(LintGuardedFieldTest, UnguardedMutexMemberIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.h",
+           "class Pool {\n"
+           " private:\n"
+           "  common::Mutex mu_;\n"
+           "  int n_ = 0;\n"
+           "};\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"guarded-field"});
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("mu_"), HasSubstr("guards no")));
+}
+
+TEST(LintGuardedFieldTest, AnnotatedAndAtomicMembersAreClean) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.h",
+           "class Pool {\n"
+           " private:\n"
+           "  common::Mutex mu_;\n"
+           "  mutable unsigned long hits_ IDXSEL_GUARDED_BY(mu_) = 0;\n"
+           "  mutable std::atomic<unsigned long> misses_{0};\n"
+           "};\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintGuardedFieldTest, MutableOutsideConcurrencyModulesIsClean) {
+  // workload is single-threaded by contract (doc/parallelism.md); its
+  // memoization members don't need guard annotations.
+  const auto findings = LintFiles(
+      {Src("workload/parser.h",
+           "class Parser {\n"
+           "  mutable unsigned long bytes_ = 0;\n"
+           "};\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintGuardedFieldTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("exec/pool.h",
+           "class Pool {\n"
+           "  // idxsel-lint: allow(guarded-field) reason=wakeup ordering "
+           "only, no guarded state\n"
+           "  common::Mutex sleep_mu_;\n"
+           "};\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintAtomicOrderingTest, DefaultedMethodCallIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("kernel/epoch.cc",
+           "std::atomic<int> epoch{0};\n"
+           "void Bump() { epoch.store(1); }\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"atomic-ordering"});
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_THAT(findings[0].message,
+              AllOf(HasSubstr("memory_order"), HasSubstr("seq_cst")));
+}
+
+TEST(LintAtomicOrderingTest, OperatorFormIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("exec/counters.cc",
+           "std::atomic<unsigned long> tasks{0};\n"
+           "void Done() { ++tasks; }\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"atomic-ordering"});
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_THAT(findings[0].message, HasSubstr("in disguise"));
+}
+
+TEST(LintAtomicOrderingTest, ExplicitOrderIsCleanEvenAcrossLines) {
+  const auto findings = LintFiles(
+      {Src("kernel/epoch.cc",
+           "std::atomic<int> epoch{0};\n"
+           "void Bump() {\n"
+           "  epoch.store(1,\n"
+           "              std::memory_order_release);\n"
+           "}\n"
+           "int Read() { return epoch.load(std::memory_order_acquire); }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintAtomicOrderingTest, ScopeIsKernelExecCommon) {
+  // Cold modules may take the seq_cst default; the fence cost is noise
+  // there and the check would only breed reflexive `relaxed`.
+  const auto findings = LintFiles(
+      {Src("serve/service.cc",
+           "std::atomic<int> state{0};\n"
+           "void Set() { state.store(1); }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintAtomicOrderingTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("kernel/epoch.cc",
+           "std::atomic<int> epoch{0};\n"
+           "// idxsel-lint: allow(atomic-ordering) reason=cold init path\n"
+           "void Bump() { epoch.store(1); }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintPointerOrderTest, AddressAsIntegerIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           "bool Less(const Index* a, const Index* b) {\n"
+           "  return reinterpret_cast<uintptr_t>(a) < "
+           "reinterpret_cast<uintptr_t>(b);\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"pointer-order"});
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_THAT(findings[0].message, HasSubstr("run-dependent"));
+}
+
+TEST(LintPointerOrderTest, StdLessOverPointerIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("selection/greedy.cc",
+           "std::map<Index*, double, std::less<Index*>> benefit;\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"pointer-order"});
+  EXPECT_THAT(findings[0].message, HasSubstr("orders by address"));
+}
+
+TEST(LintPointerOrderTest, RelationalGetCompareIsFlagged) {
+  const auto findings = LintFiles(
+      {Src("shard/shard.cc",
+           "bool Before(const Part& a, const Part& b) {\n"
+           "  return a.table.get() < b.table.get();\n"
+           "}\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"pointer-order"});
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintPointerOrderTest, StableKeysStreamsAndOtherModulesAreClean) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           // Dense-id ordering is the sanctioned replacement.
+           "bool Less(const Index& a, const Index& b) {\n"
+           "  return a.id() < b.id();\n"
+           "}\n"
+           // Shifts are not comparisons.
+           "void Dump(std::ostream& os, const Part& p) {\n"
+           "  os << p.table.get() << 1;\n"
+           "}\n"),
+       // obs may hash addresses for trace correlation; it never feeds a
+       // selection decision.
+       Src("obs/tracer.cc",
+           "auto key = reinterpret_cast<uintptr_t>(span);\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintPointerOrderTest, SuppressionSilencesIt) {
+  const auto findings = LintFiles(
+      {Src("core/sel.cc",
+           "// idxsel-lint: allow(pointer-order) reason=golden doc example\n"
+           "auto k = reinterpret_cast<uintptr_t>(p);\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
 // -- Suppressions -----------------------------------------------------------
 
 TEST(LintSuppressionTest, SameLineSuppressionWithReasonSilences) {
@@ -423,6 +680,97 @@ TEST(LintSuppressionTest, UnknownCheckNameFlagged) {
   EXPECT_EQ(findings[0].check, "unknown-check");
 }
 
+TEST(LintSuppressionTest, WrappedReasonInCommentBlockStillSilences) {
+  // A suppression whose reason wraps onto a second comment line attaches
+  // through the whole contiguous comment block above the finding.
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "// idxsel-lint: allow(double-compare) reason=exact sparsity\n"
+           "// test, the solver zeroes eliminated columns bit-exactly\n"
+           "bool F(double v) { return v == 0.0; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSuppressionTest, BlankLineBreaksTheCommentBlock) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "// idxsel-lint: allow(double-compare) reason=stranded comment\n"
+           "\n"
+           "bool F(double v) { return v == 0.0; }\n")},
+      NoOrphan());
+  const auto checks = Checks(findings);
+  // Detached from its finding, the suppression silences nothing (and is
+  // therefore itself reported as stale).
+  EXPECT_THAT(checks, ::testing::Contains("double-compare"));
+  EXPECT_THAT(checks, ::testing::Contains("stale-suppression"));
+}
+
+TEST(LintSuppressionTest, ReasonedSuppressionThatSilencesNothingIsStale) {
+  const auto findings = LintFiles(
+      {Src("core/x.cc",
+           "// idxsel-lint: allow(pointer-order) reason=needed before the "
+           "refactor\n"
+           "int F(int v) { return v + 1; }\n")},
+      NoOrphan());
+  ASSERT_EQ(Checks(findings), std::vector<std::string>{"stale-suppression"});
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_THAT(findings[0].message, HasSubstr("no longer suppresses"));
+}
+
+TEST(LintSuppressionTest, UsedSuppressionIsNotStale) {
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "// idxsel-lint: allow(double-compare) reason=exact sparsity\n"
+           "bool F(double v) { return v == 0.0; }\n")},
+      NoOrphan());
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+// -- Options::skip and SARIF output ------------------------------------------
+
+TEST(LintSkipTest, SkippedCheckDropsItsFindings) {
+  Options options = NoOrphan();
+  options.skip = {"double-compare"};
+  const auto findings = LintFiles(
+      {Src("lp/x.cc", "bool F(double v) { return v == 0.0; }\n")}, options);
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSkipTest, SuppressionOfSkippedCheckIsNotStale) {
+  // A --skip run must not demand deleting suppressions the full run still
+  // needs; staleness is only judged for checks that actually ran.
+  Options options = NoOrphan();
+  options.skip = {"double-compare"};
+  const auto findings = LintFiles(
+      {Src("lp/x.cc",
+           "// idxsel-lint: allow(double-compare) reason=exact sparsity\n"
+           "bool F(double v) { return v == 0.0; }\n")},
+      options);
+  EXPECT_THAT(findings, IsEmpty());
+}
+
+TEST(LintSarifTest, ReportCarriesRuleMessageAndLocation) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cc", 12, "pointer-order", "orders by \"address\""}};
+  const std::string sarif = SarifReport(findings);
+  EXPECT_THAT(
+      sarif,
+      AllOf(HasSubstr("\"version\": \"2.1.0\""),
+            HasSubstr("\"name\": \"idxsel_lint\""),
+            HasSubstr("\"ruleId\": \"pointer-order\""),
+            HasSubstr("\"uri\": \"src/core/x.cc\""),
+            HasSubstr("\"startLine\": 12"),
+            // JSON string escaping survives the quoted message.
+            HasSubstr("orders by \\\"address\\\"")));
+}
+
+TEST(LintSarifTest, EmptyRunIsStillAValidUpload) {
+  const std::string sarif = SarifReport({});
+  EXPECT_THAT(sarif, AllOf(HasSubstr("\"version\": \"2.1.0\""),
+                           HasSubstr("\"results\": []")));
+}
+
 // -- Tokenizer robustness ---------------------------------------------------
 
 TEST(LintTokenizerTest, CommentsAndStringsDoNotTriggerChecks) {
@@ -446,8 +794,10 @@ TEST(LintTokenizerTest, KnownChecksCoverEveryDocumentedName) {
   for (const char* name :
        {"layering", "include-cycle", "determinism-random",
         "determinism-clock", "unordered-iter", "double-compare",
-        "missing-check-include", "orphan-source",
-        "suppression-missing-reason", "unknown-check"}) {
+        "missing-check-include", "orphan-source", "lock-order",
+        "guarded-field", "atomic-ordering", "pointer-order",
+        "suppression-missing-reason", "unknown-check",
+        "stale-suppression"}) {
     EXPECT_THAT(checks, ::testing::Contains(std::string(name))) << name;
   }
 }

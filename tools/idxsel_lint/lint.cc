@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 namespace idxsel::lint {
 namespace {
@@ -1020,60 +1022,759 @@ void CheckOrphanSources(Context* ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// L4: concurrency contracts
+
+/// Innermost named scope per line (class/struct body, or the owning class
+/// of an out-of-line `X::Method(...)` definition at namespace scope) plus
+/// the brace depth entering each line. Line-granular: a scope opened and
+/// used on the same line is attributed from the line start, which matches
+/// the project style (guards and members declared on their own lines).
+struct ScopeMap {
+  std::vector<std::string> context;
+  std::vector<int> depth_at_start;
+};
+
+ScopeMap BuildScopeMap(const FileView& f) {
+  ScopeMap out;
+  out.context.resize(f.code.size());
+  out.depth_at_start.resize(f.code.size());
+  struct Entry {
+    std::string name;
+    int depth;
+  };
+  std::vector<Entry> stack;
+  int depth = 0;
+  bool cls_mode = false;        // between class/struct keyword and its body
+  std::string cls_candidate;    // last identifier seen in cls_mode
+  std::string pending;          // scope name for the next '{'
+  std::string last_ident;
+  std::string qual_owner;       // identifier before the most recent '::'
+  bool after_scope_op = false;  // just consumed "::"
+  auto effective = [&stack]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (!it->name.empty()) return it->name;
+    }
+    return "";
+  };
+  for (size_t l = 0; l < f.code.size(); ++l) {
+    out.depth_at_start[l] = depth;
+    out.context[l] = effective();
+    const std::string& s = f.code[l];
+    for (size_t i = 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (IsIdentChar(c)) {
+        size_t j = i;
+        while (j < s.size() && IsIdentChar(s[j])) ++j;
+        const std::string ident = s.substr(i, j - i);
+        if (ident == "class" || ident == "struct") {
+          cls_mode = true;
+          cls_candidate.clear();
+        } else if (cls_mode) {
+          cls_candidate = ident;
+        }
+        // Out-of-line method definition "Owner::Name(" at namespace scope
+        // binds the function body to Owner (the last qualifier, so
+        // "ns::Owner::Name(" also resolves to Owner).
+        const size_t next = s.find_first_not_of(' ', j);
+        if (after_scope_op && !cls_mode && next != std::string::npos &&
+            s[next] == '(' && effective().empty()) {
+          pending = qual_owner;
+        }
+        after_scope_op = false;
+        last_ident = ident;
+        i = j - 1;
+        continue;
+      }
+      if (c == ':' && i + 1 < s.size() && s[i + 1] == ':') {
+        qual_owner = last_ident;
+        after_scope_op = true;
+        ++i;
+        continue;
+      }
+      after_scope_op = false;
+      if (c == ':') {
+        // Inheritance list: the class name is final, the base names that
+        // follow must not overwrite it.
+        if (cls_mode) {
+          cls_mode = false;
+          pending = cls_candidate;
+        }
+      } else if (c == '<' || c == '>' || c == ',') {
+        cls_mode = false;  // "template <class T>" is not a class decl
+      } else if (c == '~') {
+        // Destructor "Owner::~Owner()": keep the scope-op state so the
+        // identifier after '~' still sees it.
+        after_scope_op = after_scope_op || (i >= 2 && s[i - 1] == ':');
+      } else if (c == '{') {
+        if (cls_mode) {
+          pending = cls_candidate;
+          cls_mode = false;
+        }
+        stack.push_back({pending, depth});
+        pending.clear();
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        while (!stack.empty() && stack.back().depth >= depth) {
+          stack.pop_back();
+        }
+      } else if (c == ';') {
+        pending.clear();
+        cls_mode = false;
+      }
+    }
+  }
+  return out;
+}
+
+/// Position of the ')' matching the '(' at `open`, or npos when the group
+/// does not close on this line.
+size_t MatchParen(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t p = open; p < s.size(); ++p) {
+    if (s[p] == '(') ++depth;
+    if (s[p] == ')' && --depth == 0) return p;
+  }
+  return std::string::npos;
+}
+
+/// Argument text of the call whose '(' sits at (line l, column open),
+/// joined across up to 8 lines (enough for any clang-formatted call).
+std::string CollectArgs(const FileView& f, size_t l, size_t open) {
+  std::string out;
+  int depth = 0;
+  for (size_t ll = l; ll < f.code.size() && ll < l + 8; ++ll) {
+    const std::string& s = f.code[ll];
+    for (size_t p = ll == l ? open : 0; p < s.size(); ++p) {
+      if (s[p] == '(') {
+        if (depth++ > 0) out += '(';
+      } else if (s[p] == ')') {
+        if (--depth == 0) return out;
+        out += ')';
+      } else if (depth > 0) {
+        out += s[p];
+      }
+    }
+    out += ' ';
+  }
+  return out;
+}
+
+/// Canonical lock-graph node for a guard expression: enclosing class +
+/// final member name, with address-of/deref, this->, object prefixes and
+/// trailing index groups stripped — "&shard.mu" inside a ShardedMap
+/// method becomes "ShardedMap::mu". Same-named members of one class
+/// collapse into one node (deliberately conservative: nesting two
+/// instances of the same member is exactly the shape that needs an
+/// address-independent order, which pointer-order bans).
+std::string LockNode(std::string expr, const std::string& cls) {
+  auto trim = [](std::string& t) {
+    while (!t.empty() && (t.front() == ' ' || t.front() == '&' ||
+                          t.front() == '*')) {
+      t.erase(t.begin());
+    }
+    while (!t.empty() && t.back() == ' ') t.pop_back();
+  };
+  trim(expr);
+  if (expr.rfind("this->", 0) == 0) expr.erase(0, 6);
+  while (!expr.empty() && (expr.back() == ']' || expr.back() == ')')) {
+    const char close = expr.back();
+    const char open = close == ']' ? '[' : '(';
+    int depth = 0;
+    size_t p = expr.size();
+    while (p > 0) {
+      --p;
+      if (expr[p] == close) ++depth;
+      if (expr[p] == open && --depth == 0) break;
+    }
+    if (depth != 0) break;
+    expr.erase(p);
+    while (!expr.empty() && expr.back() == ' ') expr.pop_back();
+  }
+  size_t member = expr.rfind('.');
+  const size_t arrow = expr.rfind("->");
+  if (arrow != std::string::npos &&
+      (member == std::string::npos || arrow + 1 > member)) {
+    member = arrow + 1;
+  }
+  if (member != std::string::npos) expr = expr.substr(member + 1);
+  trim(expr);
+  return cls + "::" + expr;
+}
+
+/// Splits `args` on top-level commas.
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : args) {
+    if (c == '(' || c == '<' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+/// RAII guard declarations on one line: (column, guarded mutex exprs).
+/// Recognizes common::MutexLock plus the std lock guards; a declaration
+/// needs a variable name between the type and the '(' (so constructor
+/// declarations inside common/mutex.h itself do not match).
+struct GuardDecl {
+  size_t col;
+  std::vector<std::string> exprs;
+};
+
+std::vector<GuardDecl> GuardDecls(const std::string& s) {
+  std::vector<GuardDecl> out;
+  struct Kind {
+    const char* word;
+    bool all_args;  // scoped_lock locks every argument
+  };
+  static const Kind kKinds[] = {{"MutexLock", false},
+                                {"lock_guard", false},
+                                {"unique_lock", false},
+                                {"scoped_lock", true}};
+  for (const Kind& kind : kKinds) {
+    for (const size_t pos : FindWord(s, kind.word)) {
+      size_t p = pos + std::strlen(kind.word);
+      if (p < s.size() && s[p] == '<') {  // template argument list
+        int depth = 0;
+        while (p < s.size()) {
+          if (s[p] == '<') ++depth;
+          if (s[p] == '>' && --depth == 0) break;
+          ++p;
+        }
+        if (p >= s.size()) continue;
+        ++p;
+      }
+      while (p < s.size() && s[p] == ' ') ++p;
+      if (p >= s.size() || !IsIdentChar(s[p])) continue;  // not a decl
+      while (p < s.size() && IsIdentChar(s[p])) ++p;
+      while (p < s.size() && s[p] == ' ') ++p;
+      if (p >= s.size() || s[p] != '(') continue;
+      const size_t close = MatchParen(s, p);
+      if (close == std::string::npos) continue;
+      const std::string args = s.substr(p + 1, close - p - 1);
+      if (args.find("defer_lock") != std::string::npos ||
+          args.find("adopt_lock") != std::string::npos) {
+        continue;  // does not acquire here
+      }
+      GuardDecl decl{pos, {}};
+      std::vector<std::string> parts = SplitArgs(args);
+      if (!kind.all_args && !parts.empty()) parts.resize(1);
+      for (std::string& part : parts) {
+        if (!part.empty()) decl.exprs.push_back(std::move(part));
+      }
+      if (!decl.exprs.empty()) out.push_back(std::move(decl));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GuardDecl& a, const GuardDecl& b) { return a.col < b.col; });
+  return out;
+}
+
+/// lock-order: a cross-TU directed graph of "held X while acquiring Y"
+/// edges from RAII guard scopes; any cycle (including the one-node cycle
+/// of re-acquiring a held lock) is deadlock potential. Intra-procedural
+/// like the Clang analysis: edges come from guards nested in one
+/// function, the cross-TU part is that the *graph* is global, so
+/// ShardedSelector holding its mutex over a WhatIfEngine call that locks
+/// back still surfaces once both sites exist in any scanned file.
+void CheckLockOrder(Context* ctx) {
+  struct Edge {
+    const FileView* file;
+    int line;  // acquisition site
+    std::string held;
+  };
+  std::map<std::string, std::map<std::string, Edge>> adj;
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc) continue;
+    const ScopeMap scopes = BuildScopeMap(f);
+    struct Hold {
+      std::string node;
+      int depth;
+    };
+    std::vector<Hold> holds;
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const int depth = scopes.depth_at_start[l];
+      while (!holds.empty() && holds.back().depth > depth) holds.pop_back();
+      const std::string& s = f.code[l];
+      if (s.find('(') == std::string::npos) continue;
+      for (const GuardDecl& decl : GuardDecls(s)) {
+        // Depth at the declaration column (brace traffic earlier on the
+        // same line counts: "if (x) { MutexLock l(&mu_); ... }").
+        int at = depth;
+        for (size_t p = 0; p < decl.col; ++p) {
+          if (s[p] == '{') ++at;
+          if (s[p] == '}') --at;
+        }
+        for (const std::string& expr : decl.exprs) {
+          const std::string node = LockNode(expr, scopes.context[l]);
+          for (const Hold& hold : holds) {
+            if (hold.node == node) {
+              ctx->Report(
+                  f, static_cast<int>(l + 1), "lock-order",
+                  "'" + node +
+                      "' acquired while already held in this scope: "
+                      "self-deadlock on one instance, address-ordered "
+                      "nesting on two — restructure so one scope ends "
+                      "before the next begins");
+              continue;
+            }
+            auto& slot = adj[hold.node];
+            slot.emplace(node, Edge{&f, static_cast<int>(l + 1), hold.node});
+          }
+          // The guard lives until its scope closes: lines at depth `at`
+          // (siblings after the declaration) still hold it; the pop above
+          // fires once depth drops below the declaration's.
+          holds.push_back({node, at});
+        }
+      }
+    }
+  }
+
+  // Cycle detection over the global graph; one finding per node set.
+  std::set<std::string> reported;
+  std::map<std::string, int> color;  // 0/absent white, 1 gray, 2 black
+  for (const auto& [root, unused] : adj) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<std::string, std::map<std::string, Edge>::const_iterator>>
+        stack;
+    std::vector<std::string> path;
+    color[root] = 1;
+    stack.push_back({root, adj[root].begin()});
+    path.push_back(root);
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      const auto& out_edges = adj[node];
+      if (it == out_edges.end()) {
+        color[node] = 2;
+        stack.pop_back();
+        path.pop_back();
+        continue;
+      }
+      const std::string target = it->first;
+      const Edge& edge = it->second;
+      ++it;
+      if (color[target] == 1) {
+        // Reconstruct the cycle target .. node.
+        std::vector<std::string> cycle;
+        bool in = false;
+        for (const std::string& p : path) {
+          if (p == target) in = true;
+          if (in) cycle.push_back(p);
+        }
+        std::string key;
+        {
+          std::vector<std::string> sorted = cycle;
+          std::sort(sorted.begin(), sorted.end());
+          for (const std::string& n : sorted) key += n + "|";
+        }
+        if (reported.insert(key).second) {
+          std::string desc;
+          for (size_t u = 0; u < cycle.size(); ++u) {
+            const std::string& from = cycle[u];
+            const std::string& to =
+                u + 1 < cycle.size() ? cycle[u + 1] : target;
+            const auto e = adj[from].find(to);
+            desc += from + " -> " + to;
+            if (e != adj[from].end()) {
+              desc += " (" + e->second.file->path + ":" +
+                      std::to_string(e->second.line) + ")";
+            }
+            desc += "; ";
+          }
+          ctx->Report(*edge.file, edge.line, "lock-order",
+                      "lock-order cycle (deadlock potential): " + desc +
+                          "pick one global order and acquire in it "
+                          "everywhere, or collapse to a single lock");
+        }
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        stack.push_back({target, adj[target].begin()});
+        path.push_back(target);
+      }
+    }
+  }
+}
+
+/// guarded-field: the concurrency modules keep their shared state
+/// declared. Two shapes: (a) a `mutable` non-atomic member without
+/// IDXSEL_GUARDED_BY — mutable is the project marker for "mutated under a
+/// const API", i.e. cross-thread by construction; (b) a common::Mutex
+/// member that guards no annotated field at all — either the annotations
+/// were forgotten or the lock serializes something subtler (wakeup
+/// ordering, allocation publication), which deserves a written reason.
+void CheckGuardedField(Context* ctx) {
+  static const std::set<std::string> kModules = {
+      "exec", "costmodel", "serve", "obs",   "rt",
+      "kernel", "shard",   "mip",   "audit", "common"};
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc) continue;
+    if (EndsWith(f.path, "common/mutex.h") ||
+        EndsWith(f.path, "common/thread_annotations.h")) {
+      continue;
+    }
+    const bool listed = kModules.count(f.module) != 0;
+    const ScopeMap scopes = BuildScopeMap(f);
+    struct MutexDecl {
+      int line;
+      std::string name;
+      std::string cls;
+    };
+    std::vector<MutexDecl> mutexes;
+    std::set<std::pair<std::string, std::string>> guarded;  // (class, mutex)
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      std::string s = f.code[l];
+      // Inline comments leave trailing blanks in the code view; a member
+      // declaration still "ends with ';'" for our purposes.
+      while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.pop_back();
+      }
+      for (const size_t pos : FindWord(s, "IDXSEL_GUARDED_BY")) {
+        const size_t open = s.find('(', pos);
+        if (open == std::string::npos) continue;
+        const size_t close = MatchParen(s, open);
+        if (close == std::string::npos) continue;
+        std::string arg = s.substr(open + 1, close - open - 1);
+        while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+        while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+        guarded.insert({scopes.context[l], arg});
+      }
+      // (a) mutable members in the listed modules.
+      const size_t first = s.find_first_not_of(" \t");
+      if (listed && first != std::string::npos &&
+          s.compare(first, 8, "mutable ") == 0 && EndsWith(s, ";") &&
+          s.find("IDXSEL_GUARDED_BY") == std::string::npos &&
+          FindWord(s, "Mutex").empty() && FindWord(s, "CondVar").empty() &&
+          FindWord(s, "atomic").empty()) {
+        ctx->Report(f, static_cast<int>(l + 1), "guarded-field",
+                    "mutable member without IDXSEL_GUARDED_BY in src/" +
+                        f.module +
+                        "; mutable means mutated under a const API — name "
+                        "the lock that guards it (common/thread_"
+                        "annotations.h), or suppress with the reason it "
+                        "needs none");
+      }
+      // Collect common::Mutex member declarations for shape (b).
+      if (FindWord(s, "Mutex").empty() || s.find('(') != std::string::npos ||
+          !EndsWith(s, ";") || s.find("friend") != std::string::npos) {
+        continue;
+      }
+      const std::string name = TokenBefore(s, s.size() - 1);
+      const std::string& cls = scopes.context[l];
+      if (name.empty() || name.find('.') != std::string::npos ||
+          cls.empty()) {
+        continue;
+      }
+      mutexes.push_back({static_cast<int>(l + 1), name, cls});
+    }
+    for (const MutexDecl& m : mutexes) {
+      if (guarded.count({m.cls, m.name})) continue;
+      ctx->Report(f, m.line, "guarded-field",
+                  "common::Mutex '" + m.name + "' in " + m.cls +
+                      " guards no IDXSEL_GUARDED_BY(" + m.name +
+                      ") field; annotate the state it protects, or "
+                      "suppress with the reason it exists (wakeup "
+                      "ordering, allocation serialization, ...)");
+    }
+  }
+}
+
+/// atomic-ordering: every atomic operation in the hot modules names its
+/// std::memory_order. The default seq_cst is both a fence the hot paths
+/// cannot afford and — worse — a silent statement that nobody thought
+/// about the required ordering; the kernel's publication chains
+/// (store-release block pointers, acquire loads) only stay reviewable if
+/// each site says what it needs.
+void CheckAtomicOrdering(Context* ctx) {
+  static const std::set<std::string> kModules = {"kernel", "exec", "common"};
+  static const char* kMethods[] = {
+      "load",     "store",    "exchange",
+      "fetch_add", "fetch_sub", "fetch_or",
+      "fetch_and", "fetch_xor", "compare_exchange_strong",
+      "compare_exchange_weak"};
+  // Atomic member/variable names per module (declarations in headers,
+  // operator uses in the .cc files).
+  std::map<std::string, std::set<std::string>> atomic_names;
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc || !kModules.count(f.module)) {
+      continue;
+    }
+    for (const std::string& s : f.code) {
+      for (const size_t pos : FindWord(s, "atomic")) {
+        size_t p = pos + 6;
+        if (p >= s.size() || s[p] != '<') continue;
+        int depth = 0;
+        while (p < s.size()) {
+          if (s[p] == '<') ++depth;
+          if (s[p] == '>' && --depth == 0) break;
+          ++p;
+        }
+        if (p >= s.size()) continue;
+        ++p;
+        while (p < s.size() && (s[p] == ' ' || s[p] == '&')) ++p;
+        if (p < s.size() && s[p] == '*') continue;  // pointer TO an atomic
+        std::string name;
+        while (p < s.size() && IsIdentChar(s[p])) name += s[p++];
+        if (!name.empty()) atomic_names[f.module].insert(name);
+      }
+    }
+  }
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc || !kModules.count(f.module)) {
+      continue;
+    }
+    const std::set<std::string>& names = atomic_names[f.module];
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      for (const char* m : kMethods) {
+        const std::string pat = std::string(".") + m + "(";
+        size_t pos = 0;
+        while ((pos = s.find(pat, pos)) != std::string::npos) {
+          const size_t open = pos + pat.size() - 1;
+          pos += pat.size();
+          if (CollectArgs(f, l, open).find("memory_order") !=
+              std::string::npos) {
+            continue;
+          }
+          ctx->Report(f, static_cast<int>(l + 1), "atomic-ordering",
+                      std::string("atomic '") + m +
+                          "' without an explicit std::memory_order in src/" +
+                          f.module +
+                          "; the seq_cst default is an unreviewed fence — "
+                          "state the ordering the algorithm needs");
+        }
+      }
+      // Operator forms on declared atomics (++/--/compound/=): all are
+      // seq_cst RMWs/stores in disguise.
+      if (!FindWord(s, "atomic").empty()) continue;  // the declaration line
+      for (const std::string& name : names) {
+        for (const size_t pos : FindWord(s, name)) {
+          const size_t end = pos + name.size();
+          size_t after = end;
+          while (after < s.size() && s[after] == ' ') ++after;
+          const bool pre =
+              pos >= 2 && (s.compare(pos - 2, 2, "++") == 0 ||
+                           s.compare(pos - 2, 2, "--") == 0);
+          bool hit = pre;
+          if (!hit && after + 1 < s.size()) {
+            const std::string two = s.substr(after, 2);
+            hit = two == "++" || two == "--" || two == "+=" || two == "-=" ||
+                  two == "|=" || two == "&=" || two == "^=";
+          }
+          if (!hit && after < s.size() && s[after] == '=' &&
+              (after + 1 >= s.size() || s[after + 1] != '=')) {
+            size_t b = pos;
+            while (b > 0 && s[b - 1] == ' ') --b;
+            const char before = b == 0 ? ' ' : s[b - 1];
+            // "Type name = init" declares a *different*, same-named local;
+            // an identifier directly before the name is its type.
+            if (before != '=' && before != '!' && before != '<' &&
+                before != '>' && before != '.' && !IsIdentChar(before)) {
+              hit = true;
+            }
+          }
+          if (hit) {
+            ctx->Report(f, static_cast<int>(l + 1), "atomic-ordering",
+                        "operator on atomic '" + name +
+                            "' is a seq_cst operation in disguise; spell it "
+                            "as load/store/fetch_* with an explicit "
+                            "std::memory_order");
+          }
+        }
+      }
+    }
+  }
+}
+
+/// pointer-order: selection decisions must never order on addresses.
+/// Pointer values differ run to run (ASLR, allocation order, thread
+/// interleaving), so an address-keyed sort or comparison is
+/// nondeterminism that survives every seed pin and that the journal
+/// cannot see — the determinism suite only catches it when the ordering
+/// actually flips. Banned in the decision modules outright.
+void CheckPointerOrder(Context* ctx) {
+  static const std::set<std::string> kModules = {"core", "selection", "shard",
+                                                 "mip"};
+  for (const FileView& f : ctx->files) {
+    if (f.is_cmake || f.scope != Scope::kSrc || !kModules.count(f.module)) {
+      continue;
+    }
+    for (size_t l = 0; l < f.code.size(); ++l) {
+      const std::string& s = f.code[l];
+      const int line = static_cast<int>(l + 1);
+      if (s.find("reinterpret_cast") != std::string::npos &&
+          s.find("uintptr_t") != std::string::npos) {
+        ctx->Report(f, line, "pointer-order",
+                    "address reinterpreted as an integer in src/" + f.module +
+                        "; pointer values are run-dependent — key on a "
+                        "dense id (kernel::IndexId) or a stable field "
+                        "instead");
+        continue;
+      }
+      bool reported = false;
+      for (const size_t pos : FindWord(s, "less")) {
+        const size_t open = pos + 4;
+        if (open >= s.size() || s[open] != '<') continue;
+        int depth = 0;
+        size_t p = open;
+        while (p < s.size()) {
+          if (s[p] == '<') ++depth;
+          if (s[p] == '>' && --depth == 0) break;
+          ++p;
+        }
+        if (p >= s.size()) continue;
+        if (s.substr(open, p - open).find('*') != std::string::npos) {
+          ctx->Report(f, line, "pointer-order",
+                      "std::less over a pointer type in src/" + f.module +
+                          " orders by address; order on a stable key "
+                          "(dense id, name, position) instead");
+          reported = true;
+          break;
+        }
+      }
+      if (reported) continue;
+      size_t pos = 0;
+      while ((pos = s.find(".get()", pos)) != std::string::npos) {
+        const size_t end = pos + 6;
+        size_t after = end;
+        while (after < s.size() && s[after] == ' ') ++after;
+        bool hit = false;
+        if (after < s.size() && (s[after] == '<' || s[after] == '>')) {
+          const char next = after + 1 < s.size() ? s[after + 1] : '\0';
+          if (next != s[after]) hit = true;  // exclude << and >>
+        }
+        size_t start = pos;
+        while (start > 0 &&
+               (IsIdentChar(s[start - 1]) || s[start - 1] == '.')) {
+          --start;
+        }
+        while (start > 0 && s[start - 1] == ' ') --start;
+        if (!hit && start > 0 && (s[start - 1] == '<' || s[start - 1] == '>')) {
+          const char prev = start >= 2 ? s[start - 2] : '\0';
+          if (prev != s[start - 1] && prev != '-') hit = true;
+        }
+        if (hit) {
+          ctx->Report(f, line, "pointer-order",
+                      "relational comparison of .get() pointers in src/" +
+                          f.module +
+                          " orders by address (run-dependent); compare a "
+                          "stable key instead");
+          break;
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppression application
 
 void ApplySuppressions(Context* ctx) {
   const std::set<std::string> known(KnownChecks().begin(),
                                     KnownChecks().end());
+  const std::set<std::string> skip(ctx->options.skip.begin(),
+                                   ctx->options.skip.end());
+  // The meta checks report on the suppression machinery itself; their own
+  // suppressions are exempt from staleness (usage is only known after
+  // this pass ran, so flagging them would be circular).
+  static const std::set<std::string> kMeta = {
+      "unknown-check", "suppression-missing-reason", "stale-suppression"};
   // Index views by path for comment lookup.
   std::map<std::string, const FileView*> by_path;
   for (const FileView& f : ctx->files) by_path[f.path] = &f;
 
   std::vector<Finding> kept;
   std::set<std::pair<std::string, int>> reported_bad_suppression;
-  for (Finding& finding : ctx->findings) {
+  // (path, comment line, check) of every suppression that suppressed a
+  // finding — the complement is stale.
+  std::set<std::tuple<std::string, int, std::string>> used;
+  auto try_suppress = [&](Finding& finding) -> bool {
     const FileView* f = by_path[finding.path];
+    if (f == nullptr) return false;
     bool suppressed = false;
-    if (f != nullptr) {
-      for (const int l : {finding.line, finding.line - 1}) {
-        if (l < 1 || static_cast<size_t>(l) > f->comments.size()) continue;
-        // A preceding-line suppression must be a comment-only line.
-        if (l != finding.line) {
-          const std::string& code = f->code[static_cast<size_t>(l - 1)];
-          if (code.find_first_not_of(" \t") != std::string::npos) continue;
-        }
-        for (const Suppression& s :
-             ParseSuppressions(f->comments[static_cast<size_t>(l - 1)])) {
-          if (s.check != finding.check) continue;
-          if (!s.has_reason) {
-            if (reported_bad_suppression.insert({finding.path, l}).second) {
-              kept.push_back(
-                  {finding.path, l, "suppression-missing-reason",
-                   "suppression of '" + s.check +
-                       "' must carry a written reason: idxsel-lint: allow(" +
-                       s.check + ") reason=<why this is sound>"});
-            }
-            continue;
+    // Candidate lines: the finding line itself, plus the contiguous block
+    // of comment-only lines directly above it (so a suppression whose
+    // reason wraps onto a second comment line still attaches).
+    std::vector<int> lines = {finding.line};
+    for (int l = finding.line - 1; l >= 1; --l) {
+      const std::string& code = f->code[static_cast<size_t>(l - 1)];
+      const std::string& comment = f->comments[static_cast<size_t>(l - 1)];
+      if (code.find_first_not_of(" \t") != std::string::npos ||
+          comment.find_first_not_of(" \t") == std::string::npos) {
+        break;
+      }
+      lines.push_back(l);
+    }
+    for (const int l : lines) {
+      if (l < 1 || static_cast<size_t>(l) > f->comments.size()) continue;
+      for (const Suppression& s :
+           ParseSuppressions(f->comments[static_cast<size_t>(l - 1)])) {
+        if (s.check != finding.check) continue;
+        if (!s.has_reason) {
+          if (!skip.count("suppression-missing-reason") &&
+              reported_bad_suppression.insert({finding.path, l}).second) {
+            kept.push_back(
+                {finding.path, l, "suppression-missing-reason",
+                 "suppression of '" + s.check +
+                     "' must carry a written reason: idxsel-lint: allow(" +
+                     s.check + ") reason=<why this is sound>"});
           }
-          suppressed = true;
+          continue;
         }
+        suppressed = true;
+        used.insert({finding.path, l, s.check});
       }
     }
-    if (!suppressed) kept.push_back(std::move(finding));
+    return suppressed;
+  };
+  for (Finding& finding : ctx->findings) {
+    if (!try_suppress(finding)) kept.push_back(std::move(finding));
   }
 
   // Suppressions naming unknown checks are typos that would silently stop
-  // protecting the line once the check is renamed — surface them.
+  // protecting the line once the check is renamed (unknown-check), and
+  // reasoned suppressions of real checks that suppressed nothing are
+  // stale armor: the finding they silenced is gone, and they would
+  // silently swallow the next, unrelated finding on that line
+  // (stale-suppression).
+  std::vector<Finding> extra;
   for (const FileView& f : ctx->files) {
     for (size_t l = 0; l < f.comments.size(); ++l) {
       for (const Suppression& s : ParseSuppressions(f.comments[l])) {
         if (!known.count(s.check)) {
-          kept.push_back({f.path, static_cast<int>(l + 1), "unknown-check",
-                          "suppression names unknown check '" + s.check +
-                              "'; known: see --list-checks"});
+          if (!skip.count("unknown-check")) {
+            extra.push_back({f.path, static_cast<int>(l + 1), "unknown-check",
+                             "suppression names unknown check '" + s.check +
+                                 "'; known: see --list-checks"});
+          }
+          continue;
+        }
+        if (s.has_reason && !kMeta.count(s.check) && !skip.count(s.check) &&
+            !skip.count("stale-suppression") &&
+            !used.count({f.path, static_cast<int>(l + 1), s.check})) {
+          extra.push_back(
+              {f.path, static_cast<int>(l + 1), "stale-suppression",
+               "suppression of '" + s.check +
+                   "' no longer suppresses anything; the finding it "
+                   "silenced is gone — delete the comment (or fix the "
+                   "check name/line)"});
         }
       }
     }
+  }
+  // The extra findings are themselves suppressible (golden fixtures keep
+  // deliberately-unknown names; refactors may park a stale suppression).
+  for (Finding& finding : extra) {
+    if (!try_suppress(finding)) kept.push_back(std::move(finding));
   }
   ctx->findings = std::move(kept);
 }
@@ -1087,7 +1788,10 @@ const std::vector<std::string>& KnownChecks() {
       "determinism-random", "determinism-clock",
       "unordered-iter",    "double-compare",
       "missing-check-include", "orphan-source",
+      "lock-order",        "guarded-field",
+      "atomic-ordering",   "pointer-order",
       "suppression-missing-reason", "unknown-check",
+      "stale-suppression",
   };
   return checks;
 }
@@ -1117,6 +1821,17 @@ std::vector<Finding> LintFiles(const std::vector<FileInput>& files,
   CheckDoubleCompare(&ctx);
   CheckMissingCheckInclude(&ctx);
   CheckOrphanSources(&ctx);
+  CheckLockOrder(&ctx);
+  CheckGuardedField(&ctx);
+  CheckAtomicOrdering(&ctx);
+  CheckPointerOrder(&ctx);
+  if (!ctx.options.skip.empty()) {
+    const std::set<std::string> skip(ctx.options.skip.begin(),
+                                     ctx.options.skip.end());
+    std::erase_if(ctx.findings, [&skip](const Finding& finding) {
+      return skip.count(finding.check) != 0;
+    });
+  }
   ApplySuppressions(&ctx);
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -1181,6 +1896,85 @@ bool LintPaths(const std::vector<std::string>& paths, const Options& options,
 std::string FormatFinding(const Finding& finding) {
   return finding.path + ":" + std::to_string(finding.line) + ": [" +
          finding.check + "] " + finding.message;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<Finding>& findings) {
+  std::set<std::string> rules;
+  for (const Finding& finding : findings) rules.insert(finding.check);
+  std::ostringstream o;
+  o << "{\n"
+    << "  \"version\": \"2.1.0\",\n"
+    << "  \"$schema\": "
+       "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+    << "  \"runs\": [\n"
+    << "    {\n"
+    << "      \"tool\": {\n"
+    << "        \"driver\": {\n"
+    << "          \"name\": \"idxsel_lint\",\n"
+    << "          \"rules\": [";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    o << (first ? "\n" : ",\n")
+      << "            {\"id\": \"" << JsonEscape(rule)
+      << "\", \"shortDescription\": {\"text\": \"" << JsonEscape(rule)
+      << "\"}}";
+    first = false;
+  }
+  o << (rules.empty() ? "]\n" : "\n          ]\n")
+    << "        }\n"
+    << "      },\n"
+    << "      \"results\": [";
+  first = true;
+  for (const Finding& finding : findings) {
+    o << (first ? "\n" : ",\n")
+      << "        {\"ruleId\": \"" << JsonEscape(finding.check)
+      << "\", \"level\": \"error\", \"message\": {\"text\": \""
+      << JsonEscape(finding.message)
+      << "\"}, \"locations\": [{\"physicalLocation\": "
+         "{\"artifactLocation\": {\"uri\": \""
+      << JsonEscape(finding.path) << "\"}, \"region\": {\"startLine\": "
+      << (finding.line > 0 ? finding.line : 1) << "}}}]}";
+    first = false;
+  }
+  o << (findings.empty() ? "]\n" : "\n      ]\n")
+    << "    }\n"
+    << "  ]\n"
+    << "}\n";
+  return o.str();
 }
 
 }  // namespace idxsel::lint

@@ -30,12 +30,36 @@
 //                              common/check.h in the include closure
 //       orphan-source      src/ .cc not compiled into its module library,
 //                          or a src/ library no test target links
+//   L4  lock-order         cross-TU lock-acquisition graph built from
+//                          RAII guard scopes (common::MutexLock,
+//                          lock_guard/unique_lock/scoped_lock); a cycle
+//                          or a nested re-acquisition of the same
+//                          class::member lock is deadlock potential
+//       guarded-field      `mutable` non-atomic members in the
+//                          concurrency modules must carry
+//                          IDXSEL_GUARDED_BY, and every common::Mutex
+//                          member must guard at least one annotated
+//                          field (or carry a reasoned suppression
+//                          stating what it serializes instead)
+//       atomic-ordering    atomic operations in src/kernel, src/exec,
+//                          src/common must name an explicit
+//                          std::memory_order; bare seq_cst-default
+//                          loads/stores/RMWs and operator forms
+//                          (++/--/+=/=) are findings
+//       pointer-order      pointer-value ordering (std::less<T*>,
+//                          reinterpret_cast<uintptr_t>, relational
+//                          compares of .get()) banned in src/core,
+//                          src/selection, src/shard, src/mip —
+//                          address-dependent order is nondeterminism
+//                          the journal cannot see
 //
-// Suppression syntax (same line or the line directly above):
+// Suppression syntax (same line, or anywhere in the contiguous block of
+// comment-only lines directly above the finding):
 //   // idxsel-lint: allow(<check>) reason=<non-empty explanation>
 // A suppression without a reason is itself reported
 // (suppression-missing-reason), as is one naming an unknown check
-// (unknown-check). See doc/static_analysis.md.
+// (unknown-check) and a reasoned one whose finding no longer fires
+// (stale-suppression). See doc/static_analysis.md.
 
 #ifndef IDXSEL_TOOLS_IDXSEL_LINT_LINT_H_
 #define IDXSEL_TOOLS_IDXSEL_LINT_LINT_H_
@@ -61,6 +85,10 @@ struct Options {
   /// Disables the orphan-source build-graph check (used by callers that
   /// lint loose files without their CMakeLists.txt context).
   bool orphan_check = true;
+  /// Checks to disable entirely (their findings are dropped, and their
+  /// suppressions are exempt from stale-suppression). CI runs with this
+  /// empty — see .github/workflows/ci.yml.
+  std::vector<std::string> skip;
 };
 
 /// Runs every check over the given in-memory files. CMakeLists.txt inputs
@@ -79,6 +107,11 @@ bool LintPaths(const std::vector<std::string>& paths, const Options& options,
 
 /// "path:line: [check] message" — the one true diagnostic format.
 std::string FormatFinding(const Finding& finding);
+
+/// Serializes findings as a SARIF 2.1.0 log (one run, one result per
+/// finding) for the CI upload that renders findings as inline PR
+/// annotations. Deterministic: same findings, same bytes.
+std::string SarifReport(const std::vector<Finding>& findings);
 
 /// Names of every check, for --list-checks and suppression validation.
 const std::vector<std::string>& KnownChecks();

@@ -1,8 +1,11 @@
 // idxsel_lint CLI. Usage:
-//   idxsel_lint [--no-orphan-check] [--list-checks] <path>...
+//   idxsel_lint [--no-orphan-check] [--skip <check>]... [--sarif <path>]
+//               [--list-checks] <path>...
 // Exit status: 0 clean, 1 findings, 2 usage/I-O error.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -11,6 +14,7 @@
 int main(int argc, char** argv) {
   idxsel::lint::Options options;
   std::vector<std::string> paths;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-checks") {
@@ -23,14 +27,42 @@ int main(int argc, char** argv) {
       options.orphan_check = false;
       continue;
     }
+    if (arg == "--skip") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "idxsel_lint: --skip needs a check name\n");
+        return 2;
+      }
+      const std::string check = argv[++i];
+      const auto& known = idxsel::lint::KnownChecks();
+      if (std::find(known.begin(), known.end(), check) == known.end()) {
+        std::fprintf(stderr,
+                     "idxsel_lint: --skip names unknown check '%s' "
+                     "(see --list-checks)\n",
+                     check.c_str());
+        return 2;
+      }
+      options.skip.push_back(check);
+      continue;
+    }
+    if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "idxsel_lint: --sarif needs an output path\n");
+        return 2;
+      }
+      sarif_path = argv[++i];
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: idxsel_lint [--no-orphan-check] [--list-checks] "
-          "<path>...\n"
+          "usage: idxsel_lint [--no-orphan-check] [--skip <check>]...\n"
+          "                   [--sarif <path>] [--list-checks] <path>...\n"
           "Lints .cc/.h/CMakeLists.txt under the given paths against the\n"
-          "idxsel project rules (layering, determinism, hygiene).\n"
+          "idxsel project rules (layering, determinism, concurrency,\n"
+          "hygiene).\n"
           "Suppress a finding with: // idxsel-lint: allow(<check>) "
-          "reason=<why>\n");
+          "reason=<why>\n"
+          "--skip disables a check entirely; --sarif also writes the\n"
+          "findings as a SARIF 2.1.0 log (for CI PR annotations).\n");
       return 0;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -49,6 +81,17 @@ int main(int argc, char** argv) {
   if (!idxsel::lint::LintPaths(paths, options, &findings, &error)) {
     std::fprintf(stderr, "idxsel_lint: %s\n", error.c_str());
     return 2;
+  }
+  if (!sarif_path.empty()) {
+    // Always written (an empty run is a valid upload — it clears stale
+    // annotations on the PR).
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "idxsel_lint: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << idxsel::lint::SarifReport(findings);
   }
   for (const auto& finding : findings) {
     std::printf("%s\n", idxsel::lint::FormatFinding(finding).c_str());
